@@ -1,0 +1,165 @@
+// Package cellpilot is a Go reproduction of CellPilot — "CellPilot: A
+// Seamless Communication Solution for Hybrid Cell Clusters" (Girard,
+// Gardner, Carter, Grewal; ICPP 2011 Workshops) — together with every
+// substrate it needs: a discrete-event simulated cluster of Cell BE
+// blades and x86 nodes, an MPI-like transport, the libspe2-style SPE
+// runtime, the Pilot process/channel library, the Co-Pilot service
+// process, and a DaCS baseline.
+//
+// Programs follow Pilot's two-phase model. The configuration phase
+// defines processes (regular or SPE) and the channels binding them:
+//
+//	clu, _ := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 2})
+//	app := cellpilot.NewApp(clu, cellpilot.Options{})
+//	var between *cellpilot.Channel
+//	send := &cellpilot.SPEProgram{Name: "send", Body: func(ctx *cellpilot.SPECtx) {
+//		arr := make([]int32, 100)
+//		for i := range arr { arr[i] = int32(i) }
+//		ctx.Write(between, "%100d", arr)
+//	}}
+//	recv := &cellpilot.SPEProgram{Name: "recv", Body: func(ctx *cellpilot.SPECtx) {
+//		arr := make([]int32, 100)
+//		ctx.Read(between, "%*d", 100, arr)
+//	}}
+//	recvPPE := app.CreateProcessOn(1, "recvFunc", func(ctx *cellpilot.Ctx, _ int, arg any) {
+//		ctx.RunSPE(arg.(*cellpilot.Process), 0, nil)
+//	}, 0, nil)
+//	sendSPE := app.CreateSPE(send, app.Main(), 0)
+//	recvSPE := app.CreateSPE(recv, recvPPE, 0)
+//	recvPPE.SetArg(recvSPE)
+//	between = app.CreateChannel(sendSPE, recvSPE)
+//
+// The execution phase starts when Run is called; its argument is the
+// PI_MAIN body:
+//
+//	err := app.Run(func(ctx *cellpilot.Ctx) {
+//		ctx.RunSPE(sendSPE, 0, nil)
+//	})
+//
+// Write and Read use Pilot's stdio-inspired format strings ("%d",
+// "%100Lf", "%*f"); channels may join PPE, SPE and non-Cell processes in
+// any combination, and the library routes each transfer through the
+// appropriate mechanism (MPI, Co-Pilot relay, mailbox + effective-address
+// copy) without the program changing.
+package cellpilot
+
+import (
+	"cellpilot/internal/cellbe"
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/core"
+	"cellpilot/internal/fmtmsg"
+	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
+)
+
+// Core programming-model types (Pilot/CellPilot).
+type (
+	// App is one Pilot application over a cluster.
+	App = core.App
+	// Ctx is a regular process's execution-phase handle.
+	Ctx = core.Ctx
+	// SPECtx is an SPE process's execution-phase handle.
+	SPECtx = core.SPECtx
+	// Process is a Pilot process (regular or SPE).
+	Process = core.Process
+	// Channel is a point-to-point message conduit bound to a process pair.
+	Channel = core.Channel
+	// Bundle is a channel set with a common endpoint for collective use.
+	Bundle = core.Bundle
+	// SPEProgram is an SPE executable (spe_program_handle_t equivalent).
+	SPEProgram = core.SPEProgram
+	// Options configure an App (deadlock service, placement, ablations).
+	Options = core.Options
+	// ProcessFunc is a regular process body.
+	ProcessFunc = core.ProcessFunc
+	// SPEFunc is an SPE process body.
+	SPEFunc = core.SPEFunc
+	// ChannelType is the Table I channel taxonomy.
+	ChannelType = core.ChannelType
+	// BundleKind is a bundle's declared collective usage.
+	BundleKind = core.BundleKind
+)
+
+// Machine types.
+type (
+	// Cluster is a simulated hybrid machine.
+	Cluster = cluster.Cluster
+	// ClusterSpec describes a cluster to build.
+	ClusterSpec = cluster.Spec
+	// Params is the calibrated timing/size table.
+	Params = cellbe.Params
+	// LongDouble is the 16-byte PPC long double ("%Lf" elements).
+	LongDouble = fmtmsg.LongDoubleVal
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+)
+
+// Channel types (paper Table I).
+const (
+	Type1 = core.Type1
+	Type2 = core.Type2
+	Type3 = core.Type3
+	Type4 = core.Type4
+	Type5 = core.Type5
+)
+
+// Bundle kinds. Broadcast, gather and select are the Pilot V1.2
+// operations the paper describes; scatter and reduce arrived in later
+// Pilot versions and are provided for completeness.
+const (
+	BundleBroadcast = core.BundleBroadcast
+	BundleGather    = core.BundleGather
+	BundleSelect    = core.BundleSelect
+	BundleScatter   = core.BundleScatter
+	BundleReduce    = core.BundleReduce
+)
+
+// ReduceOp is an elementwise reduction operator for Ctx.Reduce.
+type ReduceOp = core.ReduceOp
+
+// Reduction operators.
+const (
+	OpSum = core.OpSum
+	OpMin = core.OpMin
+	OpMax = core.OpMax
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Observability types.
+type (
+	// Stats is the post-run utilization report (App.Stats).
+	Stats = core.Stats
+	// CoPilotStats is one Co-Pilot's service counters.
+	CoPilotStats = core.CoPilotStats
+	// SPEStats is one SPE process's local-store usage.
+	SPEStats = core.SPEStats
+	// TraceRecorder records channel operations at zero virtual cost;
+	// attach one via App.Trace.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded operation.
+	TraceEvent = trace.Event
+)
+
+// NewTraceRecorder creates a recorder keeping at most limit events
+// (0 = unlimited).
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
+
+// NewCluster builds a simulated hybrid cluster.
+func NewCluster(spec ClusterSpec) (*Cluster, error) { return cluster.New(spec) }
+
+// PaperCluster builds the paper's Section V testbed: 8 dual-PowerXCell 8i
+// blades plus 4 Xeon nodes on gigabit Ethernet.
+func PaperCluster() (*Cluster, error) { return cluster.New(cluster.PaperSpec()) }
+
+// NewApp starts a Pilot application's configuration phase on a cluster.
+func NewApp(c *Cluster, opts Options) *App { return core.NewApp(c, opts) }
+
+// DefaultParams returns the timing calibration fitted to paper Table II.
+func DefaultParams() *Params { return cellbe.DefaultParams() }

@@ -1,0 +1,192 @@
+// Command cellpilot-bench regenerates every table and figure of the
+// paper's evaluation (Section V) on the simulated cluster:
+//
+//	cellpilot-bench -exp table2     # Table II, measured vs paper
+//	cellpilot-bench -exp fig5       # Figure 5 latency bars
+//	cellpilot-bench -exp fig6       # Figure 6 throughput
+//	cellpilot-bench -exp loc        # Section IV.C lines-of-code comparison
+//	cellpilot-bench -exp footprint  # Section V SPE memory footprint
+//	cellpilot-bench -exp ablations  # A1-A3 design-choice ablations
+//	cellpilot-bench -exp all        # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cellpilot/internal/sim"
+	"cellpilot/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|all")
+	reps := flag.Int("reps", 1000, "PingPong repetitions (paper: 1000)")
+	repo := flag.String("repo", ".", "repository root (for the loc experiment)")
+	flag.Parse()
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	var rows []workload.Table2Row
+	needGrid := want("table2") || want("fig5") || want("fig6")
+	if needGrid {
+		var err error
+		rows, err = workload.Table2(*reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if want("table2") {
+		fmt.Println(workload.FormatTable2(rows))
+	}
+	if want("fig5") {
+		fmt.Println(workload.FormatFigure5(workload.Figure5(rows)))
+	}
+	if want("fig6") {
+		fmt.Println(workload.FormatFigure6(workload.Figure6(rows)))
+	}
+	if want("loc") {
+		lr, err := workload.CodeSizes(*repo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loc: %v (run from the repository root or pass -repo)\n", err)
+		} else {
+			fmt.Println(workload.FormatCodeSizes(lr))
+		}
+	}
+	if want("footprint") {
+		fmt.Println(workload.FormatFootprints(workload.Footprints(nil)))
+	}
+	if want("ablations") {
+		runAblations(*reps)
+	}
+	if want("imb") {
+		runIMB(*reps / 4)
+	}
+	if want("cml") {
+		runCML(*reps / 4)
+	}
+}
+
+// runCML compares the Cell Messaging Layer baseline against CellPilot's
+// general type-5 channel for remote SPE↔SPE transfers — the generality
+// vs. performance trade-off the paper's related-work section implies.
+func runCML(reps int) {
+	if reps < 10 {
+		reps = 10
+	}
+	fmt.Println("CML baseline vs CellPilot (remote SPE↔SPE, one-way)")
+	for _, bytes := range []int{1, 1600} {
+		cp, err := workload.PingPong(workload.PingPongConfig{
+			Type: 5, Bytes: bytes, Method: workload.MethodCellPilot, Reps: reps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cml, err := workload.CMLPingPong(bytes, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6dB: CML %8.1fus   CellPilot type5 %8.1fus\n",
+			bytes, cml.Micros(), cp.OneWay.Micros())
+	}
+	fmt.Println("(CML: ranks on SPEs only, no PPE/non-Cell endpoints, no formats, no type checking)")
+}
+
+// runIMB prints the wider IMB-MPI1 pattern set over the raw transport —
+// the benchmark suite the paper's Section V measurement methodology
+// comes from.
+func runIMB(reps int) {
+	if reps < 10 {
+		reps = 10
+	}
+	sizes := []int{0, 64, 1024, 1600, 16384}
+	fmt.Println("IMB-MPI1 patterns on the simulated transport (avg per op)")
+	for _, pat := range []workload.IMBPattern{
+		workload.IMBPingPong, workload.IMBPingPing, workload.IMBSendRecv,
+		workload.IMBExchange, workload.IMBBcast, workload.IMBAllreduce,
+	} {
+		ranks := 8
+		if pat == workload.IMBPingPong || pat == workload.IMBPingPing {
+			ranks = 2
+		}
+		fmt.Printf("%-10s (%d ranks):", pat, ranks)
+		for _, sz := range sizes {
+			if sz == 0 {
+				continue
+			}
+			res, err := workload.IMB(workload.IMBConfig{Pattern: pat, Ranks: ranks, Bytes: sz, Reps: reps})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %dB=%.1fus", sz, res.AvgTime.Micros())
+		}
+		fmt.Println()
+	}
+	b, err := workload.IMB(workload.IMBConfig{Pattern: workload.IMBBarrier, Ranks: 8, Reps: reps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s (8 ranks):  %.1fus\n", workload.IMBBarrier, b.AvgTime.Micros())
+}
+
+func runAblations(reps int) {
+	mpiPath, direct, err := workload.AblationDirectLocal(reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("A1 — type-2 PPE↔Co-Pilot leg: local MPI (paper design) vs direct copy")
+	fmt.Printf("%-10s %12s %12s\n", "payload", "local MPI", "direct copy")
+	for i, bytes := range []int{1, 1600} {
+		fmt.Printf("%-10d %10.1fus %10.1fus\n", bytes, mpiPath[i].Micros(), direct[i].Micros())
+	}
+	fmt.Println()
+
+	intervals := []sim.Time{2 * sim.Microsecond, 5 * sim.Microsecond, 10 * sim.Microsecond,
+		14 * sim.Microsecond, 20 * sim.Microsecond, 40 * sim.Microsecond, 80 * sim.Microsecond}
+	poll, err := workload.AblationPoll(intervals, reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("A2 — type-4 latency vs Co-Pilot poll interval (1-byte payload)")
+	for _, iv := range intervals {
+		t := poll[iv]
+		fmt.Printf("poll %6s: %8.1fus |%s\n", iv, t.Micros(), strings.Repeat("#", int(t.Micros()/4)))
+	}
+	fmt.Println()
+
+	fmt.Println("A4 — Co-Pilot placement: one per node (paper) vs one per Cell")
+	fmt.Printf("%-8s %14s %14s\n", "pairs", "per-node", "per-cell")
+	for _, pairs := range []int{2, 4, 6, 8} {
+		single, err := workload.CoPilotContention(false, pairs, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		per, err := workload.CoPilotContention(true, pairs, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12.1fus %12.1fus\n", pairs, single.Micros(), per.Micros())
+	}
+	fmt.Println()
+
+	sizes := []int{64, 512, 1600, 8192, 65536}
+	thresholds := []int{1, 4096, 1 << 20}
+	eager, err := workload.AblationEager(sizes, thresholds, reps/4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("A3 — type-1 latency vs MPI eager threshold")
+	fmt.Printf("%-10s", "payload")
+	for _, th := range thresholds {
+		fmt.Printf(" %10s", fmt.Sprintf("thr=%d", th))
+	}
+	fmt.Println()
+	for _, sz := range sizes {
+		fmt.Printf("%-10d", sz)
+		for _, th := range thresholds {
+			fmt.Printf(" %8.1fus", eager[[2]int{th, sz}].Micros())
+		}
+		fmt.Println()
+	}
+}

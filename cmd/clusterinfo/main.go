@@ -1,0 +1,46 @@
+// Command clusterinfo prints the topology of a simulated hybrid cluster:
+// nodes, processors, SPE local stores and the effective-address layout —
+// a quick way to see the machine the other tools run on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cellpilot/internal/cellbe"
+	"cellpilot/internal/cluster"
+)
+
+func main() {
+	cellNodes := flag.Int("cells", 8, "Cell blades")
+	cellsPer := flag.Int("cells-per-node", 2, "Cell processors per blade")
+	xeons := flag.Int("xeons", 4, "conventional nodes")
+	cores := flag.Int("cores", 8, "cores per conventional node")
+	flag.Parse()
+
+	c, err := cluster.New(cluster.Spec{
+		CellNodes: *cellNodes, CellsPerNode: *cellsPer,
+		XeonNodes: *xeons, XeonCores: *cores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d nodes, %d SPEs total\n\n", len(c.Nodes), c.TotalSPEs())
+	for _, n := range c.Nodes {
+		fmt.Printf("node %d %-8s arch=%-5s cores=%d mem=%dMB\n",
+			n.ID, n.Name, n.Arch, n.Cores, n.Mem.Size()>>20)
+		for _, cell := range n.Cells {
+			fmt.Printf("  cell %d: PPE + %d SPEs (EIB %.1f GB/s)\n",
+				cell.Index, len(cell.SPEs), c.Params.EIBBytesPerSec/1e9)
+			for _, spe := range cell.SPEs {
+				fmt.Printf("    spe%-2d LS %3dKB at EA %#x\n",
+					spe.GlobalIndex, spe.LS.Size()>>10, spe.LSBase())
+			}
+		}
+	}
+	fmt.Printf("\nSPE local-store budget under each library:\n")
+	fmt.Printf("  CellPilot runtime: %d bytes resident\n", c.Params.CellPilotFootprint)
+	fmt.Printf("  DaCS runtime:      %d bytes resident\n", c.Params.DaCSFootprint)
+	fmt.Printf("  LS map: base %#x, stride %#x per SPE\n", cellbe.LSMapBase, cellbe.LSMapStride)
+}

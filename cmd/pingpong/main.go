@@ -1,0 +1,42 @@
+// Command pingpong runs a single IMB-style PingPong measurement on the
+// simulated cluster — one cell of paper Table II:
+//
+//	pingpong -type 5 -bytes 1600 -method cellpilot -reps 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cellpilot/internal/workload"
+)
+
+func main() {
+	typ := flag.Int("type", 1, "channel type 1..5 (paper Table I)")
+	bytes := flag.Int("bytes", 1, "payload size (paper: 1 or 1600)")
+	method := flag.String("method", "cellpilot", "cellpilot|dma|copy")
+	reps := flag.Int("reps", 1000, "round trips")
+	flag.Parse()
+
+	var m workload.Method
+	switch strings.ToLower(*method) {
+	case "cellpilot":
+		m = workload.MethodCellPilot
+	case "dma":
+		m = workload.MethodDMA
+	case "copy":
+		m = workload.MethodCopy
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	res, err := workload.PingPong(workload.PingPongConfig{
+		Type: *typ, Bytes: *bytes, Method: m, Reps: *reps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("type %d, %d bytes, %s, %d reps: one-way %.2f us, %.2f MB/s\n",
+		*typ, *bytes, m, *reps, res.OneWay.Micros(), res.ThroughputMBps)
+}

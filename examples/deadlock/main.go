@@ -1,0 +1,42 @@
+// Command deadlock demonstrates Pilot's integrated deadlock detection
+// (the paper's "-pisvc=d" option, which consumes one MPI process): two
+// processes that each PI_Read from the other form a circular wait, and
+// instead of a mysterious hang the run aborts with a diagnostic naming
+// the deadlocked processes and channels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellpilot"
+)
+
+func main() {
+	clu, err := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// DeadlockDetection is the -pisvc=d equivalent.
+	app := cellpilot.NewApp(clu, cellpilot.Options{DeadlockDetection: true})
+
+	var toPeer, toMain *cellpilot.Channel
+	peer := app.CreateProcessOn(1, "peer", func(ctx *cellpilot.Ctx, _ int, _ any) {
+		var v int32
+		ctx.Read(toPeer, "%d", &v) // waits for PI_MAIN to write...
+		ctx.Write(toMain, "%d", v)
+	}, 0, nil)
+	toPeer = app.CreateChannel(app.Main(), peer)
+	toMain = app.CreateChannel(peer, app.Main())
+
+	err = app.Run(func(ctx *cellpilot.Ctx) {
+		var v int32
+		ctx.Read(toMain, "%d", &v) // ...while PI_MAIN waits for peer.
+		ctx.Write(toPeer, "%d", v)
+	})
+	if err == nil {
+		log.Fatal("expected the deadlock service to abort the run")
+	}
+	fmt.Println("deadlock service reported:")
+	fmt.Println(err)
+}

@@ -1,0 +1,128 @@
+// Command farm demonstrates Pilot's bundle operations in CellPilot's
+// MPMD style on a hybrid cluster: a master broadcasts a work descriptor
+// to a farm of PPE/Xeon workers with PI_Broadcast, receives results as
+// they become ready using a select bundle (the Unix-select analogy from
+// the paper), and finally collects per-worker statistics with PI_Gather.
+// Each worker additionally offloads its inner computation to an SPE when
+// it runs on a Cell node — the "equal citizens" idea in one program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellpilot"
+)
+
+const (
+	workers   = 6
+	chunk     = 512
+	speRounds = 4
+)
+
+var (
+	bcastCh  []*cellpilot.Channel
+	resultCh []*cellpilot.Channel
+	statCh   []*cellpilot.Channel
+	speDown  []*cellpilot.Channel
+	speUp    []*cellpilot.Channel
+)
+
+// speKernel squares a vector chunk on the SPE.
+var speKernel = &cellpilot.SPEProgram{Name: "square", Body: func(ctx *cellpilot.SPECtx) {
+	id := ctx.Arg()
+	for r := 0; r < speRounds; r++ {
+		vec := make([]float64, chunk)
+		ctx.Read(speDown[id], "%*lf", chunk, vec)
+		for i, v := range vec {
+			vec[i] = v * v
+		}
+		ctx.Write(speUp[id], "%*lf", chunk, vec)
+	}
+}}
+
+func workerBody(ctx *cellpilot.Ctx, index int, arg any) {
+	var lo, hi int32
+	ctx.Read(bcastCh[index], "%d %d", &lo, &hi) // receive the broadcast
+	spe := arg.(*cellpilot.Process)
+	onCell := spe != nil
+	if onCell {
+		ctx.RunSPE(spe, index, nil)
+	}
+	sum := 0.0
+	for r := 0; r < speRounds; r++ {
+		vec := make([]float64, chunk)
+		for i := range vec {
+			vec[i] = float64(int(lo) + index + i + r)
+		}
+		if onCell {
+			ctx.Write(speDown[index], "%*lf", chunk, vec)
+			ctx.Read(speUp[index], "%*lf", chunk, vec)
+		} else {
+			for i, v := range vec {
+				vec[i] = v * v
+			}
+		}
+		for _, v := range vec {
+			sum += v
+		}
+	}
+	ctx.Write(resultCh[index], "%lf", sum)
+	ctx.Write(statCh[index], "%2d", []int32{int32(index), int32(speRounds * chunk)})
+}
+
+func main() {
+	clu, err := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 2, XeonNodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := cellpilot.NewApp(clu, cellpilot.Options{})
+	var procs []*cellpilot.Process
+	for i := 0; i < workers; i++ {
+		node := i % len(clu.Nodes)
+		procs = append(procs, app.CreateProcessOn(node, fmt.Sprintf("worker%d", i), workerBody, i, nil))
+	}
+	speDown = make([]*cellpilot.Channel, workers)
+	speUp = make([]*cellpilot.Channel, workers)
+	for i, p := range procs {
+		bcastCh = append(bcastCh, app.CreateChannel(app.Main(), p))
+		resultCh = append(resultCh, app.CreateChannel(p, app.Main()))
+		statCh = append(statCh, app.CreateChannel(p, app.Main()))
+		if i%len(clu.Nodes) < 2 { // Cell nodes host an SPE helper
+			spe := app.CreateSPE(speKernel, p, i)
+			p.SetArg(spe)
+			speDown[i] = app.CreateChannel(p, spe)
+			speUp[i] = app.CreateChannel(spe, p)
+		} else {
+			p.SetArg((*cellpilot.Process)(nil))
+		}
+	}
+	bcast := app.CreateBundle(cellpilot.BundleBroadcast, bcastCh)
+	sel := app.CreateBundle(cellpilot.BundleSelect, resultCh)
+	gather := app.CreateBundle(cellpilot.BundleGather, statCh)
+
+	err = app.Run(func(ctx *cellpilot.Ctx) {
+		// One PI_Broadcast; each worker just PI_Reads (MPMD, unlike
+		// MPI_Bcast where all 51 processes call the collective).
+		ctx.Broadcast(bcast, "%d %d", int32(0), int32(chunk))
+		// Collect results in completion order via the select bundle.
+		total := 0.0
+		for done := 0; done < workers; done++ {
+			i := ctx.Select(sel)
+			var s float64
+			ctx.Read(resultCh[i], "%lf", &s)
+			total += s
+			fmt.Printf("worker %d finished (running total %.0f)\n", i, total)
+		}
+		// Gather per-worker statistics in one call.
+		stats := make([]int32, 2*workers)
+		ctx.Gather(gather, "%2d", stats)
+		for i := 0; i < workers; i++ {
+			fmt.Printf("worker %d processed %d elements\n", stats[2*i], stats[2*i+1])
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("farm finished in %s of virtual time\n", clu.K.Now())
+}

@@ -1,0 +1,60 @@
+// Command quickstart is the paper's Figures 3–4 sample program: two Cell
+// nodes, each PPE starts one SPE process, and one SPE writes an array of
+// 100 integers to the other over a Type 5 channel — relayed through two
+// Co-Pilot processes, invisible to this code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellpilot"
+)
+
+var betweenSPEs *cellpilot.Channel
+
+// speSend is the paper's spe_send.c: the code between PI_SPE_PROCESS and
+// PI_SPE_END.
+var speSend = &cellpilot.SPEProgram{Name: "spe_send", Body: func(ctx *cellpilot.SPECtx) {
+	array := make([]int32, 100)
+	for i := range array {
+		array[i] = int32(i)
+	}
+	ctx.Write(betweenSPEs, "%100d", array)
+}}
+
+// speRecv is spe_recv.c, using the "%*d" argument-supplied length.
+var speRecv = &cellpilot.SPEProgram{Name: "spe_recv", Body: func(ctx *cellpilot.SPECtx) {
+	array := make([]int32, 100)
+	ctx.Read(betweenSPEs, "%*d", 100, array)
+	for _, v := range array {
+		fmt.Printf("%d ", v)
+	}
+	fmt.Println()
+}}
+
+func main() {
+	clu, err := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := cellpilot.NewApp(clu, cellpilot.Options{})
+
+	// Configuration phase.
+	recvPPE := app.CreateProcessOn(1, "recvFunc", func(ctx *cellpilot.Ctx, _ int, arg any) {
+		ctx.RunSPE(arg.(*cellpilot.Process), 0, nil)
+	}, 0, nil)
+	sendSPE := app.CreateSPE(speSend, app.Main(), 0)
+	recvSPE := app.CreateSPE(speRecv, recvPPE, 0)
+	recvPPE.SetArg(recvSPE)
+	betweenSPEs = app.CreateChannel(sendSPE, recvSPE)
+
+	// Execution phase.
+	if err := app.Run(func(ctx *cellpilot.Ctx) {
+		ctx.RunSPE(sendSPE, 0, nil)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transfer complete over %s in %s of virtual time\n",
+		betweenSPEs.Type(), clu.K.Now())
+}

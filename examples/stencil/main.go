@@ -1,0 +1,160 @@
+// Command stencil runs a classic HPC pattern on CellPilot: a 1-D heat
+// diffusion (3-point Jacobi stencil) partitioned across 8 SPE processes
+// of one Cell blade. Neighbouring SPEs exchange halo cells every
+// iteration over Type 4 channels (Co-Pilot memcpy, no MPI), and PI_MAIN
+// scatters the initial field and gathers the final one using the bundle
+// operations. The parallel result is checked against a sequential
+// reference computed on the PPE.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cellpilot"
+)
+
+const (
+	workers    = 8
+	cellsPerW  = 64
+	iterations = 50
+	alpha      = 0.25
+)
+
+var (
+	scatterCh []*cellpilot.Channel // PI_MAIN -> worker i: initial chunk
+	gatherCh  []*cellpilot.Channel // worker i -> PI_MAIN: final chunk
+	rightCh   []*cellpilot.Channel // worker i -> worker i+1: right boundary cell
+	leftCh    []*cellpilot.Channel // worker i -> worker i-1: left boundary cell
+)
+
+// worker is one SPE process: it owns cellsPerW interior cells plus two
+// halo cells, and exchanges boundaries with its ring neighbours each
+// iteration. The exchange order (even workers send first) avoids a
+// circular wait without needing buffering assumptions.
+var worker = &cellpilot.SPEProgram{Name: "stencil", Body: func(ctx *cellpilot.SPECtx) {
+	id := ctx.Arg()
+	u := make([]float64, cellsPerW+2) // [0] and [n+1] are halos
+	ctx.Read(scatterCh[id], "%*lf", cellsPerW, u[1:cellsPerW+1])
+
+	next := make([]float64, cellsPerW+2)
+	for it := 0; it < iterations; it++ {
+		// Halo exchange with the left and right neighbours (fixed
+		// boundary cells at the ends of the global domain).
+		sendLeft := []float64{u[1]}
+		sendRight := []float64{u[cellsPerW]}
+		recvLeft := make([]float64, 1)
+		recvRight := make([]float64, 1)
+		if id%2 == 0 {
+			if id+1 < workers {
+				ctx.Write(rightCh[id], "%lf", sendRight[0])
+				ctx.Read(leftCh[id+1], "%*lf", 1, recvRight)
+			}
+			if id > 0 {
+				ctx.Write(leftCh[id], "%lf", sendLeft[0])
+				ctx.Read(rightCh[id-1], "%*lf", 1, recvLeft)
+			}
+		} else {
+			ctx.Read(rightCh[id-1], "%*lf", 1, recvLeft)
+			ctx.Write(leftCh[id], "%lf", sendLeft[0])
+			if id+1 < workers {
+				ctx.Read(leftCh[id+1], "%*lf", 1, recvRight)
+				ctx.Write(rightCh[id], "%lf", sendRight[0])
+			}
+		}
+		if id > 0 {
+			u[0] = recvLeft[0]
+		} else {
+			u[0] = 0 // fixed cold boundary
+		}
+		if id+1 < workers {
+			u[cellsPerW+1] = recvRight[0]
+		} else {
+			u[cellsPerW+1] = 0
+		}
+		// SPU compute (SIMD on real hardware): charge a little time.
+		ctx.P.Advance(2 * cellpilot.Microsecond)
+		for i := 1; i <= cellsPerW; i++ {
+			next[i] = u[i] + alpha*(u[i-1]-2*u[i]+u[i+1])
+		}
+		u, next = next, u
+	}
+	ctx.Write(gatherCh[id], "%*lf", cellsPerW, u[1:cellsPerW+1])
+}}
+
+// reference computes the same diffusion sequentially.
+func reference(init []float64) []float64 {
+	n := len(init)
+	u := make([]float64, n+2)
+	copy(u[1:], init)
+	next := make([]float64, n+2)
+	for it := 0; it < iterations; it++ {
+		u[0], u[n+1] = 0, 0
+		for i := 1; i <= n; i++ {
+			next[i] = u[i] + alpha*(u[i-1]-2*u[i]+u[i+1])
+		}
+		u, next = next, u
+	}
+	return u[1 : n+1]
+}
+
+func main() {
+	clu, err := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := cellpilot.NewApp(clu, cellpilot.Options{SPECollectives: true})
+
+	var spes []*cellpilot.Process
+	for i := 0; i < workers; i++ {
+		spes = append(spes, app.CreateSPE(worker, app.Main(), i))
+	}
+	rightCh = make([]*cellpilot.Channel, workers)
+	leftCh = make([]*cellpilot.Channel, workers)
+	for i := 0; i < workers; i++ {
+		scatterCh = append(scatterCh, app.CreateChannel(app.Main(), spes[i]))
+		gatherCh = append(gatherCh, app.CreateChannel(spes[i], app.Main()))
+		if i+1 < workers {
+			rightCh[i] = app.CreateChannel(spes[i], spes[i+1]) // type 4
+		}
+		if i > 0 {
+			leftCh[i] = app.CreateChannel(spes[i], spes[i-1]) // type 4
+		}
+	}
+	scatter := app.CreateBundle(cellpilot.BundleScatter, scatterCh)
+	gather := app.CreateBundle(cellpilot.BundleGather, gatherCh)
+
+	n := workers * cellsPerW
+	init := make([]float64, n)
+	for i := range init {
+		init[i] = math.Sin(float64(i) / float64(n) * math.Pi * 3)
+	}
+
+	final := make([]float64, n)
+	err = app.Run(func(ctx *cellpilot.Ctx) {
+		for i, s := range spes {
+			ctx.RunSPE(s, i, nil)
+		}
+		ctx.Scatter(scatter, fmt.Sprintf("%%%dlf", cellsPerW), init)
+		ctx.Gather(gather, fmt.Sprintf("%%%dlf", cellsPerW), final)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := reference(init)
+	var maxErr float64
+	for i := range want {
+		if d := math.Abs(final[i] - want[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("stencil: %d cells, %d iterations on %d SPEs\n", n, iterations, workers)
+	fmt.Printf("max deviation from sequential reference: %g\n", maxErr)
+	fmt.Printf("virtual time: %s\n", clu.K.Now())
+	if maxErr > 1e-12 {
+		log.Fatal("parallel result diverged from the reference")
+	}
+	fmt.Println("OK")
+}

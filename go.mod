@@ -1,0 +1,3 @@
+module cellpilot
+
+go 1.22

@@ -1,0 +1,47 @@
+package cellbe
+
+import "cellpilot/internal/sim"
+
+// Mailbox models one direction of an SPE's 32-bit mailbox channel. The real
+// hardware provides a 4-entry inbound mailbox (PPE→SPE), a 1-entry outbound
+// mailbox (SPE→PPE) and a 1-entry interrupting outbound mailbox; writes to a
+// full mailbox and reads from an empty one stall.
+type Mailbox struct {
+	name string
+	q    *sim.Queue[uint32]
+	par  *Params
+}
+
+// NewMailbox creates a mailbox with the given entry capacity.
+func NewMailbox(k *sim.Kernel, name string, capacity int, par *Params) *Mailbox {
+	return &Mailbox{name: name, q: sim.NewQueue[uint32](k, name, capacity), par: par}
+}
+
+// Write pushes one entry, stalling p while the mailbox is full.
+func (m *Mailbox) Write(p *sim.Proc, v uint32) {
+	p.Advance(m.par.MailboxWrite)
+	m.q.Put(p, v)
+}
+
+// Read pops one entry, stalling p while the mailbox is empty.
+func (m *Mailbox) Read(p *sim.Proc) uint32 {
+	p.Advance(m.par.MailboxRead)
+	return m.q.Get(p)
+}
+
+// TryRead pops without stalling; ok reports whether an entry was present.
+// The read-status check itself costs a mailbox read (the Co-Pilot's polling
+// cost comes from here).
+func (m *Mailbox) TryRead(p *sim.Proc) (v uint32, ok bool) {
+	p.Advance(m.par.MailboxRead)
+	return m.q.TryGet()
+}
+
+// TryWrite pushes without stalling; ok reports whether space existed.
+func (m *Mailbox) TryWrite(p *sim.Proc, v uint32) bool {
+	p.Advance(m.par.MailboxWrite)
+	return m.q.TryPut(v)
+}
+
+// Count reports the entries currently queued (spe_out_mbox_status).
+func (m *Mailbox) Count() int { return m.q.Len() }

@@ -1,0 +1,46 @@
+package cellbe
+
+import "fmt"
+
+// Memory is a node's main memory: a flat byte array with a bump allocator.
+// Addresses handed out are effective addresses within the node's EA space
+// (main memory occupies [0, len)).
+type Memory struct {
+	data []byte
+	brk  int64
+}
+
+// NewMemory allocates a main memory of the given size.
+func NewMemory(size int) *Memory {
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size reports total capacity in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Alloc reserves n bytes aligned to align and returns the base address.
+func (m *Memory) Alloc(n, align int) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("cellbe: negative allocation %d", n)
+	}
+	if align <= 0 {
+		align = 1
+	}
+	base := int64(Align(int(m.brk), align))
+	if base+int64(n) > int64(len(m.data)) {
+		return 0, fmt.Errorf("cellbe: main memory exhausted (want %d bytes at %#x of %d)", n, base, len(m.data))
+	}
+	m.brk = base + int64(n)
+	return base, nil
+}
+
+// Window returns a mutable view of [addr, addr+n).
+func (m *Memory) Window(addr int64, n int) ([]byte, error) {
+	if addr < 0 || n < 0 || addr+int64(n) > int64(len(m.data)) {
+		return nil, fmt.Errorf("cellbe: main memory access [%#x,+%d) out of range", addr, n)
+	}
+	return m.data[addr : addr+int64(n) : addr+int64(n)], nil
+}
+
+// InUse reports the high-water mark of the allocator.
+func (m *Memory) InUse() int64 { return m.brk }

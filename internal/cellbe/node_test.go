@@ -1,0 +1,233 @@
+package cellbe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func newTestNode(k *sim.Kernel) *Node {
+	return NewCellNode(k, 0, "cell0", 2, DefaultParams(), 1<<20)
+}
+
+func TestNodeTopology(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := newTestNode(k)
+	if len(n.Cells) != 2 || len(n.SPEs()) != 16 {
+		t.Fatalf("cells=%d spes=%d, want 2/16", len(n.Cells), len(n.SPEs()))
+	}
+	spe, err := n.SPE(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spe.Cell.Index != 1 || spe.Index != 3 {
+		t.Fatalf("SPE(11) = cell %d spe %d", spe.Cell.Index, spe.Index)
+	}
+	if _, err := n.SPE(16); err == nil {
+		t.Fatal("SPE(16) on 2-cell blade should not exist")
+	}
+	x := NewX86Node(1, "xeon0", 8, DefaultParams(), 1<<20)
+	if x.Arch != ArchX86 || len(x.SPEs()) != 0 || x.Cores != 8 {
+		t.Fatalf("xeon node wrong: %+v", x)
+	}
+	if x.Arch.BigEndian() || !n.Arch.BigEndian() {
+		t.Fatal("endianness mapping wrong")
+	}
+}
+
+func TestEAWindowMainMemory(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := newTestNode(k)
+	addr, err := n.Mem.Alloc(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := n.EAWindow(addr, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(w, []byte("hello"))
+	w2, _ := n.Mem.Window(addr, 5)
+	if string(w2) != "hello" {
+		t.Fatal("EA window does not alias main memory")
+	}
+}
+
+func TestEAWindowMapsLocalStore(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := newTestNode(k)
+	spe, _ := n.SPE(9)
+	lsAddr, err := spe.LS.Alloc("buf", 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := spe.LSBase() + int64(lsAddr)
+	if !IsLSMapped(ea) {
+		t.Fatal("LS EA not recognized as mapped")
+	}
+	w, err := n.EAWindow(ea, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(w, []byte("through the EA window"))
+	direct, _ := spe.LS.Window(lsAddr, 21)
+	if string(direct) != "through the EA window" {
+		t.Fatal("EA window does not alias the local store")
+	}
+	// Out-of-range LS access through EA must fail.
+	if _, err := n.EAWindow(spe.LSBase()+int64(spe.LS.Size())-8, 64); err == nil {
+		t.Fatal("EA overrun of local store succeeded")
+	}
+	if _, err := n.EAWindow(LSMapBase+99*LSMapStride, 4); err == nil {
+		t.Fatal("EA of nonexistent SPE succeeded")
+	}
+}
+
+func TestMailboxBlocking(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := newTestNode(k)
+	spe, _ := n.SPE(0)
+	var got []uint32
+	k.Spawn("spe", func(p *sim.Proc) {
+		// Outbound mailbox has 1 entry: second write stalls until drained.
+		spe.OutMbox.Write(p, 100)
+		spe.OutMbox.Write(p, 200)
+	})
+	k.Spawn("ppe", func(p *sim.Proc) {
+		p.Advance(50 * sim.Microsecond)
+		got = append(got, spe.OutMbox.Read(p))
+		got = append(got, spe.OutMbox.Read(p))
+		if v, ok := spe.OutMbox.TryRead(p); ok {
+			p.Fatalf("unexpected extra entry %d", v)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMFCTransfersAndAlignment(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := newTestNode(k)
+	spe, _ := n.SPE(3)
+	mainAddr, _ := n.Mem.Alloc(4096, 128)
+	var errs []string
+	k.Spawn("spe", func(p *sim.Proc) {
+		lsAddr, err := spe.LS.Alloc("buf", 1600, 128)
+		if err != nil {
+			p.Fatalf("%v", err)
+		}
+		w, _ := spe.LS.Window(lsAddr, 1600)
+		for i := range w {
+			w[i] = byte(i * 7)
+		}
+		if err := spe.MFC.Put(p, lsAddr, mainAddr, 1600, 5); err != nil {
+			p.Fatalf("put: %v", err)
+		}
+		spe.MFC.TagWait(p, 1<<5)
+		mw, _ := n.Mem.Window(mainAddr, 1600)
+		if !bytes.Equal(mw, w) {
+			p.Fatalf("DMA put corrupted data")
+		}
+		// Round-trip back into a second LS buffer.
+		ls2, _ := spe.LS.Alloc("buf2", 1600, 128)
+		if err := spe.MFC.Get(p, ls2, mainAddr, 1600, 6); err != nil {
+			p.Fatalf("get: %v", err)
+		}
+		spe.MFC.TagWait(p, 1<<6)
+		w2, _ := spe.LS.Window(ls2, 1600)
+		if !bytes.Equal(w2, w) {
+			p.Fatalf("DMA get corrupted data")
+		}
+
+		// Alignment violations.
+		if err := spe.MFC.Put(p, lsAddr+1, mainAddr, 32, 0); err == nil {
+			errs = append(errs, "unaligned ls accepted")
+		}
+		if err := spe.MFC.Put(p, lsAddr, mainAddr+4, 32, 0); err == nil {
+			errs = append(errs, "unaligned ea accepted")
+		}
+		if err := spe.MFC.Put(p, lsAddr, mainAddr, 24, 0); err == nil {
+			errs = append(errs, "size 24 accepted")
+		}
+		if err := spe.MFC.Put(p, lsAddr, mainAddr, MaxDMASize+16, 0); err == nil {
+			errs = append(errs, "oversize accepted")
+		}
+		if err := spe.MFC.Put(p, lsAddr+2, mainAddr+2, 2, 1); err != nil {
+			errs = append(errs, "naturally aligned 2-byte rejected: "+err.Error())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) > 0 {
+		t.Fatal(strings.Join(errs, "; "))
+	}
+}
+
+func TestMFCTimingChargesSetup(t *testing.T) {
+	k := sim.NewKernel(1)
+	par := DefaultParams()
+	n := NewCellNode(k, 0, "cell0", 1, par, 1<<20)
+	spe, _ := n.SPE(0)
+	mainAddr, _ := n.Mem.Alloc(4096, 128)
+	var elapsed sim.Time
+	k.Spawn("spe", func(p *sim.Proc) {
+		lsAddr, _ := spe.LS.Alloc("buf", 1600, 128)
+		start := p.Now()
+		if err := spe.MFC.Put(p, lsAddr, mainAddr, 1600, 0); err != nil {
+			p.Fatalf("%v", err)
+		}
+		spe.MFC.TagWait(p, 1)
+		elapsed = p.Now() - start
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < par.DMASetup {
+		t.Fatalf("DMA elapsed %s < setup %s", elapsed, par.DMASetup)
+	}
+	// 1600 B over the EIB is nearly free: well under 1us of bandwidth time.
+	if elapsed > par.DMASetup+2*sim.Microsecond {
+		t.Fatalf("DMA of 1600B took %s, expected ~setup cost", elapsed)
+	}
+}
+
+func TestParamsCostHelpers(t *testing.T) {
+	p := DefaultParams()
+	if p.PackTime(0) != 0 {
+		t.Fatal("PackTime(0) != 0")
+	}
+	if p.PackTime(1<<20) <= 0 {
+		t.Fatal("PackTime not increasing")
+	}
+	if p.MemcpyTime(0) != p.MemcpyLatency {
+		t.Fatal("MemcpyTime(0) != latency")
+	}
+	if p.MemcpyTime(1600) <= p.MemcpyLatency {
+		t.Fatal("MemcpyTime missing per-byte cost")
+	}
+}
+
+func TestMemoryAllocator(t *testing.T) {
+	m := NewMemory(1024)
+	a, err := m.Alloc(100, 128)
+	if err != nil || a != 0 {
+		t.Fatalf("a=%d err=%v", a, err)
+	}
+	b, err := m.Alloc(100, 128)
+	if err != nil || b != 128 {
+		t.Fatalf("b=%d err=%v", b, err)
+	}
+	if _, err := m.Alloc(2048, 1); err == nil {
+		t.Fatal("overflow alloc succeeded")
+	}
+	if _, err := m.Window(1000, 100); err == nil {
+		t.Fatal("out-of-range window succeeded")
+	}
+}

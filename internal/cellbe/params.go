@@ -1,0 +1,153 @@
+package cellbe
+
+import "cellpilot/internal/sim"
+
+// Params is the single calibrated timing/size table for the whole machine
+// model. Defaults are fitted to paper Table II (see DESIGN.md §5 and
+// EXPERIMENTS.md): the decomposition of each channel type into these
+// primitives reproduces the paper's latency shape.
+type Params struct {
+	// --- Interconnect (gigabit Ethernet between nodes) ---
+
+	// NetLatency is the one-way propagation + protocol-stack delay between
+	// two nodes, excluding serialization.
+	NetLatency sim.Time
+	// NetBytesPerSec is the effective internode bandwidth seen by the slow
+	// PPE TCP stack (well under raw GigE; fitted to Table II type 1).
+	NetBytesPerSec float64
+	// LinkStartup is per-message occupancy of the NIC before bytes flow.
+	LinkStartup sim.Time
+
+	// --- MPI software ---
+
+	// MPISendOverhead is per-call software cost on the sending rank.
+	MPISendOverhead sim.Time
+	// MPIRecvOverhead is per-call software cost on the receiving rank.
+	MPIRecvOverhead sim.Time
+	// LocalMPILatency is the one-way latency of the intra-node (shared
+	// memory) MPI path, excluding per-byte copying.
+	LocalMPILatency sim.Time
+	// LocalMPIBytesPerSec is the intra-node MPI copy bandwidth.
+	LocalMPIBytesPerSec float64
+	// EagerThreshold is the message size (bytes) above which sends use the
+	// rendezvous protocol (sender waits for the matching receive).
+	EagerThreshold int
+
+	// --- Cell hardware ---
+
+	// MailboxWrite is the cost of writing one 32-bit mailbox entry
+	// (SPU channel write or PPE MMIO write).
+	MailboxWrite sim.Time
+	// MailboxRead is the cost of reading one mailbox entry.
+	MailboxRead sim.Time
+	// DMASetup is the MFC command issue + completion overhead per DMA.
+	DMASetup sim.Time
+	// EIBStartup is per-transfer EIB arbitration time.
+	EIBStartup sim.Time
+	// EIBBytesPerSec is EIB bandwidth (fast: 1600 B is nearly free).
+	EIBBytesPerSec float64
+	// MemcpyLatency is the fixed overhead of a PPE memcpy through the
+	// memory-mapped local-store window (slow uncached access setup).
+	MemcpyLatency sim.Time
+	// MemcpyBytesPerSec is the PPE mapped-LS copy bandwidth.
+	MemcpyBytesPerSec float64
+
+	// --- Pilot / CellPilot software ---
+
+	// PilotOverhead is per PI_Read/PI_Write bookkeeping (table lookup,
+	// argument checking) on PPE/x86 processes.
+	PilotOverhead sim.Time
+	// SPEStubOverhead is the same bookkeeping in the SPE-side stub.
+	SPEStubOverhead sim.Time
+	// PackBytesPerSec is format-string pack/unpack bandwidth.
+	PackBytesPerSec float64
+	// CoPilotPoll is the Co-Pilot's SPE-mailbox polling interval.
+	CoPilotPoll sim.Time
+	// CoPilotDispatch is Co-Pilot per-request processing cost.
+	CoPilotDispatch sim.Time
+	// SPELaunch is the cost of PI_RunSPE: context creation, program load
+	// into the local store, and thread spawn on the PPE.
+	SPELaunch sim.Time
+
+	// --- SPE local-store budget (bytes) ---
+
+	// LSSize is the SPE local-store size.
+	LSSize int
+	// CellPilotFootprint is the LS bytes consumed by the CellPilot SPE
+	// runtime (paper: `size cellpilot.o` = 10336).
+	CellPilotFootprint int
+	// DaCSFootprint is the LS bytes libdacs.a consumes (paper: 36600).
+	DaCSFootprint int
+	// DefaultCodeSize is the assumed application code+data segment of an
+	// SPE program when the program does not declare one.
+	DefaultCodeSize int
+	// StackReserve is LS reserved for the SPE runtime stack.
+	StackReserve int
+}
+
+// DefaultParams returns the calibration fitted to paper Table II.
+func DefaultParams() *Params {
+	return &Params{
+		NetLatency:     92 * sim.Microsecond,
+		NetBytesPerSec: 26e6,
+		LinkStartup:    2 * sim.Microsecond,
+
+		MPISendOverhead:     4 * sim.Microsecond,
+		MPIRecvOverhead:     4 * sim.Microsecond,
+		LocalMPILatency:     8 * sim.Microsecond,
+		LocalMPIBytesPerSec: 115e6,
+		EagerThreshold:      4096,
+
+		MailboxWrite:      3 * sim.Microsecond,
+		MailboxRead:       500 * sim.Nanosecond,
+		DMASetup:          14 * sim.Microsecond,
+		EIBStartup:        100 * sim.Nanosecond,
+		EIBBytesPerSec:    25.6e9,
+		MemcpyLatency:     13 * sim.Microsecond,
+		MemcpyBytesPerSec: 110e6,
+
+		PilotOverhead:   3 * sim.Microsecond,
+		SPEStubOverhead: 4 * sim.Microsecond,
+		PackBytesPerSec: 1e9,
+		CoPilotPoll:     14 * sim.Microsecond,
+		CoPilotDispatch: 30 * sim.Microsecond,
+		SPELaunch:       60 * sim.Microsecond,
+
+		LSSize:             256 * 1024,
+		CellPilotFootprint: 10336,
+		DaCSFootprint:      36600,
+		DefaultCodeSize:    24 * 1024,
+		StackReserve:       4 * 1024,
+	}
+}
+
+// PackTime reports the cost of packing or unpacking n payload bytes
+// through the format-string engine.
+func (p *Params) PackTime(n int) sim.Time {
+	if p.PackBytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return sim.Time(float64(n) / p.PackBytesPerSec * float64(sim.Second))
+}
+
+// ShmCopyTime reports the cost of an ordinary cache-coherent main-memory
+// copy between two processes on one node (the "fast shared-memory copy"
+// of the paper's Section V analysis) — much cheaper than a copy through
+// the uncached local-store mapping.
+func (p *Params) ShmCopyTime(n int) sim.Time {
+	d := sim.Microsecond
+	if p.LocalMPIBytesPerSec > 0 && n > 0 {
+		d += sim.Time(float64(n) / p.LocalMPIBytesPerSec * float64(sim.Second))
+	}
+	return d
+}
+
+// MemcpyTime reports the cost of a PPE copy of n bytes through the mapped
+// local-store window.
+func (p *Params) MemcpyTime(n int) sim.Time {
+	d := p.MemcpyLatency
+	if p.MemcpyBytesPerSec > 0 && n > 0 {
+		d += sim.Time(float64(n) / p.MemcpyBytesPerSec * float64(sim.Second))
+	}
+	return d
+}

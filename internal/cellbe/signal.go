@@ -1,0 +1,89 @@
+package cellbe
+
+import (
+	"fmt"
+
+	"cellpilot/internal/sim"
+)
+
+// SignalMode selects a signal-notification register's accumulation
+// behaviour.
+type SignalMode int
+
+// Signal modes (SPU_SignalNotify configuration).
+const (
+	// SignalOverwrite replaces the register value on each write.
+	SignalOverwrite SignalMode = iota
+	// SignalOR accumulates writes bitwise, letting many senders each own
+	// a bit — the pattern BlockLib-style libraries use for barriers.
+	SignalOR
+)
+
+// Signal models one of an SPE's two signal-notification registers
+// (SNR1/SNR2): a 32-bit register written by other processors through the
+// problem-state mapping and read-and-cleared by the SPU, which stalls
+// while the register is zero.
+type Signal struct {
+	name   string
+	mode   SignalMode
+	par    *Params
+	k      *sim.Kernel
+	value  uint32
+	nonneg bool
+	waiter *sim.Proc
+}
+
+// NewSignal creates a signal register.
+func NewSignal(k *sim.Kernel, name string, mode SignalMode, par *Params) *Signal {
+	return &Signal{name: name, mode: mode, par: par, k: k}
+}
+
+// Mode reports the configured accumulation mode.
+func (s *Signal) Mode() SignalMode { return s.mode }
+
+// Pending reports the current register value without consuming it.
+func (s *Signal) Pending() uint32 { return s.value }
+
+// Write delivers v to the register (spe_signal_write / an MMIO store
+// through the EA mapping). In OR mode bits accumulate; in overwrite mode
+// the value is replaced. A waiting SPU is released if the register
+// becomes non-zero.
+func (s *Signal) Write(p *sim.Proc, v uint32) {
+	p.Advance(s.par.MailboxWrite) // same MMIO cost class as a mailbox store
+	if s.mode == SignalOR {
+		s.value |= v
+	} else {
+		s.value = v
+	}
+	if s.value != 0 && s.waiter != nil {
+		s.k.ReadyIfParked(s.waiter)
+	}
+}
+
+// Read blocks the SPU until the register is non-zero, then returns and
+// clears it (spu_read_signal1/2).
+func (s *Signal) Read(p *sim.Proc) uint32 {
+	p.Advance(s.par.MailboxRead)
+	for s.value == 0 {
+		if s.waiter != nil && s.waiter != p {
+			p.Fatalf("cellbe: two readers on signal %s", s.name)
+		}
+		s.waiter = p
+		p.Park(fmt.Sprintf("read signal %s", s.name))
+	}
+	s.waiter = nil
+	v := s.value
+	s.value = 0
+	return v
+}
+
+// TryRead returns and clears the register if non-zero, without stalling.
+func (s *Signal) TryRead(p *sim.Proc) (uint32, bool) {
+	p.Advance(s.par.MailboxRead)
+	if s.value == 0 {
+		return 0, false
+	}
+	v := s.value
+	s.value = 0
+	return v, true
+}

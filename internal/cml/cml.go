@@ -1,0 +1,151 @@
+// Package cml is a working model of the Cell Messaging Layer (the
+// paper's reference [10], Pakin's receiver-initiated message passing):
+// a small MPI subset where ranks live on the SPEs — not the PPEs, which
+// are reserved for the library as per-node routers carrying out
+// inter-Cell communication over conventional MPI.
+//
+// The paper rejects CML as a substrate because of its "limited
+// implementation": ranks cannot live on PPEs or non-Cell nodes, there
+// are no tags or wildcards, and only Send/Recv plus hierarchical Bcast,
+// Reduce and Allreduce exist. Those limits are reproduced here, which is
+// what makes the comparison meaningful: CML's special-purpose path is
+// faster than CellPilot's general type-5 channel (see the experiments),
+// and CellPilot's contribution is generality, not raw speed.
+package cml
+
+import (
+	"fmt"
+
+	"cellpilot/internal/cellbe"
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/mpi"
+	"cellpilot/internal/sdk"
+	"cellpilot/internal/sim"
+)
+
+// RuntimeFootprint is the SPE local-store cost of the CML runtime. CML
+// is famously tiny compared to full MPI stacks; the model charges 8 KB.
+const RuntimeFootprint = 8 * 1024
+
+// MaxMessage bounds a single CML message (one staging buffer).
+const MaxMessage = 16 * 1024
+
+// World is a CML job: one rank per participating SPE, a router process
+// per Cell node.
+type World struct {
+	clu     *cluster.Cluster
+	par     *cellbe.Params
+	mpiw    *mpi.World
+	ranks   []*rankState
+	routers []*router
+	body    func(ctx *Ctx)
+	errs    []error
+}
+
+type rankState struct {
+	id      int
+	node    int
+	spe     *cellbe.SPE
+	sctx    *sdk.Context
+	staging int64 // per-rank main-memory staging buffer EA
+}
+
+// Ctx is a rank's handle inside the job body.
+type Ctx struct {
+	w  *World
+	rs *rankState
+	P  *sim.Proc
+}
+
+// NewWorld builds a CML job over every Cell node, ranksPerNode SPE ranks
+// on each. Non-Cell nodes cannot host ranks (the limitation the paper
+// cites).
+func NewWorld(clu *cluster.Cluster, ranksPerNode int) (*World, error) {
+	cells := clu.CellNodesList()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("cml: no Cell nodes")
+	}
+	w := &World{clu: clu, par: clu.Params}
+	placements := make([]mpi.Placement, 0, len(cells))
+	for _, n := range cells {
+		if ranksPerNode > len(n.SPEs()) {
+			return nil, fmt.Errorf("cml: %d ranks per node exceeds %d SPEs", ranksPerNode, len(n.SPEs()))
+		}
+		placements = append(placements, mpi.Placement{Node: n.ID, Label: fmt.Sprintf("cml-router@%s", n.Name)})
+	}
+	mw, err := mpi.NewWorld(clu, placements)
+	if err != nil {
+		return nil, err
+	}
+	w.mpiw = mw
+	for ni, n := range cells {
+		rt := newRouter(w, ni, n, mw.Rank(ni))
+		w.routers = append(w.routers, rt)
+		for s := 0; s < ranksPerNode; s++ {
+			spe, err := n.SPE(s)
+			if err != nil {
+				return nil, err
+			}
+			staging, err := n.Mem.Alloc(MaxMessage, 128)
+			if err != nil {
+				return nil, err
+			}
+			rs := &rankState{id: len(w.ranks), node: ni, spe: spe, staging: staging}
+			w.ranks = append(w.ranks, rs)
+			rt.local = append(rt.local, rs)
+		}
+	}
+	return w, nil
+}
+
+// Size reports the rank count.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Run loads the CML runtime plus body onto every rank's SPE and drives
+// the job to completion.
+func (w *World) Run(body func(ctx *Ctx)) error {
+	w.body = body
+	k := w.clu.K
+	for _, rt := range w.routers {
+		rt := rt
+		k.Spawn(rt.rank.Label(), rt.loop)
+	}
+	live := len(w.ranks)
+	for _, rs := range w.ranks {
+		rs := rs
+		sctx, err := sdk.ContextCreate(k, rs.spe)
+		if err != nil {
+			return err
+		}
+		prog := &sdk.Program{Name: fmt.Sprintf("cml-rank%d", rs.id), Main: func(c *sdk.Context, _ int, _ any) {
+			body(&Ctx{w: w, rs: rs, P: c.Proc})
+			live--
+			if live == 0 {
+				for _, rt := range w.routers {
+					rt.shutdown = true
+					rt.nudge()
+				}
+			}
+		}}
+		if err := sctx.Load(prog, RuntimeFootprint); err != nil {
+			return err
+		}
+		rs.sctx = sctx
+		if err := sctx.Run(rs.id, nil); err != nil {
+			return err
+		}
+	}
+	if err := k.Run(); err != nil {
+		return err
+	}
+	if len(w.errs) > 0 {
+		return w.errs[0]
+	}
+	return nil
+}
+
+// Rank reports the calling rank's id.
+func (c *Ctx) Rank() int { return c.rs.id }
+
+// Size reports the job's rank count.
+func (c *Ctx) Size() int { return c.w.Size() }

@@ -1,0 +1,75 @@
+package core
+
+import "cellpilot/internal/sim"
+
+// This file rounds out the Pilot API surface beyond the calls the paper's
+// examples use: entity naming (PI_SetName/PI_GetName), bulk channel
+// construction (PI_CopyChannels' use case), virtual-time measurement
+// (PI_StartTime/PI_EndTime) and user-initiated aborts (PI_Abort).
+
+// SetName labels the channel for diagnostics (PI_SetName).
+func (c *Channel) SetName(name string) { c.name = name }
+
+// Name reports the channel's label (PI_GetName), or its default
+// description when unnamed.
+func (c *Channel) Name() string {
+	if c.name != "" {
+		return c.name
+	}
+	return c.String()
+}
+
+// SetName labels the bundle for diagnostics (PI_SetName).
+func (b *Bundle) SetName(name string) { b.name = name }
+
+// Name reports the bundle's label (PI_GetName).
+func (b *Bundle) Name() string {
+	if b.name != "" {
+		return b.name
+	}
+	return b.kind.String()
+}
+
+// CreateChannels builds one channel from `from` to each process in `tos`,
+// in order — the fan-out pattern PI_CopyChannels serves in Pilot
+// programs (one call instead of a loop, ready for PI_CreateBundle).
+func (a *App) CreateChannels(from *Process, tos []*Process) []*Channel {
+	a.configOnly("PI_CreateChannel")
+	out := make([]*Channel, len(tos))
+	for i, to := range tos {
+		out[i] = a.CreateChannel(from, to)
+	}
+	return out
+}
+
+// CreateChannelsTo builds one channel from each process in `froms` to
+// `to` — the fan-in counterpart.
+func (a *App) CreateChannelsTo(froms []*Process, to *Process) []*Channel {
+	a.configOnly("PI_CreateChannel")
+	out := make([]*Channel, len(froms))
+	for i, from := range froms {
+		out[i] = a.CreateChannel(from, to)
+	}
+	return out
+}
+
+// Now reports the current virtual time (the quantity PI_StartTime
+// samples).
+func (c *Ctx) Now() sim.Time { return c.P.Now() }
+
+// Elapsed reports virtual time since a Now() sample (PI_EndTime usage).
+func (c *Ctx) Elapsed(since sim.Time) sim.Time { return c.P.Now() - since }
+
+// Abort terminates the whole application with a diagnostic carrying this
+// call's file:line (PI_Abort). It does not return.
+func (c *Ctx) Abort(format string, args ...any) {
+	c.fail(callerLoc(1), "PI_Abort", format, args...)
+}
+
+// Now reports the current virtual time on the SPE.
+func (c *SPECtx) Now() sim.Time { return c.P.Now() }
+
+// Abort terminates the whole application from an SPE process (PI_Abort).
+func (c *SPECtx) Abort(format string, args ...any) {
+	c.fail(callerLoc(1), "PI_Abort", format, args...)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func TestNamesAndBulkChannels(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var ws []*Process
+	for i := 0; i < 3; i++ {
+		ws = append(ws, a.CreateProcessOn(i, "w", func(*Ctx, int, any) {}, i, nil))
+	}
+	out := a.CreateChannels(a.Main(), ws)
+	in := a.CreateChannelsTo(ws, a.Main())
+	if len(out) != 3 || len(in) != 3 {
+		t.Fatal("bulk construction counts wrong")
+	}
+	for i := range out {
+		if out[i].From != a.Main() || out[i].To != ws[i] {
+			t.Fatalf("out[%d] endpoints wrong", i)
+		}
+		if in[i].From != ws[i] || in[i].To != a.Main() {
+			t.Fatalf("in[%d] endpoints wrong", i)
+		}
+	}
+	out[0].SetName("work-feed")
+	if out[0].Name() != "work-feed" {
+		t.Fatal("channel name not set")
+	}
+	if !strings.Contains(out[1].Name(), "channel 1") {
+		t.Fatalf("default channel name = %q", out[1].Name())
+	}
+	b := a.CreateBundle(BundleBroadcast, out)
+	b.SetName("the-farm")
+	if b.Name() != "the-farm" {
+		t.Fatal("bundle name not set")
+	}
+}
+
+func TestVirtualTimers(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	err := a.Run(func(ctx *Ctx) {
+		start := ctx.Now()
+		ctx.P.Advance(123 * sim.Microsecond)
+		if d := ctx.Elapsed(start); d != 123*sim.Microsecond {
+			ctx.P.Fatalf("elapsed = %s", d)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserAbort(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	err := a.Run(func(ctx *Ctx) {
+		ctx.Abort("input file %q is garbage", "x.dat")
+	})
+	if err == nil || !strings.Contains(err.Error(), `input file "x.dat" is garbage`) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "PI_Abort") || !strings.Contains(err.Error(), "api_extra_test.go:") {
+		t.Fatalf("diagnostic incomplete: %v", err)
+	}
+}
+
+func TestSPEAbort(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	prog := &SPEProgram{Name: "angry", Body: func(ctx *SPECtx) {
+		if ctx.Now() >= 0 {
+			ctx.Abort("spe gives up")
+		}
+	}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "spe gives up") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"cellpilot/internal/mpi"
+	"cellpilot/internal/sdk"
+	"cellpilot/internal/sim"
+)
+
+// copilot is the Co-Pilot: the second MPI process CellPilot creates on
+// each Cell node (paper Section IV.B). It services the four SPE-connected
+// channel types: SPE stubs post read/write requests through their
+// mailboxes; the Co-Pilot translates the request's local-store address
+// into a main-memory effective address and then moves the payload with
+// MPI (types 2, 3, 5) or a plain memcpy (type 4), signalling completion
+// back through the SPE's inbound mailbox. It is a separate process, not a
+// thread, so it works under MPI_THREAD_SINGLE — the constraint the paper
+// calls out explicitly.
+type copilot struct {
+	app    *App
+	key    copilotKey
+	nodeID int
+	rank   *mpi.Rank
+	q      *sim.Queue[struct{}]
+
+	bindings   []speBinding
+	pendWrites []*speReq
+	pendReads  []*speReq
+	stats      CoPilotStats
+}
+
+type speBinding struct {
+	proc *Process
+	sctx *sdk.Context
+}
+
+const (
+	speStatusOK uint32 = 0
+)
+
+func newCopilot(a *App, key copilotKey, rank *mpi.Rank) *copilot {
+	cp := &copilot{
+		app:    a,
+		key:    key,
+		nodeID: key.node,
+		rank:   rank,
+		q:      sim.NewQueue[struct{}](a.K, rank.Label()+"/events", 1<<14),
+	}
+	// Message arrivals for this rank nudge the event loop, so the Co-Pilot
+	// never busy-waits yet still models polling latency (see loop).
+	rank.OnArrival(func() { cp.q.TryPut(struct{}{}) })
+	return cp
+}
+
+// nudge wakes the event loop; safe from any context.
+func (cp *copilot) nudge() { cp.q.TryPut(struct{}{}) }
+
+// register adds a newly launched SPE process to the polling set. Called by
+// RunSPE before the SPE can issue its first request.
+func (cp *copilot) register(sp *Process, sctx *sdk.Context) {
+	cp.bindings = append(cp.bindings, speBinding{proc: sp, sctx: sctx})
+	cp.nudge()
+}
+
+// loop is the Co-Pilot service loop. It blocks on the event queue; each
+// wakeup is quantized to the next mailbox polling tick (modelling the
+// paper's polling design and its latency contribution), then processes
+// requests to a fixpoint.
+func (cp *copilot) loop(p *sim.Proc) {
+	for {
+		if cp.app.allDone.Fired() {
+			return
+		}
+		cp.q.Get(p)
+		if cp.app.allDone.Fired() {
+			return
+		}
+		for {
+			if poll := cp.app.par.CoPilotPoll; poll > 0 {
+				tick := (p.Now() + poll - 1) / poll * poll
+				p.AdvanceTo(tick)
+			}
+			if !cp.step(p) {
+				break
+			}
+		}
+	}
+}
+
+// step performs at most one unit of Co-Pilot work — decoding one new
+// mailbox request (progressing it immediately when possible) or
+// progressing one pending request — and reports whether anything
+// advanced. One unit per polling tick models the serial service loop the
+// paper describes ("Co-Pilot polls for requests until the second SPE's
+// request arrives") and is what makes SPE↔SPE channels pay two full
+// Co-Pilot legs, as Table II shows.
+func (cp *copilot) step(p *sim.Proc) bool {
+	// First progress pending requests, oldest first (deterministic).
+	for i, req := range cp.pendWrites {
+		if cp.tryWrite(p, req) {
+			cp.pendWrites = append(cp.pendWrites[:i], cp.pendWrites[i+1:]...)
+			return true
+		}
+	}
+	for i, req := range cp.pendReads {
+		if cp.tryRead(p, req) {
+			cp.pendReads = append(cp.pendReads[:i], cp.pendReads[i+1:]...)
+			return true
+		}
+	}
+	// Then decode one new request from the SPE mailboxes.
+	for _, b := range cp.bindings {
+		w0, ok := b.sctx.TryReadOutMbox(p)
+		if !ok {
+			continue
+		}
+		op, chanID := parseWord0(w0)
+		lsAddr := b.sctx.ReadOutMbox(p)
+		size := b.sctx.ReadOutMbox(p)
+		sig := b.sctx.ReadOutMbox(p)
+		if chanID < 0 || chanID >= len(cp.app.chans) {
+			p.Fatalf("%v", usageError("runtime", "co-pilot", "SPE %s requested unknown channel %d", b.proc, chanID))
+		}
+		req := &speReq{
+			op: op, ch: cp.app.chans[chanID],
+			spe: b.sctx.SPE, proc: b.proc,
+			lsAddr: lsAddr, size: int(size), sig: sig,
+		}
+		p.Advance(cp.app.par.CoPilotDispatch)
+		if op == opWrite {
+			cp.stats.WriteReqs++
+		} else {
+			cp.stats.ReadReqs++
+		}
+		// Under the per-Cell ablation, a type-4 channel whose endpoints
+		// live under different Co-Pilots is owned by the writer's: forward
+		// the reader's request there (any PPE can signal any local SPE's
+		// mailbox, so the owner can still notify the reader directly).
+		if op == opRead && req.ch.typ == Type4 {
+			if owner := cp.app.copilotFor(req.ch.From); owner != cp {
+				owner.pendReads = append(owner.pendReads, req)
+				owner.nudge()
+				return true
+			}
+		}
+		switch {
+		case op == opWrite && !cp.tryWrite(p, req):
+			cp.pendWrites = append(cp.pendWrites, req)
+		case op == opRead && !cp.tryRead(p, req):
+			cp.pendReads = append(cp.pendReads, req)
+		}
+		return true
+	}
+	return false
+}
+
+// lsWindow resolves a request's buffer through the node's EA map — the
+// spe_ls_area_get trick at the heart of CellPilot's zero-copy transfers.
+func (cp *copilot) lsWindow(p *sim.Proc, req *speReq) []byte {
+	node := cp.app.Clu.Nodes[cp.nodeID]
+	ea := req.spe.LSBase() + int64(req.lsAddr)
+	w, err := node.EAWindow(ea, req.size)
+	if err != nil {
+		p.Fatalf("%v", usageError("runtime", "co-pilot", "bad SPE buffer from %s: %v", req.proc, err))
+	}
+	return w
+}
+
+// notify completes a request toward its SPE via the inbound mailbox.
+func (cp *copilot) notify(p *sim.Proc, req *speReq, status uint32) {
+	req.spe.InMbox.Write(p, status)
+}
+
+// tryWrite progresses a pending SPE write request; false means it must
+// wait (only type 4, for its matching reader).
+func (cp *copilot) tryWrite(p *sim.Proc, req *speReq) bool {
+	ch := req.ch
+	switch ch.typ {
+	case Type4:
+		// Both SPE processes send their buffer addresses; whichever arrives
+		// first is stored until the other shows up, then the Co-Pilot
+		// transfers the data with memcpy and notifies both mailboxes.
+		var rd *speReq
+		for i, r := range cp.pendReads {
+			if r.ch == ch {
+				rd = r
+				cp.pendReads = append(cp.pendReads[:i], cp.pendReads[i+1:]...)
+				break
+			}
+		}
+		if rd == nil {
+			return false
+		}
+		cp.validatePair(p, req, rd)
+		src := cp.lsWindow(p, req)
+		dst := cp.lsWindow(p, rd)
+		p.Advance(cp.app.par.MemcpyTime(req.size))
+		copy(dst, src)
+		cp.stats.Type4Copies++
+		cp.stats.Type4Bytes += int64(req.size)
+		cp.notify(p, req, speStatusOK)
+		cp.notify(p, rd, speStatusOK)
+		return true
+
+	case Type2, Type3:
+		// Peer is a regular process: relay the LS buffer to it over MPI,
+		// with the validation header prepended. The relay is nonblocking
+		// (the payload is snapshotted): a blocking send here could form a
+		// circular wait with a PPE that is itself rendezvous-sending
+		// toward this Co-Pilot.
+		hdr := putHeader(req.sig, req.size)
+		win := cp.lsWindow(p, req)
+		if cp.app.opts.CoPilotDirectLocal && ch.typ == Type2 {
+			// A1 ablation: hand the payload to the local reader directly —
+			// same per-byte copy as the MPI path, none of its overheads.
+			p.Advance(cp.app.par.ShmCopyTime(req.size))
+			buf := append(append([]byte(nil), hdr...), win...)
+			cp.app.directBox(ch).Put(p, buf)
+		} else {
+			cp.rank.IsendVec(p, ch.To.rank, ch.tag(), hdr, win)
+		}
+		cp.stats.RelayedBytes += int64(req.size)
+		cp.notify(p, req, speStatusOK)
+		return true
+
+	case Type5:
+		// Peer is a remote SPE: relay to its Co-Pilot, also nonblocking.
+		hdr := putHeader(req.sig, req.size)
+		win := cp.lsWindow(p, req)
+		cp.rank.IsendVec(p, cp.app.copilotRankFor(ch.To), ch.tag(), hdr, win)
+		cp.stats.RelayedBytes += int64(req.size)
+		cp.notify(p, req, speStatusOK)
+		return true
+
+	default:
+		p.Fatalf("%v", usageError("runtime", "co-pilot", "write request on %s, which has no SPE endpoint", ch))
+		return false
+	}
+}
+
+// tryRead progresses a pending SPE read request; false means the payload
+// has not arrived yet.
+func (cp *copilot) tryRead(p *sim.Proc, req *speReq) bool {
+	ch := req.ch
+	switch ch.typ {
+	case Type4:
+		// Driven from the matching write request in tryWrite.
+		return false
+
+	case Type2, Type3, Type5:
+		src := ch.From.rank
+		if ch.From.IsSPE() { // type 5: payload comes from the writer's Co-Pilot
+			src = cp.app.copilotRankFor(ch.From)
+		}
+		if cp.app.opts.CoPilotDirectLocal && ch.typ == Type2 && !ch.From.IsSPE() {
+			// A1 ablation: the local writer handed the payload off directly.
+			buf, ok := cp.app.directBox(ch).TryGet()
+			if !ok {
+				return false
+			}
+			sig, size := parseHeader(buf)
+			cp.validateIncoming(p, req, sig, size)
+			p.Advance(cp.app.par.ShmCopyTime(req.size))
+			copy(cp.lsWindow(p, req), buf[hdrSize:])
+			cp.notify(p, req, speStatusOK)
+			return true
+		}
+		st, ok := cp.rank.Iprobe(p, src, ch.tag())
+		if !ok {
+			return false
+		}
+		if st.Count != hdrSize+req.size {
+			p.Fatalf("%v", usageError("runtime", "PI_Read", "size mismatch on %s: writer sent %d bytes, SPE reader %s expects %d",
+				ch, st.Count-hdrSize, req.proc, req.size))
+		}
+		var hdr [hdrSize]byte
+		win := cp.lsWindow(p, req)
+		cp.rank.RecvIntoVec(p, src, ch.tag(), hdr[:], win)
+		sig, size := parseHeader(hdr[:])
+		cp.validateIncoming(p, req, sig, size)
+		cp.notify(p, req, speStatusOK)
+		return true
+
+	default:
+		p.Fatalf("%v", usageError("runtime", "co-pilot", "read request on %s, which has no SPE endpoint", ch))
+		return false
+	}
+}
+
+func (cp *copilot) validateIncoming(p *sim.Proc, req *speReq, sig uint32, size int) {
+	if sig != req.sig {
+		p.Fatalf("%v", usageError("runtime", "PI_Read", "format mismatch on %s: SPE reader %s used a different format than the writer",
+			req.ch, req.proc))
+	}
+	if size != req.size {
+		p.Fatalf("%v", usageError("runtime", "PI_Read", "size mismatch on %s: writer sent %d bytes, SPE reader %s expects %d",
+			req.ch, size, req.proc, req.size))
+	}
+}
+
+func (cp *copilot) validatePair(p *sim.Proc, wr, rd *speReq) {
+	if wr.sig != rd.sig {
+		p.Fatalf("%v", usageError("runtime", "PI_Read", "format mismatch on %s between %s and %s",
+			wr.ch, wr.proc, rd.proc))
+	}
+	if wr.size != rd.size {
+		p.Fatalf("%v", usageError("runtime", "PI_Read", "size mismatch on %s: %s wrote %d bytes, %s reads %d",
+			wr.ch, wr.proc, wr.size, rd.proc, rd.size))
+	}
+}

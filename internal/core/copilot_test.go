@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+// TestCoPilotRelayNoCircularWait is the regression test for a deadlock
+// found by the matmul workload: PI_MAIN rendezvous-sends a large payload
+// toward the Co-Pilot (for an SPE reader) while the Co-Pilot is relaying
+// another SPE's large finished result back to PI_MAIN. With a blocking
+// relay both sides wait forever; the Co-Pilot must relay nonblocking.
+func TestCoPilotRelayNoCircularWait(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	const big = 8 * 1024 // over the 4 KiB eager threshold: rendezvous
+	var toB, fromA *Channel
+
+	// SPE A computes instantly and writes a big result to PI_MAIN.
+	speA := a.CreateSPE(&SPEProgram{Name: "producer", Body: func(ctx *SPECtx) {
+		ctx.Write(fromA, "%*b", big, make([]byte, big))
+	}}, a.Main(), 0)
+	// SPE B waits for a big input from PI_MAIN.
+	var got []byte
+	speB := a.CreateSPE(&SPEProgram{Name: "consumer", Body: func(ctx *SPECtx) {
+		got = make([]byte, big)
+		ctx.Read(toB, "%*b", big, got)
+	}}, a.Main(), 1)
+	fromA = a.CreateChannel(speA, a.Main())
+	toB = a.CreateChannel(a.Main(), speB)
+
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(speA, 0, nil)
+		ctx.RunSPE(speB, 1, nil)
+		// Give SPE A time to finish and park its result at the Co-Pilot.
+		ctx.P.Advance(2 * sim.Millisecond)
+		buf := make([]byte, big)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		ctx.Write(toB, "%*b", big, buf) // rendezvous toward the Co-Pilot
+		in := make([]byte, big)
+		ctx.Read(fromA, "%*b", big, in) // only now is A's relay consumed
+	})
+	if err != nil {
+		t.Fatalf("circular wait between PI_MAIN and Co-Pilot: %v", err)
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+// TestCoPilotManyConcurrentChannels floods one Co-Pilot with eight
+// simultaneous type-2 exchanges; everything must drain without loss.
+func TestCoPilotManyConcurrentChannels(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	const n = 8
+	down := make([]*Channel, n)
+	up := make([]*Channel, n)
+	spes := make([]*Process, n)
+	prog := &SPEProgram{Name: "echo", Body: func(ctx *SPECtx) {
+		id := ctx.Arg()
+		for r := 0; r < 5; r++ {
+			var v int32
+			ctx.Read(down[id], "%d", &v)
+			ctx.Write(up[id], "%d", v*10)
+		}
+	}}
+	for i := 0; i < n; i++ {
+		spes[i] = a.CreateSPE(prog, a.Main(), i)
+		down[i] = a.CreateChannel(a.Main(), spes[i])
+		up[i] = a.CreateChannel(spes[i], a.Main())
+	}
+	err := a.Run(func(ctx *Ctx) {
+		for i := 0; i < n; i++ {
+			ctx.RunSPE(spes[i], i, nil)
+		}
+		for r := 0; r < 5; r++ {
+			for i := 0; i < n; i++ {
+				ctx.Write(down[i], "%d", int32(r*n+i))
+			}
+			for i := 0; i < n; i++ {
+				var v int32
+				ctx.Read(up[i], "%d", &v)
+				if v != int32((r*n+i)*10) {
+					ctx.P.Fatalf("round %d spe %d: got %d", r, i, v)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

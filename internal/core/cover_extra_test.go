@@ -1,0 +1,254 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReduceUnsignedAndMinMaxFloats(t *testing.T) {
+	// Covers the unsigned and float min/max reduction kernels.
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var fromW []*Channel
+	uContrib := [][]uint32{{10, 1}, {3, 7}}
+	fn := func(ctx *Ctx, index int, _ any) {
+		ctx.Write(fromW[index], "%2u", uContrib[index])
+	}
+	var ws []*Process
+	for i := 0; i < 2; i++ {
+		ws = append(ws, a.CreateProcessOn(i+1, "w", fn, i, nil))
+	}
+	for i := 0; i < 2; i++ {
+		fromW = append(fromW, a.CreateChannel(ws[i], a.Main()))
+	}
+	b := a.CreateBundle(BundleReduce, fromW)
+	out := make([]uint32, 2)
+	if err := a.Run(func(ctx *Ctx) {
+		ctx.Reduce(b, "%2u", OpMax, out)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 10 || out[1] != 7 {
+		t.Fatalf("uint max = %v", out)
+	}
+
+	// Float min path.
+	c2 := newTestCluster(t)
+	a2 := NewApp(c2, Options{})
+	var from2 []*Channel
+	fContrib := [][]float32{{1.5, -2}, {-1, 4}}
+	fn2 := func(ctx *Ctx, index int, _ any) {
+		ctx.Write(from2[index], "%2f", fContrib[index])
+	}
+	var ws2 []*Process
+	for i := 0; i < 2; i++ {
+		ws2 = append(ws2, a2.CreateProcessOn(i+1, "w", fn2, i, nil))
+	}
+	for i := 0; i < 2; i++ {
+		from2 = append(from2, a2.CreateChannel(ws2[i], a2.Main()))
+	}
+	b2 := a2.CreateBundle(BundleReduce, from2)
+	fout := make([]float32, 2)
+	if err := a2.Run(func(ctx *Ctx) {
+		ctx.Reduce(b2, "%2f", OpMin, fout)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fout[0] != -1 || fout[1] != -2 {
+		t.Fatalf("float min = %v", fout)
+	}
+
+	// Byte and int16 sum kernels, plus uint min.
+	c3 := newTestCluster(t)
+	a3 := NewApp(c3, Options{})
+	var from3 []*Channel
+	fn3 := func(ctx *Ctx, index int, _ any) {
+		ctx.Write(from3[index], "%2b %2hd %2u",
+			[]byte{byte(index + 1), 2}, []int16{int16(index), -1}, []uint32{uint32(index + 5), 9})
+	}
+	t.Run("multi-item reduce rejected", func(t *testing.T) {
+		var ws3 []*Process
+		for i := 0; i < 2; i++ {
+			ws3 = append(ws3, a3.CreateProcessOn(i+1, "w", fn3, i, nil))
+		}
+		for i := 0; i < 2; i++ {
+			from3 = append(from3, a3.CreateChannel(ws3[i], a3.Main()))
+		}
+		b3 := a3.CreateBundle(BundleReduce, from3)
+		err := a3.Run(func(ctx *Ctx) {
+			ctx.Reduce(b3, "%2b %2hd %2u", OpSum, make([]byte, 2))
+		})
+		if err == nil || !strings.Contains(err.Error(), "single fixed-count item") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestReduceByteAndInt16Kernels(t *testing.T) {
+	for _, tc := range []struct {
+		format string
+		write  func(ctx *Ctx, ch *Channel, index int)
+		verify func(t *testing.T, out any)
+		out    any
+	}{
+		{
+			format: "%2b",
+			write: func(ctx *Ctx, ch *Channel, index int) {
+				ctx.Write(ch, "%2b", []byte{byte(index + 1), 10})
+			},
+			out: make([]byte, 2),
+			verify: func(t *testing.T, out any) {
+				b := out.([]byte)
+				if b[0] != 3 || b[1] != 20 {
+					t.Fatalf("byte sum = %v", b)
+				}
+			},
+		},
+		{
+			format: "%2hd",
+			write: func(ctx *Ctx, ch *Channel, index int) {
+				ctx.Write(ch, "%2hd", []int16{int16(index + 1), -5})
+			},
+			out: make([]int16, 2),
+			verify: func(t *testing.T, out any) {
+				v := out.([]int16)
+				if v[0] != 3 || v[1] != -10 {
+					t.Fatalf("int16 sum = %v", v)
+				}
+			},
+		},
+		{
+			format: "%2lu",
+			write: func(ctx *Ctx, ch *Channel, index int) {
+				ctx.Write(ch, "%2lu", []uint64{uint64(index + 1), 1 << 40})
+			},
+			out: make([]uint64, 2),
+			verify: func(t *testing.T, out any) {
+				v := out.([]uint64)
+				if v[0] != 3 || v[1] != 2<<40 {
+					t.Fatalf("uint64 sum = %v", v)
+				}
+			},
+		},
+	} {
+		c := newTestCluster(t)
+		a := NewApp(c, Options{})
+		var chans []*Channel
+		tc := tc
+		fn := func(ctx *Ctx, index int, _ any) { tc.write(ctx, chans[index], index) }
+		var ws []*Process
+		for i := 0; i < 2; i++ {
+			ws = append(ws, a.CreateProcessOn(i+1, "w", fn, i, nil))
+		}
+		chans = a.CreateChannelsTo(ws, a.Main())
+		b := a.CreateBundle(BundleReduce, chans)
+		if err := a.Run(func(ctx *Ctx) {
+			ctx.Reduce(b, tc.format, OpSum, tc.out)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		tc.verify(t, tc.out)
+	}
+}
+
+func TestSmallAccessors(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var lsFree int
+	prog := &SPEProgram{Name: "acc", Body: func(ctx *SPECtx) {
+		if ctx.Index() != 7 {
+			ctx.P.Fatalf("index = %d", ctx.Index())
+		}
+		lsFree = ctx.LSFree()
+		ctx.Log("spe log line")
+	}}
+	spe := a.CreateSPE(prog, a.Main(), 7)
+	logged := 0
+	a.Logf = func(string, ...any) { logged++ }
+	err := a.Run(func(ctx *Ctx) {
+		if ctx.Index() != 0 || ctx.Arg() != nil {
+			ctx.P.Fatalf("main ctx accessors wrong")
+		}
+		ctx.RunSPE(spe, 0, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsFree <= 0 || lsFree >= 256*1024 {
+		t.Fatalf("LSFree = %d", lsFree)
+	}
+	if logged != 1 {
+		t.Fatalf("logged = %d", logged)
+	}
+	if ReduceOp(99).String() == "" || OpSum.String() != "sum" || OpMin.String() != "min" || OpMax.String() != "max" {
+		t.Fatal("ReduceOp strings wrong")
+	}
+	if BundleScatter.String() != "scatter" || BundleReduce.String() != "reduce" {
+		t.Fatal("bundle kind strings wrong")
+	}
+}
+
+func TestPPEWriterSPEReaderFormatMismatch(t *testing.T) {
+	// validateIncoming's signature branch: PPE writes %d, SPE reads %f.
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var ch *Channel
+	prog := &SPEProgram{Name: "wrongfmt", Body: func(ctx *SPECtx) {
+		var f float32
+		ctx.Read(ch, "%f", &f)
+	}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	ch = a.CreateChannel(a.Main(), spe)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+		ctx.Write(ch, "%d", int32(1))
+	})
+	if err == nil || !strings.Contains(err.Error(), "format mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConfigDump(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	w := a.CreateProcessOn(1, "worker", func(*Ctx, int, any) {}, 0, nil)
+	spe := a.CreateSPE(&SPEProgram{Name: "kern", Body: func(*SPECtx) {}}, a.Main(), 0)
+	ch := a.CreateChannel(a.Main(), w)
+	a.CreateChannel(spe, a.Main())
+	a.CreateBundle(BundleBroadcast, []*Channel{ch})
+	dump := a.ConfigDump()
+	for _, want := range []string{"processes (3)", "channels (2)", "bundles (1)",
+		"PI_MAIN", "SPE (parent PI_MAIN)", "broadcast"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestSPEPanicBecomesError(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	prog := &SPEProgram{Name: "crash", Body: func(ctx *SPECtx) {
+		panic("SPU halted")
+	}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "SPU halted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunSPEProgramTooBig(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	prog := &SPEProgram{Name: "fat", CodeSize: 300 * 1024, Body: func(*SPECtx) {}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "local store overflow") {
+		t.Fatalf("err = %v", err)
+	}
+}

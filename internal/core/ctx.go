@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+
+	"cellpilot/internal/deadlock"
+	"cellpilot/internal/fmtmsg"
+	"cellpilot/internal/mpi"
+	"cellpilot/internal/sdk"
+	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
+)
+
+// Ctx is the execution-phase handle of a regular Pilot process: the
+// receiver for every PI_* call the process body makes.
+type Ctx struct {
+	app  *App
+	P    *sim.Proc
+	Self *Process
+	rank *mpi.Rank
+}
+
+// Index reports the index given at CreateProcess.
+func (c *Ctx) Index() int { return c.Self.index }
+
+// Arg reports the argument given at CreateProcess.
+func (c *Ctx) Arg() any { return c.Self.arg }
+
+// fail aborts the application with a Pilot diagnostic at the user's call
+// site (loc from callerLoc) and unwinds this process.
+func (c *Ctx) fail(loc, api, format string, args ...any) {
+	c.P.Fatalf("%v", usageError(loc, api, format, args...))
+}
+
+// peerRank resolves the MPI rank this process exchanges channel payloads
+// with: the peer itself when regular, or the peer's Co-Pilot when the
+// peer is an SPE process (the heart of the CellPilot design).
+func (c *Ctx) peerRank(peer *Process) int {
+	if peer.IsSPE() {
+		return c.app.copilotRankFor(peer)
+	}
+	return peer.rank
+}
+
+// Write sends args, described by the Pilot format string, on ch
+// (PI_Write). Only the configured writer endpoint may call it.
+func (c *Ctx) Write(ch *Channel, format string, args ...any) {
+	loc := callerLoc(1)
+	c.writeFrom(loc, ch, format, args...)
+}
+
+func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
+	if ch == nil {
+		c.fail(loc, "PI_Write", "nil channel")
+	}
+	if ch.From != c.Self {
+		c.fail(loc, "PI_Write", "%s is not the writer of %s", c.Self, ch)
+	}
+	spec, err := fmtmsg.Parse(format)
+	if err != nil {
+		c.fail(loc, "PI_Write", "%v", err)
+	}
+	wire, err := spec.Pack(args...)
+	if err != nil {
+		c.fail(loc, "PI_Write", "%v", err)
+	}
+	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(len(wire)))
+	hdr := putHeader(spec.Signature(), len(wire))
+
+	// A1 ablation: type-2 writes go through a direct shared-memory handoff
+	// to the Co-Pilot instead of local MPI.
+	if c.app.opts.CoPilotDirectLocal && ch.typ == Type2 && ch.To.IsSPE() {
+		c.P.Advance(c.app.par.ShmCopyTime(len(wire)))
+		box := c.app.directBox(ch)
+		box.Put(c.P, append(append([]byte(nil), hdr...), wire...))
+		c.app.copilotFor(ch.To).nudge()
+		c.app.reportSent(ch)
+		return
+	}
+
+	dst := c.peerRank(ch.To)
+	blocking := hdrSize+len(wire) > c.app.par.EagerThreshold
+	if blocking {
+		// A rendezvous send completes only when the reader posts the
+		// matching receive; the detector pairs it with that read.
+		c.app.reportBlock(c.Self, ch.To, ch, deadlock.OpWrite)
+	}
+	c.rank.SendVec(c.P, dst, ch.tag(), hdr, wire)
+	if blocking {
+		c.app.reportUnblock(c.Self)
+	} else {
+		// An eager send is in flight regardless of the reader: tell the
+		// detector so a blocked read on ch is not treated as a wait.
+		c.app.reportSent(ch)
+	}
+	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire))
+}
+
+// Read receives a message from ch into args (PI_Read). The format must
+// describe the same element types the writer used, and the sizes must
+// agree, or the application aborts with a diagnostic — the classes of
+// error Pilot exists to catch.
+func (c *Ctx) Read(ch *Channel, format string, args ...any) {
+	loc := callerLoc(1)
+	c.readFrom(loc, ch, format, args...)
+}
+
+func (c *Ctx) readFrom(loc string, ch *Channel, format string, args ...any) {
+	if ch == nil {
+		c.fail(loc, "PI_Read", "nil channel")
+	}
+	if ch.To != c.Self {
+		c.fail(loc, "PI_Read", "%s is not the reader of %s", c.Self, ch)
+	}
+	spec, err := fmtmsg.Parse(format)
+	if err != nil {
+		c.fail(loc, "PI_Read", "%v", err)
+	}
+	expected, err := spec.WireSize(args...)
+	if err != nil {
+		c.fail(loc, "PI_Read", "%v", err)
+	}
+
+	var data []byte
+	if c.app.opts.CoPilotDirectLocal && ch.typ == Type2 && ch.From.IsSPE() {
+		// A1 ablation: take the payload from the direct handoff box.
+		box := c.app.directBox(ch)
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
+		data = box.Get(c.P)
+		c.app.reportUnblock(c.Self)
+		c.P.Advance(c.app.par.ShmCopyTime(len(data) - hdrSize))
+	} else {
+		src := c.peerRank(ch.From)
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
+		data, _ = c.rank.Recv(c.P, src, ch.tag())
+		c.app.reportUnblock(c.Self)
+	}
+
+	if len(data) < hdrSize {
+		c.fail(loc, "PI_Read", "malformed message on %s", ch)
+	}
+	sig, size := parseHeader(data)
+	if sig != spec.Signature() {
+		c.fail(loc, "PI_Read", "format %q does not match what the writer sent on %s", format, ch)
+	}
+	if size != expected || size != len(data)-hdrSize {
+		c.fail(loc, "PI_Read", "size mismatch on %s: writer sent %d bytes, reader expects %d", ch, size, expected)
+	}
+	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(size))
+	if err := spec.Unpack(data[hdrSize:], args...); err != nil {
+		c.fail(loc, "PI_Read", "%v", err)
+	}
+	c.app.record(c.P, trace.KindRead, c.Self, ch, size)
+}
+
+// RunSPE launches a dormant SPE process created with CreateSPE
+// (PI_RunSPE/PI_StartSPE): it loads the program plus the CellPilot runtime
+// into the SPE local store and starts it with (arg, env), returning
+// immediately while the SPE computes. Only the parent process may launch
+// it — SPE processes form a hierarchy under their controlling PPE process.
+func (c *Ctx) RunSPE(sp *Process, arg int, env any) {
+	loc := callerLoc(1)
+	if sp == nil || !sp.IsSPE() {
+		c.fail(loc, "PI_RunSPE", "%v is not an SPE process", sp)
+	}
+	if sp.parent != c.Self {
+		c.fail(loc, "PI_RunSPE", "%s must be started by its parent %s, not %s", sp, sp.parent, c.Self)
+	}
+	if sp.started {
+		c.fail(loc, "PI_RunSPE", "%s already started", sp)
+	}
+	node := c.app.Clu.Nodes[sp.nodeID]
+	spe, err := node.SPE(sp.speIdx)
+	if err != nil {
+		c.fail(loc, "PI_RunSPE", "%v", err)
+	}
+	sctx, err := sdk.ContextCreate(c.app.K, spe)
+	if err != nil {
+		c.fail(loc, "PI_RunSPE", "%v", err)
+	}
+	app := c.app
+	prog := &sdk.Program{
+		Name:     sp.prog.Name,
+		CodeSize: sp.prog.CodeSize,
+		Main: func(sc *sdk.Context, a int, e any) {
+			defer app.userDone()
+			sctx2 := &SPECtx{app: app, P: sc.Proc, Self: sp, sctx: sc, arg: a, env: e}
+			sp.prog.Body(sctx2)
+		},
+	}
+	if err := sctx.Load(prog, c.app.par.CellPilotFootprint); err != nil {
+		c.fail(loc, "PI_RunSPE", "%v", err)
+	}
+	c.P.Advance(c.app.par.SPELaunch)
+	sp.started = true
+	sp.sctx = sctx
+	app.userLive++
+	app.copilotFor(sp).register(sp, sctx)
+	if err := sctx.Run(arg, env); err != nil {
+		c.fail(loc, "PI_RunSPE", "%v", err)
+	}
+}
+
+// Broadcast writes the same message to every channel of a broadcast
+// bundle (PI_Broadcast). Following Pilot's MPMD convention, only the
+// common (writing) endpoint calls this; each receiver simply calls Read
+// on its own channel.
+func (c *Ctx) Broadcast(b *Bundle, format string, args ...any) {
+	loc := callerLoc(1)
+	if b == nil || b.kind != BundleBroadcast {
+		c.fail(loc, "PI_Broadcast", "bundle was not created for broadcast")
+	}
+	if b.common != c.Self {
+		c.fail(loc, "PI_Broadcast", "%s is not the bundle's writer", c.Self)
+	}
+	spec, err := fmtmsg.Parse(format)
+	if err != nil {
+		c.fail(loc, "PI_Broadcast", "%v", err)
+	}
+	wire, err := spec.Pack(args...)
+	if err != nil {
+		c.fail(loc, "PI_Broadcast", "%v", err)
+	}
+	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(len(wire)))
+	hdr := putHeader(spec.Signature(), len(wire))
+	for _, ch := range b.chans {
+		c.rank.SendVec(c.P, c.peerRank(ch.To), ch.tag(), hdr, wire)
+		c.app.reportSent(ch)
+	}
+}
+
+// Gather collects one contribution per channel of a gather bundle into
+// out (PI_Gather). format describes a single per-writer item with a fixed
+// count (e.g. "%5d"); out must be a slice of the matching element type
+// with room for count × len(channels) elements, filled in channel order.
+// Writers each call Write on their own channel with the same format.
+func (c *Ctx) Gather(b *Bundle, format string, out any) {
+	loc := callerLoc(1)
+	if b == nil || b.kind != BundleGather {
+		c.fail(loc, "PI_Gather", "bundle was not created for gather")
+	}
+	if b.common != c.Self {
+		c.fail(loc, "PI_Gather", "%s is not the bundle's reader", c.Self)
+	}
+	spec, err := fmtmsg.Parse(format)
+	if err != nil {
+		c.fail(loc, "PI_Gather", "%v", err)
+	}
+	if len(spec.Items) != 1 || spec.Items[0].Star {
+		c.fail(loc, "PI_Gather", "gather format must be a single fixed-count item, got %q", format)
+	}
+	item := spec.Items[0]
+	perWriter := item.Count * item.Type.Size()
+	var all []byte
+	for _, ch := range b.chans {
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
+		data, _ := c.rank.Recv(c.P, c.peerRank(ch.From), ch.tag())
+		c.app.reportUnblock(c.Self)
+		if len(data) < hdrSize {
+			c.fail(loc, "PI_Gather", "malformed message on %s", ch)
+		}
+		sig, size := parseHeader(data)
+		if sig != spec.Signature() || size != perWriter {
+			c.fail(loc, "PI_Gather", "writer on %s sent %d bytes with a different format; expected %q (%d bytes)",
+				ch, size, format, perWriter)
+		}
+		all = append(all, data[hdrSize:]...)
+	}
+	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(len(all)))
+	total := item.Count * len(b.chans)
+	synth := fmtmsg.MustParse(fmt.Sprintf("%%%d%s", total, item.Type.Verb()))
+	if err := synth.Unpack(all, out); err != nil {
+		c.fail(loc, "PI_Gather", "%v", err)
+	}
+}
+
+// Select blocks until some channel in a select bundle has data ready to
+// read, and returns its index within the bundle (PI_Select). A subsequent
+// Read on that channel will not block.
+func (c *Ctx) Select(b *Bundle) int {
+	loc := callerLoc(1)
+	if b == nil || b.kind != BundleSelect {
+		c.fail(loc, "PI_Select", "bundle was not created for select")
+	}
+	if b.common != c.Self {
+		c.fail(loc, "PI_Select", "%s is not the bundle's reader", c.Self)
+	}
+	c.P.Advance(c.app.par.PilotOverhead)
+	specs := make([]mpi.ProbeSpec, len(b.chans))
+	for i, ch := range b.chans {
+		specs[i] = mpi.ProbeSpec{Src: c.peerRank(ch.From), Tag: ch.tag()}
+	}
+	idx, _ := c.rank.ProbeMulti(c.P, specs)
+	return idx
+}
+
+// TrySelect is the non-blocking Select: it returns the index of a channel
+// with data, or -1 (PI_TrySelect).
+func (c *Ctx) TrySelect(b *Bundle) int {
+	loc := callerLoc(1)
+	if b == nil || b.kind != BundleSelect {
+		c.fail(loc, "PI_TrySelect", "bundle was not created for select")
+	}
+	if b.common != c.Self {
+		c.fail(loc, "PI_TrySelect", "%s is not the bundle's reader", c.Self)
+	}
+	c.P.Advance(c.app.par.PilotOverhead)
+	for i, ch := range b.chans {
+		if _, ok := c.rank.Iprobe(c.P, c.peerRank(ch.From), ch.tag()); ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasData reports whether a Read on ch would complete without blocking
+// (PI_ChannelHasData).
+func (c *Ctx) HasData(ch *Channel) bool {
+	loc := callerLoc(1)
+	if ch == nil || ch.To != c.Self {
+		c.fail(loc, "PI_ChannelHasData", "%s is not the reader of %v", c.Self, ch)
+	}
+	c.P.Advance(c.app.par.PilotOverhead)
+	_, ok := c.rank.Iprobe(c.P, c.peerRank(ch.From), ch.tag())
+	return ok
+}
+
+// Log emits a trace line tagged with the process and virtual time; a
+// stand-in for the printf debugging the paper's examples use.
+func (c *Ctx) Log(format string, args ...any) {
+	c.app.logf(c.P, c.Self, format, args...)
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+)
+
+// callerLoc reports the user code location (file:line) skip frames above
+// the caller. Pilot's hallmark diagnostics report API misuse by source
+// file and line number; every abort in this package carries one.
+func callerLoc(skip int) string {
+	_, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return "unknown:0"
+	}
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}
+
+// usageError formats a Pilot-style diagnostic: location, API name, detail.
+func usageError(loc, api, format string, args ...any) error {
+	return fmt.Errorf("pilot: %s: %s: %s", loc, api, fmt.Sprintf(format, args...))
+}

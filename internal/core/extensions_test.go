@@ -1,0 +1,230 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+// These tests cover the paper's two future-work items, implemented here
+// as opt-in extensions: collective operations over SPE processes
+// (Options.SPECollectives) and deadlock checking for SPE channel
+// operations (Options.SPEDeadlock).
+
+func TestSPECollectiveBroadcast(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{SPECollectives: true})
+	var chans []*Channel
+	got := make([]int32, 3)
+	speBody := func(slot int) *SPEProgram {
+		return &SPEProgram{Name: "bcast_rx", Body: func(ctx *SPECtx) {
+			var v int32
+			ctx.Read(chans[slot], "%d", &v)
+			got[slot] = v
+		}}
+	}
+	spe0 := a.CreateSPE(speBody(0), a.Main(), 0)
+	spe1 := a.CreateSPE(speBody(1), a.Main(), 1)
+	reg := a.CreateProcessOn(1, "reg", func(ctx *Ctx, _ int, _ any) {
+		var v int32
+		ctx.Read(chans[2], "%d", &v)
+		got[2] = v
+	}, 0, nil)
+	chans = []*Channel{
+		a.CreateChannel(a.Main(), spe0),
+		a.CreateChannel(a.Main(), spe1),
+		a.CreateChannel(a.Main(), reg),
+	}
+	b := a.CreateBundle(BundleBroadcast, chans)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe0, 0, nil)
+		ctx.RunSPE(spe1, 1, nil)
+		ctx.Broadcast(b, "%d", int32(4242))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 4242 {
+			t.Fatalf("receiver %d got %d", i, v)
+		}
+	}
+}
+
+func TestSPECollectiveGatherAndSelect(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{SPECollectives: true})
+	var from []*Channel
+	mk := func(id int) *SPEProgram {
+		return &SPEProgram{Name: "contrib", Body: func(ctx *SPECtx) {
+			ctx.P.Advance(sim.Time(10*(id+1)) * sim.Microsecond)
+			ctx.Write(from[id], "%2d", []int32{int32(id), int32(id * 100)})
+		}}
+	}
+	spes := []*Process{
+		a.CreateSPE(mk(0), a.Main(), 0),
+		a.CreateSPE(mk(1), a.Main(), 1),
+	}
+	from = []*Channel{
+		a.CreateChannel(spes[0], a.Main()),
+		a.CreateChannel(spes[1], a.Main()),
+	}
+	gather := a.CreateBundle(BundleGather, from)
+	err := a.Run(func(ctx *Ctx) {
+		for i, s := range spes {
+			ctx.RunSPE(s, i, nil)
+		}
+		out := make([]int32, 4)
+		ctx.Gather(gather, "%2d", out)
+		if out[0] != 0 || out[1] != 0 || out[2] != 1 || out[3] != 100 {
+			ctx.P.Fatalf("gather = %v", out)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Select over SPE writers on a fresh application.
+	c2 := newTestCluster(t)
+	a2 := NewApp(c2, Options{SPECollectives: true})
+	var from2 []*Channel
+	mk2 := func(id int) *SPEProgram {
+		return &SPEProgram{Name: "sel", Body: func(ctx *SPECtx) {
+			ctx.P.Advance(sim.Time(100*(2-id)) * sim.Microsecond) // id 1 first
+			ctx.Write(from2[id], "%d", int32(id))
+		}}
+	}
+	s0 := a2.CreateSPE(mk2(0), a2.Main(), 0)
+	s1 := a2.CreateSPE(mk2(1), a2.Main(), 1)
+	from2 = []*Channel{a2.CreateChannel(s0, a2.Main()), a2.CreateChannel(s1, a2.Main())}
+	sel := a2.CreateBundle(BundleSelect, from2)
+	err = a2.Run(func(ctx *Ctx) {
+		ctx.RunSPE(s0, 0, nil)
+		ctx.RunSPE(s1, 1, nil)
+		first := ctx.Select(sel)
+		if first != 1 {
+			ctx.P.Fatalf("select returned %d, want the earlier writer 1", first)
+		}
+		var v int32
+		ctx.Read(from2[first], "%d", &v)
+		ctx.Read(from2[0], "%d", &v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPECommonEndpointStillRejected(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{SPECollectives: true})
+	prog := &SPEProgram{Name: "s", Body: func(*SPECtx) {}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	other := a.CreateProcessOn(1, "o", func(*Ctx, int, any) {}, 0, nil)
+	ch := a.CreateChannel(other, spe)
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(error).Error(), "common endpoint must be a regular process") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	a.CreateBundle(BundleGather, []*Channel{ch}) // common endpoint = SPE reader
+}
+
+func TestSPEDeadlockDetection(t *testing.T) {
+	// Two SPE processes on one node, each reading from the other: a
+	// type-4 circular wait. With the extension enabled it is diagnosed
+	// instead of hanging until the kernel's quiescence detector fires.
+	c := newTestCluster(t)
+	a := NewApp(c, Options{DeadlockDetection: true, SPEDeadlock: true})
+	var ab, ba *Channel
+	mk := func(read, write **Channel) *SPEProgram {
+		return &SPEProgram{Name: "dl", Body: func(ctx *SPECtx) {
+			var v int32
+			ctx.Read(*read, "%d", &v)
+			ctx.Write(*write, "%d", v)
+		}}
+	}
+	s1 := a.CreateSPE(mk(&ba, &ab), a.Main(), 0)
+	s2 := a.CreateSPE(mk(&ab, &ba), a.Main(), 1)
+	ab = a.CreateChannel(s1, s2)
+	ba = a.CreateChannel(s2, s1)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(s1, 0, nil)
+		ctx.RunSPE(s2, 1, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "circular wait") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "dl#0") || !strings.Contains(err.Error(), "dl#1") {
+		t.Fatalf("diagnostic does not name the SPE processes: %v", err)
+	}
+}
+
+func TestSPEDeadlockMixedCycle(t *testing.T) {
+	// A cycle through a regular process and an SPE process.
+	c := newTestCluster(t)
+	a := NewApp(c, Options{DeadlockDetection: true, SPEDeadlock: true})
+	var toSPE, toPPE *Channel
+	prog := &SPEProgram{Name: "mix", Body: func(ctx *SPECtx) {
+		var v int32
+		ctx.Read(toSPE, "%d", &v) // waits for PI_MAIN...
+		ctx.Write(toPPE, "%d", v)
+	}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	toSPE = a.CreateChannel(a.Main(), spe)
+	toPPE = a.CreateChannel(spe, a.Main())
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+		var v int32
+		ctx.Read(toPPE, "%d", &v) // ...while PI_MAIN waits for the SPE.
+		ctx.Write(toSPE, "%d", v)
+	})
+	if err == nil || !strings.Contains(err.Error(), "circular wait") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSPEDeadlockNoFalsePositiveOnEagerWrites(t *testing.T) {
+	// Two SPEs that each write to the other first (small payloads) and
+	// then read: eager relays make this succeed, and the extension must
+	// not report a write-write cycle.
+	c := newTestCluster(t)
+	a := NewApp(c, Options{DeadlockDetection: true, SPEDeadlock: true})
+	var ab, ba *Channel
+	// Different nodes => type 5, so writes complete via MPI relays.
+	other := a.CreateProcessOn(1, "parent", func(ctx *Ctx, _ int, arg any) {
+		ctx.RunSPE(arg.(*Process), 0, nil)
+	}, 0, nil)
+	mk := func(write, read **Channel) *SPEProgram {
+		return &SPEProgram{Name: "xw", Body: func(ctx *SPECtx) {
+			ctx.Write(*write, "%d", int32(5))
+			var v int32
+			ctx.Read(*read, "%d", &v)
+			if v != 5 {
+				ctx.P.Fatalf("got %d", v)
+			}
+		}}
+	}
+	s1 := a.CreateSPE(mk(&ab, &ba), a.Main(), 0)
+	s2 := a.CreateSPE(mk(&ba, &ab), other, 0)
+	other.SetArg(s2)
+	ab = a.CreateChannel(s1, s2)
+	ba = a.CreateChannel(s2, s1)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(s1, 0, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPEDeadlockRequiresService(t *testing.T) {
+	c := newTestCluster(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SPEDeadlock without DeadlockDetection accepted")
+		}
+	}()
+	NewApp(c, Options{SPEDeadlock: true})
+}

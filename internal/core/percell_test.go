@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/sim"
+)
+
+// contentionApp drives `pairs` simultaneous type-4 pingpongs on one
+// dual-Cell blade, half the pairs in each Cell, and reports completion
+// time. It is the A4 ablation workload.
+func contentionApp(t *testing.T, perCell bool, pairs, rounds int) sim.Time {
+	t.Helper()
+	c, err := cluster.New(cluster.Spec{CellNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewApp(c, Options{CoPilotPerCell: perCell})
+	ab := make([]*Channel, pairs)
+	ba := make([]*Channel, pairs)
+	mkInit := func(i int) *SPEProgram {
+		return &SPEProgram{Name: "init", Body: func(ctx *SPECtx) {
+			buf := make([]byte, 64)
+			for r := 0; r < rounds; r++ {
+				ctx.Write(ab[i], "%64b", buf)
+				ctx.Read(ba[i], "%64b", buf)
+			}
+		}}
+	}
+	mkEcho := func(i int) *SPEProgram {
+		return &SPEProgram{Name: "echo", Body: func(ctx *SPECtx) {
+			buf := make([]byte, 64)
+			for r := 0; r < rounds; r++ {
+				ctx.Read(ab[i], "%64b", buf)
+				ctx.Write(ba[i], "%64b", buf)
+			}
+		}}
+	}
+	var spes []*Process
+	for i := 0; i < pairs; i++ {
+		// Pair i lives entirely in cell i%2: slots split 0..7 / 8..15.
+		base := (i % 2) * 8
+		slot := base + (i/2)*2
+		w := a.CreateSPE(mkInit(i), a.Main(), slot)
+		r := a.CreateSPE(mkEcho(i), a.Main(), slot+1)
+		ab[i] = a.CreateChannel(w, r)
+		ba[i] = a.CreateChannel(r, w)
+		spes = append(spes, w, r)
+	}
+	err = a.Run(func(ctx *Ctx) {
+		for i, s := range spes {
+			ctx.RunSPE(s, i, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.K.Now()
+}
+
+func TestCoPilotPerCellCorrectAndFaster(t *testing.T) {
+	// Same workload, both designs must be correct; the per-cell design
+	// must finish sooner under contention (two service loops in parallel).
+	single := contentionApp(t, false, 6, 4)
+	perCell := contentionApp(t, true, 6, 4)
+	if perCell >= single {
+		t.Fatalf("per-cell Co-Pilots (%s) not faster than single (%s) under contention", perCell, single)
+	}
+}
+
+func TestCoPilotPerCellCrossCellType4(t *testing.T) {
+	// A type-4 channel spanning the two Cells of one blade: with per-cell
+	// Co-Pilots the reader's request must be forwarded to the writer's.
+	c, err := cluster.New(cluster.Spec{CellNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewApp(c, Options{CoPilotPerCell: true})
+	var ch *Channel
+	var got []byte
+	w := a.CreateSPE(&SPEProgram{Name: "w", Body: func(ctx *SPECtx) {
+		buf := make([]byte, 256)
+		for i := range buf {
+			buf[i] = byte(i * 3)
+		}
+		ctx.Write(ch, "%256b", buf)
+	}}, a.Main(), 0) // cell 0
+	r := a.CreateSPE(&SPEProgram{Name: "r", Body: func(ctx *SPECtx) {
+		got = make([]byte, 256)
+		ctx.Read(ch, "%256b", got)
+	}}, a.Main(), 8) // cell 1
+	ch = a.CreateChannel(w, r)
+	if ch.Type() != Type4 {
+		t.Fatalf("cross-cell same-node channel is %s", ch.Type())
+	}
+	if err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(w, 0, nil)
+		ctx.RunSPE(r, 8, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != byte(i*3) {
+			t.Fatalf("corrupt at %d", i)
+		}
+	}
+	// Two Co-Pilot stat entries on the single blade.
+	st := a.Stats()
+	if len(st.CoPilots) != 2 {
+		t.Fatalf("copilots = %d, want 2 (per cell)", len(st.CoPilots))
+	}
+	if st.CoPilots[0].Type4Copies+st.CoPilots[1].Type4Copies != 1 {
+		t.Fatalf("type-4 copy not accounted: %+v", st.CoPilots)
+	}
+}

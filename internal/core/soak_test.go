@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cellpilot/internal/cluster"
+)
+
+// TestPaperTestbedSoak runs a traffic soak on the full paper testbed
+// (8 dual-Cell blades + 4 Xeons): every blade hosts a PPE process with
+// four SPE children; SPEs exchange with a local partner (type 4), a
+// remote partner (type 5) and their parent (type 2), while the PPEs ring
+// messages across nodes (type 1) and the Xeons poll remote SPEs
+// (type 3). Every payload is integrity-checked. This is the "cluster
+// actually running a deployed application" test.
+func TestPaperTestbedSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in short mode")
+	}
+	c, err := cluster.New(cluster.PaperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewApp(c, Options{})
+	const (
+		blades  = 8
+		spesPer = 4
+		rounds  = 3
+	)
+
+	hosts := make([]*Process, blades)      // PPE process per blade (PI_MAIN is blade 0)
+	spes := make([][]*Process, blades)     // SPE children
+	toParent := make([][]*Channel, blades) // type 2 up
+	fromParent := make([][]*Channel, blades)
+	pair4 := make([][]*Channel, blades)  // type 4: spe[2i] -> spe[2i+1]
+	cross5 := make([]*Channel, blades)   // type 5: blade b spe0 -> blade (b+1)%8 spe1
+	ringPPE := make([]*Channel, blades)  // type 1 ring over hosts
+	xeonPoll := make([]*Channel, blades) // type 3: blade b spe3 -> a xeon process
+
+	fill := func(buf []int32, seed int) {
+		for i := range buf {
+			buf[i] = int32(seed*1000 + i)
+		}
+	}
+	check := func(ctx interface{ Abort(string, ...any) }, buf []int32, seed int) {
+		for i := range buf {
+			if buf[i] != int32(seed*1000+i) {
+				ctx.Abort("payload corrupted: seed %d index %d", seed, i)
+			}
+		}
+	}
+
+	speBody := func(ctx *SPECtx) {
+		b := ctx.Arg() / 16 // blade
+		s := ctx.Arg() % 16 // local spe slot (0..3)
+		buf := make([]int32, 64)
+		for r := 0; r < rounds; r++ {
+			// Type 2: parent sends work, SPE echoes transformed.
+			ctx.Read(fromParent[b][s], "%64d", buf)
+			ctx.Write(toParent[b][s], "%64d", buf)
+			switch s {
+			case 0:
+				fill(buf, b)
+				ctx.Write(pair4[b][0], "%64d", buf) // type 4 to s=1
+				fill(buf, 100+b)
+				ctx.Write(cross5[b], "%64d", buf) // type 5 to next blade
+			case 1:
+				ctx.Read(pair4[b][0], "%64d", buf)
+				check(ctx, buf, b)
+				prev := (b + blades - 1) % blades
+				ctx.Read(cross5[prev], "%64d", buf)
+				check(ctx, buf, 100+prev)
+			case 3:
+				fill(buf, 200+b)
+				ctx.Write(xeonPoll[b], "%64d", buf) // type 3 to a xeon
+			}
+		}
+	}
+	prog := &SPEProgram{Name: "soak", Body: speBody}
+
+	hostBody := func(ctx *Ctx, index int, arg any) {
+		b := index
+		for _, sp := range spes[b] {
+			ctx.RunSPE(sp, sp.index, nil)
+		}
+		buf := make([]int32, 64)
+		for r := 0; r < rounds; r++ {
+			for s := 0; s < spesPer; s++ {
+				fill(buf, 300+b*10+s)
+				ctx.Write(fromParent[b][s], "%64d", buf)
+			}
+			for s := 0; s < spesPer; s++ {
+				ctx.Read(toParent[b][s], "%64d", buf)
+				check(ctx, buf, 300+b*10+s)
+			}
+			// Type 1 ring: send to the next blade's host, read from prev.
+			fill(buf, 400+b)
+			ctx.Write(ringPPE[b], "%64d", buf)
+			prev := (b + blades - 1) % blades
+			ctx.Read(ringPPE[prev], "%64d", buf)
+			check(ctx, buf, 400+prev)
+		}
+	}
+
+	// Build processes.
+	for b := 0; b < blades; b++ {
+		if b == 0 {
+			hosts[b] = a.Main()
+		} else {
+			hosts[b] = a.CreateProcessOn(b, fmt.Sprintf("host%d", b), hostBody, b, nil)
+		}
+	}
+	xeons := make([]*Process, 2)
+	xeonBody := func(ctx *Ctx, index int, _ any) {
+		buf := make([]int32, 64)
+		for r := 0; r < rounds; r++ {
+			for b := index; b < blades; b += 2 {
+				ctx.Read(xeonPoll[b], "%64d", buf)
+				check(ctx, buf, 200+b)
+			}
+		}
+	}
+	for i := range xeons {
+		xeons[i] = a.CreateProcessOn(8+i, fmt.Sprintf("xeon%d", i), xeonBody, i, nil)
+	}
+	for b := 0; b < blades; b++ {
+		spes[b] = make([]*Process, spesPer)
+		toParent[b] = make([]*Channel, spesPer)
+		fromParent[b] = make([]*Channel, spesPer)
+		for s := 0; s < spesPer; s++ {
+			spes[b][s] = a.CreateSPE(prog, hosts[b], b*16+s)
+			toParent[b][s] = a.CreateChannel(spes[b][s], hosts[b])
+			fromParent[b][s] = a.CreateChannel(hosts[b], spes[b][s])
+		}
+		pair4[b] = []*Channel{a.CreateChannel(spes[b][0], spes[b][1])}
+	}
+	for b := 0; b < blades; b++ {
+		next := (b + 1) % blades
+		cross5[b] = a.CreateChannel(spes[b][0], spes[next][1])
+		ringPPE[b] = a.CreateChannel(hosts[b], hosts[next])
+		xeonPoll[b] = a.CreateChannel(spes[b][3], xeons[b%2])
+	}
+
+	// Sanity: the channel mix covers all five types.
+	types := map[ChannelType]bool{}
+	for _, ch := range a.Channels() {
+		types[ch.Type()] = true
+	}
+	for typ := Type1; typ <= Type5; typ++ {
+		if !types[typ] {
+			t.Fatalf("soak does not exercise %s", typ)
+		}
+	}
+
+	if err := a.Run(func(ctx *Ctx) { hostBody(ctx, 0, nil) }); err != nil {
+		t.Fatal(err)
+	}
+	msgs, bytes := c.Net.Stats()
+	if msgs == 0 || bytes == 0 {
+		t.Fatal("soak moved nothing across the network")
+	}
+	t.Logf("soak: %d network messages, %d bytes, finished at %s", msgs, bytes, c.K.Now())
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSPEWriterEnforcement(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var ch *Channel
+	prog := &SPEProgram{Name: "thief", Body: func(ctx *SPECtx) {
+		ctx.Write(ch, "%d", int32(1)) // the SPE is the reader, not writer
+	}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	ch = a.CreateChannel(a.Main(), spe)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+		ctx.Write(ch, "%d", int32(2))
+	})
+	if err == nil || !strings.Contains(err.Error(), "is not the writer") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSPEReaderEnforcement(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var ch *Channel
+	prog := &SPEProgram{Name: "wrongway", Body: func(ctx *SPECtx) {
+		var v int32
+		ctx.Read(ch, "%d", &v) // the SPE is the writer, not reader
+	}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	ch = a.CreateChannel(spe, a.Main())
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "is not the reader") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSPEBadFormatAborts(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var ch *Channel
+	prog := &SPEProgram{Name: "fmt", Body: func(ctx *SPECtx) {
+		ctx.Write(ch, "%zz", int32(1))
+	}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	ch = a.CreateChannel(spe, a.Main())
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+		var v int32
+		ctx.Read(ch, "%d", &v)
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown conversion") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSPEFormatMismatchDetectedByCoPilot(t *testing.T) {
+	// Type 4 with mismatched formats between the two SPEs: the Co-Pilot
+	// compares the request signatures.
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var ch *Channel
+	w := a.CreateSPE(&SPEProgram{Name: "w", Body: func(ctx *SPECtx) {
+		ctx.Write(ch, "%4d", make([]int32, 4))
+	}}, a.Main(), 0)
+	r := a.CreateSPE(&SPEProgram{Name: "r", Body: func(ctx *SPECtx) {
+		ctx.Read(ch, "%4f", make([]float32, 4)) // wrong element type
+	}}, a.Main(), 1)
+	ch = a.CreateChannel(w, r)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(w, 0, nil)
+		ctx.RunSPE(r, 1, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "format mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	if err := a.Run(func(ctx *Ctx) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(func(ctx *Ctx) {}); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestDoubleRunSPERejected(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	prog := &SPEProgram{Name: "s", Body: func(*SPECtx) {}}
+	spe := a.CreateSPE(prog, a.Main(), 0)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe, 0, nil)
+		ctx.RunSPE(spe, 0, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "already started") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"cellpilot/internal/deadlock"
+	"cellpilot/internal/fmtmsg"
+	"cellpilot/internal/sdk"
+	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
+)
+
+// SPECtx is the execution handle of an SPE process: the CellPilot SPE
+// stub. Its Read and Write pack or unpack the message in a local-store
+// buffer, post a four-word request descriptor through the outbound
+// mailbox, and wait for the Co-Pilot's completion status in the inbound
+// mailbox — exactly the protocol of paper Section IV.B, with no DMA
+// programming in sight.
+type SPECtx struct {
+	app  *App
+	P    *sim.Proc
+	Self *Process
+	sctx *sdk.Context
+	arg  int
+	env  any
+}
+
+// Arg reports the int argument passed to RunSPE — the paper's mechanism
+// for giving each instance of a data-parallel SPE function its own index.
+func (c *SPECtx) Arg() int { return c.arg }
+
+// Env reports the environment pointer passed to RunSPE.
+func (c *SPECtx) Env() any { return c.env }
+
+// Index reports the index given at CreateSPE.
+func (c *SPECtx) Index() int { return c.Self.index }
+
+// LSFree reports the local-store bytes still available to message buffers
+// — what remains of the 256 KB after the CellPilot runtime, the program
+// image and the stack reserve.
+func (c *SPECtx) LSFree() int { return c.sctx.SPE.LS.Free() }
+
+func (c *SPECtx) fail(loc, api, format string, args ...any) {
+	c.P.Fatalf("%v", usageError(loc, api, format, args...))
+}
+
+// request posts a four-word request descriptor through the outbound
+// mailbox and nudges the Co-Pilot. The 1-entry outbound mailbox makes the
+// later words stall until the Co-Pilot drains them — a real contributor
+// to the latencies in paper Table II.
+func (c *SPECtx) request(op speOpcode, ch *Channel, lsAddr uint32, size int, sig uint32) {
+	c.sctx.WriteOutMbox(c.P, reqWord0(op, ch.id))
+	c.app.copilotFor(c.Self).nudge()
+	c.sctx.WriteOutMbox(c.P, lsAddr)
+	c.sctx.WriteOutMbox(c.P, uint32(size))
+	c.sctx.WriteOutMbox(c.P, sig)
+}
+
+// Write sends args on ch (PI_Write from an SPE process).
+func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
+	loc := callerLoc(1)
+	if ch == nil {
+		c.fail(loc, "PI_Write", "nil channel")
+	}
+	if ch.From != c.Self {
+		c.fail(loc, "PI_Write", "%s is not the writer of %s", c.Self, ch)
+	}
+	spec, err := fmtmsg.Parse(format)
+	if err != nil {
+		c.fail(loc, "PI_Write", "%v", err)
+	}
+	wire, err := spec.Pack(args...)
+	if err != nil {
+		c.fail(loc, "PI_Write", "%v", err)
+	}
+	c.P.Advance(c.app.par.SPEStubOverhead + c.app.par.PackTime(len(wire)))
+	ls := c.sctx.SPE.LS
+	lsAddr, err := ls.Alloc("PI_Write buffer", len(wire), 16)
+	if err != nil {
+		// The 256 KB discipline the paper stresses: the programmer still
+		// has to cope with limited SPE memory.
+		c.fail(loc, "PI_Write", "%v", err)
+	}
+	win, err := ls.Window(lsAddr, len(wire))
+	if err != nil {
+		c.fail(loc, "PI_Write", "%v", err)
+	}
+	copy(win, wire)
+	// With the SPE-deadlock extension, writes that genuinely wait for the
+	// peer (type-4 rendezvous, rendezvous-sized payloads) report to the
+	// service; eager relays complete regardless of the reader and must not
+	// create false cycles.
+	blocking := c.app.opts.SPEDeadlock &&
+		(ch.typ == Type4 || hdrSize+len(wire) > c.app.par.EagerThreshold)
+	if blocking {
+		c.app.reportBlock(c.Self, ch.To, ch, deadlock.OpWrite)
+	}
+	c.request(opWrite, ch, lsAddr, len(wire), spec.Signature())
+	if status := c.sctx.ReadInMbox(c.P); status != speStatusOK {
+		c.fail(loc, "PI_Write", "transfer failed on %s (status %d)", ch, status)
+	}
+	if blocking {
+		c.app.reportUnblock(c.Self)
+	} else {
+		c.app.reportSent(ch) // eager relay: in flight regardless of reader
+	}
+	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire))
+	ls.Release()
+}
+
+// Read receives a message from ch into args (PI_Read from an SPE
+// process). The Co-Pilot lands the payload directly in this SPE's local
+// store through the effective-address mapping; the stub then unpacks it.
+func (c *SPECtx) Read(ch *Channel, format string, args ...any) {
+	loc := callerLoc(1)
+	if ch == nil {
+		c.fail(loc, "PI_Read", "nil channel")
+	}
+	if ch.To != c.Self {
+		c.fail(loc, "PI_Read", "%s is not the reader of %s", c.Self, ch)
+	}
+	spec, err := fmtmsg.Parse(format)
+	if err != nil {
+		c.fail(loc, "PI_Read", "%v", err)
+	}
+	expected, err := spec.WireSize(args...)
+	if err != nil {
+		c.fail(loc, "PI_Read", "%v", err)
+	}
+	ls := c.sctx.SPE.LS
+	lsAddr, err := ls.Alloc("PI_Read buffer", expected, 16)
+	if err != nil {
+		c.fail(loc, "PI_Read", "%v", err)
+	}
+	if c.app.opts.SPEDeadlock {
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
+	}
+	c.request(opRead, ch, lsAddr, expected, spec.Signature())
+	if status := c.sctx.ReadInMbox(c.P); status != speStatusOK {
+		c.fail(loc, "PI_Read", "transfer failed on %s (status %d)", ch, status)
+	}
+	if c.app.opts.SPEDeadlock {
+		c.app.reportUnblock(c.Self)
+	}
+	win, err := ls.Window(lsAddr, expected)
+	if err != nil {
+		c.fail(loc, "PI_Read", "%v", err)
+	}
+	c.P.Advance(c.app.par.SPEStubOverhead + c.app.par.PackTime(expected))
+	if err := spec.Unpack(win, args...); err != nil {
+		c.fail(loc, "PI_Read", "%v", err)
+	}
+	c.app.record(c.P, trace.KindRead, c.Self, ch, expected)
+	ls.Release()
+}
+
+// Log emits a trace line tagged with the SPE process and virtual time.
+func (c *SPECtx) Log(format string, args ...any) {
+	c.app.logf(c.P, c.Self, format, args...)
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cellpilot/internal/sim"
+)
+
+// CoPilotStats counts one Co-Pilot's service activity.
+type CoPilotStats struct {
+	// Node is the Cell node the Co-Pilot runs on.
+	Node int
+	// WriteReqs and ReadReqs are decoded SPE mailbox requests by kind.
+	WriteReqs, ReadReqs int
+	// RelayedBytes is payload relayed over MPI (types 2, 3, 5).
+	RelayedBytes int64
+	// Type4Copies counts intra-node SPE↔SPE memcpy transfers.
+	Type4Copies int
+	// Type4Bytes is the payload those copies moved.
+	Type4Bytes int64
+}
+
+// SPEStats reports one launched SPE process's local-store usage.
+type SPEStats struct {
+	Process   string
+	Node      int
+	Resident  int
+	HighWater int
+}
+
+// Stats is an application-wide utilization report, available after Run.
+type Stats struct {
+	// VirtualTime is the run's final clock value.
+	VirtualTime sim.Time
+	// NetworkMessages and NetworkBytes count interconnect traffic.
+	NetworkMessages int
+	NetworkBytes    int64
+	// CoPilots, indexed by node order, covers every Cell node's service
+	// process.
+	CoPilots []CoPilotStats
+	// SPEs covers every SPE process that was launched.
+	SPEs []SPEStats
+}
+
+// Stats collects the utilization report. Call it after Run returns.
+func (a *App) Stats() Stats {
+	st := Stats{VirtualTime: a.K.Now()}
+	st.NetworkMessages, st.NetworkBytes = a.Clu.Net.Stats()
+	keys := make([]copilotKey, 0, len(a.copilots))
+	for k := range a.copilots {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].cell < keys[j].cell
+	})
+	for _, k := range keys {
+		cs := a.copilots[k].stats
+		cs.Node = k.node
+		st.CoPilots = append(st.CoPilots, cs)
+	}
+	for _, p := range a.procs {
+		if p.IsSPE() && p.sctx != nil {
+			ls := p.sctx.SPE.LS
+			st.SPEs = append(st.SPEs, SPEStats{
+				Process:   p.String(),
+				Node:      p.nodeID,
+				Resident:  ls.Resident(),
+				HighWater: ls.HighWater(),
+			})
+		}
+	}
+	return st
+}
+
+// ConfigDump renders the configured architecture — the process and
+// channel tables Pilot builds during the configuration phase — for
+// debugging and documentation.
+func (a *App) ConfigDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "processes (%d):\n", len(a.procs))
+	for _, p := range a.procs {
+		role := "regular"
+		if p.IsSPE() {
+			role = fmt.Sprintf("SPE (parent %s)", p.parent.name)
+		}
+		fmt.Fprintf(&b, "  %-3d %-28s %s\n", p.id, p.String(), role)
+	}
+	fmt.Fprintf(&b, "channels (%d):\n", len(a.chans))
+	for _, ch := range a.chans {
+		fmt.Fprintf(&b, "  %s\n", ch.Name())
+	}
+	fmt.Fprintf(&b, "bundles (%d):\n", len(a.bundles))
+	for _, bd := range a.bundles {
+		fmt.Fprintf(&b, "  %-10s common=%s channels=%d\n", bd.Name(), bd.common.name, len(bd.chans))
+	}
+	return b.String()
+}
+
+// String renders the report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %s virtual, %d network messages (%d bytes)\n",
+		s.VirtualTime, s.NetworkMessages, s.NetworkBytes)
+	for _, cp := range s.CoPilots {
+		fmt.Fprintf(&b, "  copilot@node%d: %d write + %d read requests, %d bytes relayed, %d type-4 copies (%d bytes)\n",
+			cp.Node, cp.WriteReqs, cp.ReadReqs, cp.RelayedBytes, cp.Type4Copies, cp.Type4Bytes)
+	}
+	for _, spe := range s.SPEs {
+		fmt.Fprintf(&b, "  %-28s LS resident %6d, high water %6d\n", spe.Process, spe.Resident, spe.HighWater)
+	}
+	return b.String()
+}

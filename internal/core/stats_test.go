@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsReport(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	var down, up, cross *Channel
+	echo := &SPEProgram{Name: "echo", Body: func(ctx *SPECtx) {
+		buf := make([]byte, 128)
+		ctx.Read(down, "%128b", buf)
+		ctx.Write(up, "%128b", buf)
+		ctx.Write(cross, "%128b", buf) // type 4 to sibling
+	}}
+	sink := &SPEProgram{Name: "sink", Body: func(ctx *SPECtx) {
+		buf := make([]byte, 128)
+		ctx.Read(cross, "%128b", buf)
+	}}
+	s1 := a.CreateSPE(echo, a.Main(), 0)
+	s2 := a.CreateSPE(sink, a.Main(), 1)
+	down = a.CreateChannel(a.Main(), s1)
+	up = a.CreateChannel(s1, a.Main())
+	cross = a.CreateChannel(s1, s2)
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(s1, 0, nil)
+		ctx.RunSPE(s2, 1, nil)
+		buf := make([]byte, 128)
+		ctx.Write(down, "%128b", buf)
+		ctx.Read(up, "%128b", buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.VirtualTime <= 0 {
+		t.Fatal("no virtual time")
+	}
+	if len(st.CoPilots) != 2 { // one per Cell node in the cluster
+		t.Fatalf("copilots = %d", len(st.CoPilots))
+	}
+	cp := st.CoPilots[0] // node 0 hosts all the action
+	// Requests: s1 read (down), s1 write (up), s1 write (cross), s2 read
+	// (cross) = 2 writes + 2 reads.
+	if cp.WriteReqs != 2 || cp.ReadReqs != 2 {
+		t.Fatalf("requests = %d writes, %d reads", cp.WriteReqs, cp.ReadReqs)
+	}
+	if cp.Type4Copies != 1 || cp.Type4Bytes != 128 {
+		t.Fatalf("type4 = %d copies, %d bytes", cp.Type4Copies, cp.Type4Bytes)
+	}
+	if cp.RelayedBytes != 128 { // only the "up" relay crosses MPI
+		t.Fatalf("relayed = %d", cp.RelayedBytes)
+	}
+	if len(st.SPEs) != 2 {
+		t.Fatalf("SPE stats = %d", len(st.SPEs))
+	}
+	for _, spe := range st.SPEs {
+		if spe.Resident <= 0 || spe.HighWater < spe.Resident {
+			t.Fatalf("LS accounting wrong: %+v", spe)
+		}
+		if spe.HighWater <= spe.Resident {
+			t.Fatalf("%s staged buffers but high water did not move", spe.Process)
+		}
+	}
+	out := st.String()
+	for _, want := range []string{"copilot@node0", "type-4 copies", "high water"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"cellpilot/internal/deadlock"
+	"cellpilot/internal/sim"
+)
+
+// svcKind tags deadlock-service messages.
+type svcKind int
+
+const (
+	svcBlock svcKind = iota
+	svcUnblock
+	svcSent
+	svcExit
+)
+
+// svcMsg is one report to the deadlock service.
+type svcMsg struct {
+	kind svcKind
+	proc *Process
+	peer *Process
+	ch   *Channel
+	op   deadlock.Op
+}
+
+// svcState is the deadlock-detection service (the paper's "-pisvc=d"): a
+// dedicated process consuming BLOCK/UNBLOCK reports from channel
+// operations and aborting the run when a circular wait forms. Reports
+// travel on an out-of-band queue so enabling the service does not perturb
+// the calibrated channel timings (the real service rides MPI; its
+// perturbation is not part of any measured experiment).
+type svcState struct {
+	app *App
+	q   *sim.Queue[svcMsg]
+	det *deadlock.Detector
+}
+
+func newSvc(a *App) *svcState {
+	names := make(map[int]string, len(a.procs))
+	for _, p := range a.procs {
+		names[p.id] = p.String()
+	}
+	return &svcState{
+		app: a,
+		q:   sim.NewQueue[svcMsg](a.K, "pisvc", 1<<15),
+		det: deadlock.New(names),
+	}
+}
+
+func (s *svcState) post(m svcMsg) {
+	if !s.q.TryPut(m) {
+		// The queue is far larger than any plausible in-flight report set;
+		// overflowing it means the service died or the app leaked reports.
+		s.app.K.Abort(fmt.Errorf("pilot: deadlock service queue overflow"))
+	}
+}
+
+func (s *svcState) loop(p *sim.Proc) {
+	for {
+		m := s.q.Get(p)
+		switch m.kind {
+		case svcExit:
+			return
+		case svcBlock:
+			var cyc *deadlock.Cycle
+			if m.op == deadlock.OpRead {
+				cyc = s.det.BlockRead(m.proc.id, m.peer.id, m.ch.id)
+			} else {
+				cyc = s.det.BlockWrite(m.proc.id, m.peer.id, m.ch.id)
+			}
+			if cyc != nil {
+				s.app.K.Abort(cyc)
+				return
+			}
+		case svcSent:
+			s.det.Sent(m.ch.id)
+		case svcUnblock:
+			s.det.Unblock(m.proc.id)
+		}
+	}
+}
+
+// reportBlock tells the deadlock service proc is blocked on ch waiting for
+// peer. No-op unless the service is enabled.
+func (a *App) reportBlock(proc, peer *Process, ch *Channel, op deadlock.Op) {
+	if a.svc != nil {
+		a.svc.post(svcMsg{kind: svcBlock, proc: proc, peer: peer, ch: ch, op: op})
+	}
+}
+
+// reportUnblock tells the deadlock service proc resumed.
+func (a *App) reportUnblock(proc *Process) {
+	if a.svc != nil {
+		a.svc.post(svcMsg{kind: svcUnblock, proc: proc})
+	}
+}
+
+// reportSent tells the deadlock service a message was handed to the
+// transport on ch, so a present or future blocked read on ch is not a
+// wait-for edge.
+func (a *App) reportSent(ch *Channel) {
+	if a.svc != nil {
+		a.svc.post(svcMsg{kind: svcSent, ch: ch})
+	}
+}

@@ -1,0 +1,126 @@
+package dacs
+
+import (
+	"errors"
+	"testing"
+
+	"cellpilot/internal/sdk"
+	"cellpilot/internal/sim"
+)
+
+func TestMailboxBetweenHEAndLeaf(t *testing.T) {
+	rt := newRT(t)
+	cellHE := rt.Root.Children[0]
+	leaf := cellHE.Children[2]
+	prog := &sdk.Program{Name: "mb", Main: func(c *sdk.Context, _ int, _ any) {
+		p := c.Proc
+		v, err := leaf.MailboxRead(p, cellHE) // HE -> SPE: hardware in-mbox
+		if err != nil || v != 77 {
+			p.Fatalf("read %d %v", v, err)
+		}
+		if err := leaf.MailboxWrite(p, cellHE, 88); err != nil { // SPE -> HE
+			p.Fatalf("%v", err)
+		}
+	}}
+	if err := rt.StartProgram(leaf, prog, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	rt.K.Spawn("he", func(p *sim.Proc) {
+		if err := cellHE.MailboxWrite(p, leaf, 77); err != nil {
+			p.Fatalf("%v", err)
+		}
+		v, err := cellHE.MailboxRead(p, leaf)
+		if err != nil || v != 88 {
+			p.Fatalf("read back %d %v", v, err)
+		}
+	})
+	if err := rt.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxBetweenHEs(t *testing.T) {
+	// Cluster HE <-> Cell HE mailbox rides the hybrid message path.
+	rt := newRT(t)
+	cellHE := rt.Root.Children[1]
+	rt.K.Spawn("root", func(p *sim.Proc) {
+		if err := rt.Root.MailboxWrite(p, cellHE, 0xBEEF); err != nil {
+			p.Fatalf("%v", err)
+		}
+	})
+	rt.K.Spawn("cell", func(p *sim.Proc) {
+		v, err := cellHE.MailboxRead(p, rt.Root)
+		if err != nil || v != 0xBEEF {
+			p.Fatalf("read %#x %v", v, err)
+		}
+	})
+	if err := rt.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleasedRemoteMemRejected(t *testing.T) {
+	rt := newRT(t)
+	cellHE := rt.Root.Children[0]
+	leaf := cellHE.Children[3]
+	ea, _ := cellHE.Node.Mem.Alloc(256, 128)
+	rm, err := rt.RemoteMemCreate(cellHE.Node, ea, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Release()
+	prog := &sdk.Program{Name: "stale", Main: func(c *sdk.Context, _ int, _ any) {
+		p := c.Proc
+		lsAddr, _ := c.SPE.LS.Alloc("b", 64, 128)
+		if err := leaf.Put(p, rm, 0, lsAddr, 64, 1); err == nil {
+			p.Fatalf("released handle accepted")
+		}
+	}}
+	if err := rt.StartProgram(leaf, prog, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAOnWrongElementRejected(t *testing.T) {
+	rt := newRT(t)
+	cellHE := rt.Root.Children[0]
+	ea, _ := cellHE.Node.Mem.Alloc(256, 128)
+	rm, _ := rt.RemoteMemCreate(cellHE.Node, ea, 256)
+	rt.K.Spawn("he", func(p *sim.Proc) {
+		if err := cellHE.Put(p, rm, 0, 0, 64, 1); err == nil {
+			p.Fatalf("put from a non-SPE element accepted")
+		}
+		if err := cellHE.Wait(p, 1); err == nil {
+			p.Fatalf("wait on a non-SPE element accepted")
+		}
+	})
+	if err := rt.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// RMA against a remote node's region is the hybrid path's job.
+	other := rt.Root.Children[1].Children[0]
+	prog := &sdk.Program{Name: "x", Main: func(c *sdk.Context, _ int, _ any) {
+		p := c.Proc
+		lsAddr, _ := c.SPE.LS.Alloc("b", 64, 128)
+		if err := other.Put(p, rm, 0, lsAddr, 64, 1); !errors.Is(err, ErrNotSupported) {
+			p.Fatalf("cross-node RMA: %v", err)
+		}
+	}}
+	if err := rt.StartProgram(other, prog, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementNames(t *testing.T) {
+	rt := newRT(t)
+	if rt.Root.Name() == "" || rt.Root.Children[0].Name() == "" ||
+		rt.Root.Children[0].Children[0].Name() == "" {
+		t.Fatal("element names empty")
+	}
+}

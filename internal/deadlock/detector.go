@@ -1,0 +1,197 @@
+// Package deadlock implements Pilot's optional circular-wait detection
+// (the paper's "-pisvc=d" service, which consumes one MPI process). The
+// Detector is the pure wait-for-graph logic; the service process in the
+// core package feeds it BLOCK/UNBLOCK/SENT reports from channel
+// operations and aborts the application with a diagnostic when a cycle
+// forms.
+//
+// The detector is message-aware, which is what makes it sound: a process
+// blocked in PI_Read is waiting for a *message*, not for its peer's
+// progress, so a read whose channel already has an unconsumed send in
+// flight contributes no wait-for edge, and a blocked writer/blocked
+// reader pair on the same channel is a rendezvous about to complete, not
+// a wait. Without this, eager sends and type-4 SPE rendezvous would
+// produce false cycles.
+//
+// As in the paper, detection covers regular (PPE/non-Cell) Pilot
+// processes; SPE operations report only when the CellPilot future-work
+// extension (core.Options.SPEDeadlock) is enabled.
+package deadlock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is the blocking channel operation.
+type Op int
+
+// Channel operations that can block.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == OpRead {
+		return "PI_Read"
+	}
+	return "PI_Write"
+}
+
+// edge is one blocked process: it waits for peer to act on channel ch.
+type edge struct {
+	peer int
+	ch   int
+	op   Op
+}
+
+// Detector maintains the wait-for graph plus per-channel message
+// accounting. A Pilot process blocks on at most one channel operation at
+// a time, so each node has at most one outgoing edge and cycle detection
+// is a single walk.
+type Detector struct {
+	waits   map[int]edge
+	names   map[int]string
+	pending map[int]int // channel -> sends not yet consumed by a read
+	readers map[int]int // channel -> proc currently edge-blocked reading it
+	writers map[int]int // channel -> proc currently edge-blocked writing it
+}
+
+// New creates an empty detector. names maps process ids to display names
+// (nil is allowed).
+func New(names map[int]string) *Detector {
+	return &Detector{
+		waits:   make(map[int]edge),
+		names:   names,
+		pending: make(map[int]int),
+		readers: make(map[int]int),
+		writers: make(map[int]int),
+	}
+}
+
+// Cycle describes a detected circular wait, in walk order.
+type Cycle struct {
+	Procs []int
+	Chans []int
+	Ops   []Op
+	names map[int]string
+}
+
+// Error implements error with the Pilot-style diagnostic naming every
+// process and channel in the cycle.
+func (c *Cycle) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pilot: deadlock detected: circular wait among %d processes:", len(c.Procs))
+	for i, p := range c.Procs {
+		next := c.Procs[(i+1)%len(c.Procs)]
+		fmt.Fprintf(&b, "\n  %s blocked in %s on channel %d waiting for %s",
+			c.name(p), c.Ops[i], c.Chans[i], c.name(next))
+	}
+	return b.String()
+}
+
+func (c *Cycle) name(id int) string {
+	if c.names != nil {
+		if n, ok := c.names[id]; ok {
+			return n
+		}
+	}
+	return fmt.Sprintf("process %d", id)
+}
+
+// Sent records that a message was handed to the transport on ch. If a
+// reader is edge-blocked on ch its wait is satisfied; otherwise the send
+// stays pending for a future read.
+func (d *Detector) Sent(ch int) {
+	if proc, ok := d.readers[ch]; ok {
+		d.clear(proc)
+		return
+	}
+	d.pending[ch]++
+}
+
+// BlockRead records that proc is blocked reading ch, whose writer is
+// peer. It reports the cycle it closes, if any.
+func (d *Detector) BlockRead(proc, peer, ch int) *Cycle {
+	if d.pending[ch] > 0 {
+		// A message is already in flight: this read will complete.
+		d.pending[ch]--
+		return nil
+	}
+	if w, ok := d.writers[ch]; ok {
+		// Rendezvous: the writer is blocked on the same channel waiting
+		// for exactly this read. Both will proceed.
+		d.clear(w)
+		return nil
+	}
+	return d.block(proc, peer, ch, OpRead)
+}
+
+// BlockWrite records that proc is blocked writing ch (a rendezvous-sized
+// or SPE-rendezvous send), whose reader is peer.
+func (d *Detector) BlockWrite(proc, peer, ch int) *Cycle {
+	if r, ok := d.readers[ch]; ok {
+		// The reader is already waiting on this very channel: a match.
+		d.clear(r)
+		return nil
+	}
+	return d.block(proc, peer, ch, OpWrite)
+}
+
+func (d *Detector) block(proc, peer, ch int, op Op) *Cycle {
+	d.waits[proc] = edge{peer: peer, ch: ch, op: op}
+	if op == OpRead {
+		d.readers[ch] = proc
+	} else {
+		d.writers[ch] = proc
+	}
+	// Walk from proc; if the walk returns to proc, that is a cycle.
+	seen := map[int]bool{}
+	cur := proc
+	var procs []int
+	var chans []int
+	var ops []Op
+	for {
+		e, blocked := d.waits[cur]
+		if !blocked {
+			return nil // chain ends at a runnable process
+		}
+		if seen[cur] {
+			if cur != proc {
+				// A cycle exists downstream but does not include proc; it
+				// was reported when its own closing edge was added.
+				return nil
+			}
+			return &Cycle{Procs: procs, Chans: chans, Ops: ops, names: d.names}
+		}
+		seen[cur] = true
+		procs = append(procs, cur)
+		chans = append(chans, e.ch)
+		ops = append(ops, e.op)
+		cur = e.peer
+	}
+}
+
+// Unblock records that proc resumed. It is a no-op if the wait was
+// already satisfied by a matching Sent or rendezvous pairing.
+func (d *Detector) Unblock(proc int) { d.clear(proc) }
+
+func (d *Detector) clear(proc int) {
+	e, ok := d.waits[proc]
+	if !ok {
+		return
+	}
+	delete(d.waits, proc)
+	if e.op == OpRead {
+		if d.readers[e.ch] == proc {
+			delete(d.readers, e.ch)
+		}
+	} else if d.writers[e.ch] == proc {
+		delete(d.writers, e.ch)
+	}
+}
+
+// Blocked reports how many processes currently hold wait-for edges.
+func (d *Detector) Blocked() int { return len(d.waits) }

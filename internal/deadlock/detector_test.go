@@ -1,0 +1,159 @@
+package deadlock
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTwoProcessReadCycle(t *testing.T) {
+	d := New(map[int]string{1: "alice", 2: "bob"})
+	if c := d.BlockRead(1, 2, 10); c != nil {
+		t.Fatalf("premature cycle: %v", c)
+	}
+	c := d.BlockRead(2, 1, 11)
+	if c == nil {
+		t.Fatal("read-read cycle not detected")
+	}
+	msg := c.Error()
+	for _, want := range []string{"alice", "bob", "channel 10", "channel 11", "PI_Read", "circular wait among 2"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q: %s", want, msg)
+		}
+	}
+}
+
+func TestPendingSendPreventsFalseCycle(t *testing.T) {
+	// Both processes wrote eagerly before reading: messages are in
+	// flight, so the crossed reads are NOT a deadlock.
+	d := New(nil)
+	d.Sent(10) // 1 -> 2
+	d.Sent(11) // 2 -> 1
+	if c := d.BlockRead(1, 2, 11); c != nil {
+		t.Fatalf("false cycle: %v", c)
+	}
+	if c := d.BlockRead(2, 1, 10); c != nil {
+		t.Fatalf("false cycle: %v", c)
+	}
+	if d.Blocked() != 0 {
+		t.Fatalf("blocked = %d, want 0 (both reads satisfied)", d.Blocked())
+	}
+}
+
+func TestSentAfterBlockClearsReader(t *testing.T) {
+	d := New(nil)
+	if c := d.BlockRead(1, 2, 5); c != nil {
+		t.Fatal(c)
+	}
+	if d.Blocked() != 1 {
+		t.Fatal("reader not recorded")
+	}
+	d.Sent(5)
+	if d.Blocked() != 0 {
+		t.Fatal("sent did not clear the blocked reader")
+	}
+	// The late reader's own unblock must be a harmless no-op.
+	d.Unblock(1)
+	// And a second cycle attempt must still work afterwards.
+	d.BlockRead(1, 2, 5)
+	if c := d.BlockRead(2, 1, 6); c == nil {
+		t.Fatal("real cycle missed after earlier satisfied wait")
+	}
+}
+
+func TestRendezvousPairIsNotACycle(t *testing.T) {
+	// Type-4 SPE transfer: writer blocked on channel 7, reader blocks on
+	// the same channel — they satisfy each other.
+	d := New(nil)
+	if c := d.BlockWrite(1, 2, 7); c != nil {
+		t.Fatal(c)
+	}
+	if c := d.BlockRead(2, 1, 7); c != nil {
+		t.Fatalf("rendezvous pair reported as cycle: %v", c)
+	}
+	if d.Blocked() != 0 {
+		t.Fatalf("blocked = %d after rendezvous match", d.Blocked())
+	}
+	// Same in the other arrival order.
+	if c := d.BlockRead(2, 1, 7); c != nil {
+		t.Fatal(c)
+	}
+	if c := d.BlockWrite(1, 2, 7); c != nil {
+		t.Fatalf("rendezvous pair (reader first) reported as cycle: %v", c)
+	}
+	if d.Blocked() != 0 {
+		t.Fatal("rendezvous (reader first) not matched")
+	}
+}
+
+func TestWriteWriteCycleOnDistinctChannels(t *testing.T) {
+	// Two rendezvous writes waiting on each other's reads: a real
+	// deadlock.
+	d := New(nil)
+	if c := d.BlockWrite(1, 2, 1); c != nil {
+		t.Fatal(c)
+	}
+	c := d.BlockWrite(2, 1, 2)
+	if c == nil {
+		t.Fatal("write-write cycle not detected")
+	}
+	if !strings.Contains(c.Error(), "PI_Write") {
+		t.Fatalf("diagnostic lacks the op: %v", c)
+	}
+}
+
+func TestChainWithoutCycle(t *testing.T) {
+	d := New(nil)
+	if c := d.BlockRead(1, 2, 0); c != nil {
+		t.Fatal("1->2 is not a cycle")
+	}
+	if c := d.BlockWrite(2, 3, 1); c != nil {
+		t.Fatal("1->2->3 is not a cycle")
+	}
+	d.Unblock(2)
+	if c := d.BlockRead(3, 1, 2); c != nil {
+		t.Fatalf("3->1->2(unblocked) is not a cycle: %v", c)
+	}
+	if d.Blocked() != 2 {
+		t.Fatalf("blocked = %d", d.Blocked())
+	}
+}
+
+func TestThreeProcessCycle(t *testing.T) {
+	d := New(nil)
+	d.BlockRead(1, 2, 0)
+	d.BlockRead(2, 3, 1)
+	c := d.BlockRead(3, 1, 2)
+	if c == nil || len(c.Procs) != 3 {
+		t.Fatalf("cycle = %+v", c)
+	}
+}
+
+func TestDownstreamCycleNotReReported(t *testing.T) {
+	d := New(nil)
+	d.BlockRead(2, 3, 0)
+	if c := d.BlockRead(3, 2, 1); c == nil {
+		t.Fatal("2<->3 cycle missed")
+	}
+	// 1 now blocks on the already-cyclic pair: its own walk must not claim
+	// a cycle through itself.
+	if c := d.BlockRead(1, 2, 2); c != nil {
+		t.Fatalf("1 is not part of the cycle: %+v", c)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	d := New(nil)
+	c := d.BlockRead(1, 1, 0)
+	if c == nil || len(c.Procs) != 1 {
+		t.Fatalf("self wait not detected: %+v", c)
+	}
+}
+
+func TestUnblockClears(t *testing.T) {
+	d := New(nil)
+	d.BlockRead(1, 2, 0)
+	d.Unblock(1)
+	if c := d.BlockRead(2, 1, 1); c != nil {
+		t.Fatal("cycle reported after unblock")
+	}
+}

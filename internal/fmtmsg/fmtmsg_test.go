@@ -1,0 +1,307 @@
+package fmtmsg
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		format string
+		items  []Item
+	}{
+		{"%d", []Item{{Count: 1, Type: Int32}}},
+		{"%b", []Item{{Count: 1, Type: Byte}}},
+		{"%100d", []Item{{Count: 100, Type: Int32}}},
+		{"%100Lf", []Item{{Count: 100, Type: LongDouble}}},
+		{"%*d", []Item{{Count: 1, Star: true, Type: Int32}}},
+		{"%1000f", []Item{{Count: 1000, Type: Float32}}},
+		{"%d %lf", []Item{{Count: 1, Type: Int32}, {Count: 1, Type: Float64}}},
+		{"%hd%ld%u%lu%c", []Item{
+			{Count: 1, Type: Int16}, {Count: 1, Type: Int64},
+			{Count: 1, Type: Uint32}, {Count: 1, Type: Uint64}, {Count: 1, Type: Char},
+		}},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.format)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.format, err)
+		}
+		if !reflect.DeepEqual(s.Items, c.items) {
+			t.Fatalf("Parse(%q) = %+v, want %+v", c.format, s.Items, c.items)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, f := range []string{"", "d", "%q", "%0d", "%-1d", "% d", "%d x", "%"} {
+		if _, err := Parse(f); err == nil {
+			t.Errorf("Parse(%q) succeeded", f)
+		}
+	}
+}
+
+func TestParseCacheReturnsSameSpec(t *testing.T) {
+	a := MustParse("%17d")
+	b := MustParse("%17d")
+	if a != b {
+		t.Fatal("parse cache miss for identical literal")
+	}
+}
+
+func TestPackUnpackRoundTripScalars(t *testing.T) {
+	s := MustParse("%b %c %hd %d %ld %u %lu %f %lf %Lf")
+	wire, err := s.Pack(
+		byte(7), byte('x'), int16(-5), int32(-100000), int64(-1<<40),
+		uint32(4000000000), uint64(1<<60), float32(1.5), float64(2.25),
+		LongDoubleVal{Hi: 3.5, Lo: 1e-30},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 1+1+2+4+8+4+8+4+8+16 {
+		t.Fatalf("wire size %d", len(wire))
+	}
+	var (
+		b, c byte
+		h    int16
+		d    int32
+		l    int64
+		u    uint32
+		lu   uint64
+		f    float32
+		lf   float64
+		Lf   LongDoubleVal
+	)
+	if err := s.Unpack(wire, &b, &c, &h, &d, &l, &u, &lu, &f, &lf, &Lf); err != nil {
+		t.Fatal(err)
+	}
+	if b != 7 || c != 'x' || h != -5 || d != -100000 || l != -1<<40 ||
+		u != 4000000000 || lu != 1<<60 || f != 1.5 || lf != 2.25 ||
+		Lf.Hi != 3.5 || Lf.Lo != 1e-30 {
+		t.Fatalf("round trip mismatch: %v %v %v %v %v %v %v %v %v %+v", b, c, h, d, l, u, lu, f, lf, Lf)
+	}
+}
+
+func TestPackUnpackArrays(t *testing.T) {
+	s := MustParse("%100d")
+	in := make([]int32, 100)
+	for i := range in {
+		in[i] = int32(i * 3)
+	}
+	wire, err := s.Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 400 {
+		t.Fatalf("wire = %d bytes", len(wire))
+	}
+	out := make([]int32, 100)
+	if err := s.Unpack(wire, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("array round trip mismatch")
+	}
+}
+
+func TestStarCountPaperExample(t *testing.T) {
+	// Paper fig 3/4: writer uses "%100d", reader uses "%*d" with count 100.
+	w := MustParse("%100d")
+	r := MustParse("%*d")
+	in := make([]int32, 100)
+	for i := range in {
+		in[i] = int32(i)
+	}
+	wire, err := w.Pack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, 100)
+	if err := r.Unpack(wire, 100, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("star read mismatch")
+	}
+	// Writer can also supply the count at run time.
+	wire2, err := r.Pack(100, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire2) != len(wire) {
+		t.Fatalf("star pack size %d vs %d", len(wire2), len(wire))
+	}
+}
+
+func TestSignatureCompatibility(t *testing.T) {
+	if MustParse("%100d").Signature() != MustParse("%*d").Signature() {
+		t.Fatal("star and fixed counts of same type must share a signature")
+	}
+	if MustParse("%100d").Signature() != MustParse("%5d").Signature() {
+		t.Fatal("counts must not change the signature (checked by size at run time)")
+	}
+	if MustParse("%d").Signature() == MustParse("%f").Signature() {
+		t.Fatal("different types share a signature")
+	}
+	if MustParse("%d %f").Signature() == MustParse("%f %d").Signature() {
+		t.Fatal("order must matter")
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	s := MustParse("%10d")
+	if _, err := s.Pack(make([]int32, 5)); err == nil || !strings.Contains(err.Error(), "10 elements") {
+		t.Fatalf("short slice: %v", err)
+	}
+	if _, err := s.Pack("wrong"); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	if _, err := s.Pack(); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if _, err := s.Pack(make([]int32, 10), 5); err == nil {
+		t.Fatal("excess args accepted")
+	}
+	star := MustParse("%*d")
+	if _, err := star.Pack(-1, make([]int32, 5)); err == nil {
+		t.Fatal("negative star count accepted")
+	}
+	if _, err := star.Pack("n", make([]int32, 5)); err == nil {
+		t.Fatal("non-int star count accepted")
+	}
+	if err := s.Unpack(make([]byte, 39), make([]int32, 10)); err == nil {
+		t.Fatal("truncated wire accepted")
+	}
+	if _, err := s.Pack(5); err == nil {
+		t.Fatal("scalar for count-10 item accepted")
+	}
+}
+
+func TestIntOverflowChecked(t *testing.T) {
+	s := MustParse("%d")
+	if _, err := s.Pack(int(math.MaxInt32) + 1); err == nil {
+		t.Fatal("int overflowing 32-bit conversion accepted")
+	}
+	wire, err := s.Pack(int(-7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out int
+	if err := s.Unpack(wire, &out); err != nil || out != -7 {
+		t.Fatalf("int round trip: %d %v", out, err)
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	s := MustParse("%*Lf")
+	n, err := s.WireSize(100, make([]LongDoubleVal, 100))
+	if err != nil || n != 1600 {
+		t.Fatalf("WireSize = %d, %v (paper payload must be 1600)", n, err)
+	}
+	if MustParse("%100Lf").MinWireSize() != 1600 {
+		t.Fatal("MinWireSize(%100Lf) != 1600")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	for _, f := range []string{"%100d", "%*f %b", "%d %lf %Lf"} {
+		if got := MustParse(f).String(); got != f {
+			t.Errorf("String() = %q, want %q", got, f)
+		}
+	}
+}
+
+// Property: Pack → Unpack is the identity on float64 arrays of any size.
+func TestRoundTripPropertyFloat64(t *testing.T) {
+	prop := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := MustParse("%*lf")
+		wire, err := s.Pack(len(vals), vals)
+		if err != nil {
+			return false
+		}
+		out := make([]float64, len(vals))
+		if err := s.Unpack(wire, len(vals), out); err != nil {
+			return false
+		}
+		for i := range vals {
+			if vals[i] != out[i] && !(math.IsNaN(vals[i]) && math.IsNaN(out[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse never panics and either errors or produces a spec that
+// round-trips through String -> Parse with identical items.
+func TestParseRobustnessProperty(t *testing.T) {
+	prop := func(raw string) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		s, err := Parse(raw)
+		if err != nil {
+			return true // rejected garbage is fine
+		}
+		s2, err := Parse(s.String())
+		if err != nil {
+			return false // canonical form must re-parse
+		}
+		return reflect.DeepEqual(s.Items, s2.Items)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// And a few hand-picked near-miss strings.
+	for _, f := range []string{"%d%", "%*", "%**d", "%9999999999999999999d", "% 100d", "%100", "%L", "%h"} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", f, r)
+				}
+			}()
+			Parse(f)
+		}()
+	}
+}
+
+// Property: wire length always equals count*elemsize for every type.
+func TestWireLengthProperty(t *testing.T) {
+	types := []struct {
+		format string
+		mk     func(n int) any
+		size   int
+	}{
+		{"%*b", func(n int) any { return make([]byte, n) }, 1},
+		{"%*hd", func(n int) any { return make([]int16, n) }, 2},
+		{"%*d", func(n int) any { return make([]int32, n) }, 4},
+		{"%*ld", func(n int) any { return make([]int64, n) }, 8},
+		{"%*u", func(n int) any { return make([]uint32, n) }, 4},
+		{"%*lu", func(n int) any { return make([]uint64, n) }, 8},
+		{"%*f", func(n int) any { return make([]float32, n) }, 4},
+		{"%*lf", func(n int) any { return make([]float64, n) }, 8},
+		{"%*Lf", func(n int) any { return make([]LongDoubleVal, n) }, 16},
+	}
+	for _, tc := range types {
+		s := MustParse(tc.format)
+		for _, n := range []int{1, 3, 100} {
+			wire, err := s.Pack(n, tc.mk(n))
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", tc.format, n, err)
+			}
+			if len(wire) != n*tc.size {
+				t.Fatalf("%s n=%d: wire %d bytes, want %d", tc.format, n, len(wire), n*tc.size)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package fmtmsg
+
+import "testing"
+
+// Table-driven coverage for every element type's unpack paths: correct
+// scalar pointers, correct slices, wrong-type rejection, short slices.
+func TestUnpackAllTypePaths(t *testing.T) {
+	cases := []struct {
+		format string
+		pack   []any // args to Pack (count 3)
+		scalar []any // args to Unpack single (count 1 format)
+		sfmt   string
+		wrong  any // a wrong-typed unpack target
+	}{
+		{"%3b", []any{[]byte{1, 2, 3}}, []any{new(byte)}, "%b", new(int16)},
+		{"%3hd", []any{[]int16{-1, 2, -3}}, []any{new(int16)}, "%hd", new(byte)},
+		{"%3d", []any{[]int32{4, -5, 6}}, []any{new(int32)}, "%d", new(float32)},
+		{"%3ld", []any{[]int64{7, -8, 9}}, []any{new(int64)}, "%ld", new(int32)},
+		{"%3u", []any{[]uint32{1, 2, 3}}, []any{new(uint32)}, "%u", new(int32)},
+		{"%3lu", []any{[]uint64{4, 5, 6}}, []any{new(uint64)}, "%lu", new(uint32)},
+		{"%3f", []any{[]float32{1.5, 2.5, 3.5}}, []any{new(float32)}, "%f", new(float64)},
+		{"%3lf", []any{[]float64{1.5, 2.5, 3.5}}, []any{new(float64)}, "%lf", new(float32)},
+		{"%3Lf", []any{make([]LongDoubleVal, 3)}, []any{new(LongDoubleVal)}, "%Lf", new(float64)},
+	}
+	for _, c := range cases {
+		spec := MustParse(c.format)
+		wire, err := spec.Pack(c.pack...)
+		if err != nil {
+			t.Fatalf("%s pack: %v", c.format, err)
+		}
+		// Slice round trip (covered elsewhere, re-checked cheaply).
+		if err := spec.Unpack(wire, c.pack...); err != nil {
+			t.Errorf("%s slice unpack: %v", c.format, err)
+		}
+		// Scalar pointer path.
+		one := MustParse(c.sfmt)
+		elem := wire[:one.Items[0].Type.Size()]
+		if err := one.Unpack(elem, c.scalar...); err != nil {
+			t.Errorf("%s scalar unpack: %v", c.sfmt, err)
+		}
+		// A scalar pointer for a count-3 item must be rejected.
+		if err := spec.Unpack(wire, c.scalar...); err == nil {
+			t.Errorf("%s: scalar target for count-3 item accepted", c.format)
+		}
+		// Wrong-typed target must be rejected.
+		if err := one.Unpack(elem, c.wrong); err == nil {
+			t.Errorf("%s: wrong-typed target %T accepted", c.sfmt, c.wrong)
+		}
+		// Short slice targets must be rejected per type.
+		short := map[string]any{
+			"%3b": make([]byte, 2), "%3hd": make([]int16, 2), "%3d": make([]int32, 2),
+			"%3ld": make([]int64, 2), "%3u": make([]uint32, 2), "%3lu": make([]uint64, 2),
+			"%3f": make([]float32, 2), "%3lf": make([]float64, 2), "%3Lf": make([]LongDoubleVal, 2),
+		}[c.format]
+		if err := spec.Unpack(wire, short); err == nil {
+			t.Errorf("%s: short slice accepted", c.format)
+		}
+	}
+	// Verb spellings round-trip for every type.
+	for _, e := range []ElemType{Byte, Char, Int16, Int32, Int64, Uint32, Uint64, Float32, Float64, LongDouble} {
+		if e.Size() <= 0 || e.Verb() == "?" || e.String() == "" {
+			t.Errorf("type %d metadata incomplete", int(e))
+		}
+	}
+}
+
+// Every type's *pack* wrong-argument branch.
+func TestPackWrongTypeAllPaths(t *testing.T) {
+	wrong := map[string]any{
+		"%b": int32(1), "%hd": byte(1), "%d": "x", "%ld": float64(1),
+		"%u": int32(1), "%lu": uint32(1), "%f": float64(1), "%lf": float32(1), "%Lf": float64(1),
+	}
+	for f, arg := range wrong {
+		if _, err := MustParse(f).Pack(arg); err == nil {
+			t.Errorf("Pack(%s, %T) accepted", f, arg)
+		}
+	}
+	// Scalar packs for every type (count-1 fast paths).
+	ok := []struct {
+		f string
+		a any
+	}{
+		{"%b", byte(9)}, {"%hd", int16(-2)}, {"%d", int32(3)}, {"%ld", int64(-4)},
+		{"%u", uint32(5)}, {"%lu", uint64(6)}, {"%f", float32(7)}, {"%lf", float64(8)},
+		{"%Lf", LongDoubleVal{Hi: 1}}, {"%ld", int(11)},
+	}
+	for _, c := range ok {
+		if _, err := MustParse(c.f).Pack(c.a); err != nil {
+			t.Errorf("Pack(%s, %T): %v", c.f, c.a, err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package interconnect models the cluster fabric: per-node NICs feeding a
+// non-blocking switch over gigabit Ethernet. Transfers between distinct
+// nodes queue on the sender's NIC (startup + serialization at the effective
+// bandwidth) and then propagate with a fixed latency; the intra-node path
+// is handled by the MPI layer's shared-memory model, not here.
+package interconnect
+
+import (
+	"fmt"
+
+	"cellpilot/internal/cellbe"
+	"cellpilot/internal/sim"
+)
+
+// Network is the cluster interconnect.
+type Network struct {
+	k   *sim.Kernel
+	par *cellbe.Params
+	tx  []*sim.Resource
+
+	// stats
+	messages int
+	bytes    int64
+}
+
+// New builds a network for nNodes nodes using the calibration in par.
+func New(k *sim.Kernel, par *cellbe.Params, nNodes int) *Network {
+	n := &Network{k: k, par: par}
+	for i := 0; i < nNodes; i++ {
+		n.tx = append(n.tx, sim.NewResource(
+			k, fmt.Sprintf("nic%d", i), par.LinkStartup, par.NetBytesPerSec, par.NetLatency))
+	}
+	return n
+}
+
+// Send models node from transmitting bytes to node to. It blocks p for NIC
+// queueing and serialization and returns the arrival time at the receiver.
+// Sending to the sender's own node is a programming error here; use the
+// local MPI path instead.
+func (n *Network) Send(p *sim.Proc, from, to, bytes int) (arrival sim.Time) {
+	if from == to {
+		panic(fmt.Sprintf("interconnect: Send from node %d to itself", from))
+	}
+	if from < 0 || from >= len(n.tx) || to < 0 || to >= len(n.tx) {
+		panic(fmt.Sprintf("interconnect: Send between unknown nodes %d->%d", from, to))
+	}
+	n.messages++
+	n.bytes += int64(bytes)
+	return n.tx[from].Send(p, bytes)
+}
+
+// OneWayTime predicts the unloaded one-way time for a message of the given
+// size; useful for tests and analytical checks.
+func (n *Network) OneWayTime(bytes int) sim.Time {
+	return n.tx[0].SerializationTime(bytes) + n.par.NetLatency
+}
+
+// SerializationTime reports how long bytes occupy a NIC (uniform across
+// nodes). Used by protocol layers that schedule transfers asynchronously.
+func (n *Network) SerializationTime(bytes int) sim.Time {
+	return n.tx[0].SerializationTime(bytes)
+}
+
+// Stats reports total messages and bytes sent through the fabric.
+func (n *Network) Stats() (messages int, bytes int64) { return n.messages, n.bytes }

@@ -1,0 +1,193 @@
+package mpi
+
+import "cellpilot/internal/sim"
+
+// Collective operations are SPMD (every participating rank calls the same
+// function), implemented over point-to-point messages in a reserved tag
+// space, like a real MPI's tuned trees.
+const (
+	collTagBarrier  = 1 << 20
+	collTagBcast    = 1<<20 + 1024
+	collTagGather   = 1<<20 + 2048
+	collTagReduce   = 1<<20 + 3072
+	collTagScatter  = 1<<20 + 4096
+	collTagAlltoall = 1<<20 + 5120
+)
+
+// Barrier blocks until every rank in the world has entered it
+// (dissemination algorithm: log2(n) rounds).
+func (r *Rank) Barrier(p *sim.Proc) {
+	n := r.w.Size()
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := (r.id + dist) % n
+		from := (r.id - dist + n) % n
+		r.Send(p, to, collTagBarrier+round, nil)
+		r.Recv(p, from, collTagBarrier+round)
+	}
+}
+
+// Bcast distributes root's data to every rank (binomial tree). The root
+// passes the payload; other ranks pass nil and receive the payload as the
+// return value.
+func (r *Rank) Bcast(p *sim.Proc, root int, data []byte) []byte {
+	n := r.w.Size()
+	vrank := (r.id - root + n) % n // rotate so the root is virtual rank 0
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % n
+			data, _ = r.Recv(p, parent, collTagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < n {
+			child := (vrank + mask + root) % n
+			r.Send(p, child, collTagBcast, data)
+		}
+	}
+	return data
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// Gather collects each rank's contribution at root. The root's return
+// value is indexed by rank; other ranks get nil.
+func (r *Rank) Gather(p *sim.Proc, root int, contrib []byte) [][]byte {
+	if r.id != root {
+		r.Send(p, root, collTagGather, contrib)
+		return nil
+	}
+	out := make([][]byte, r.w.Size())
+	out[root] = append([]byte(nil), contrib...)
+	for i := 0; i < r.w.Size(); i++ {
+		if i == root {
+			continue
+		}
+		data, _ := r.Recv(p, i, collTagGather)
+		out[i] = data
+	}
+	return out
+}
+
+// ReduceOp combines an incoming contribution into an accumulator (both the
+// same length).
+type ReduceOp func(acc, in []byte)
+
+// Reduce combines every rank's contribution at root with op; the root gets
+// the result, others nil.
+func (r *Rank) Reduce(p *sim.Proc, root int, contrib []byte, op ReduceOp) []byte {
+	// Binomial-tree reduction on virtual ranks rooted at root.
+	n := r.w.Size()
+	vrank := (r.id - root + n) % n
+	acc := append([]byte(nil), contrib...)
+	for mask := 1; mask < nextPow2(n); mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % n
+			r.Send(p, parent, collTagReduce, acc)
+			return nil
+		}
+		if vrank+mask < n {
+			child := (vrank + mask + root) % n
+			in, _ := r.Recv(p, child, collTagReduce)
+			op(acc, in)
+		}
+	}
+	if r.id == root {
+		return acc
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast; every rank gets the
+// combined result.
+func (r *Rank) Allreduce(p *sim.Proc, contrib []byte, op ReduceOp) []byte {
+	acc := r.Reduce(p, 0, contrib, op)
+	return r.Bcast(p, 0, acc)
+}
+
+// Scatter distributes chunks[i] from root to rank i (MPI_Scatter with
+// per-rank chunks). Non-root ranks pass nil and receive their chunk.
+func (r *Rank) Scatter(p *sim.Proc, root int, chunks [][]byte) []byte {
+	if r.id == root {
+		if len(chunks) != r.w.Size() {
+			p.Fatalf("mpi: scatter needs %d chunks, got %d", r.w.Size(), len(chunks))
+		}
+		for i, ch := range chunks {
+			if i == root {
+				continue
+			}
+			r.Send(p, i, collTagScatter, ch)
+		}
+		return append([]byte(nil), chunks[root]...)
+	}
+	out, _ := r.Recv(p, root, collTagScatter)
+	return out
+}
+
+// Allgather collects every rank's contribution at every rank
+// (MPI_Allgather): Gather to rank 0, then a broadcast of the flattened
+// set with per-rank lengths.
+func (r *Rank) Allgather(p *sim.Proc, contrib []byte) [][]byte {
+	parts := r.Gather(p, 0, contrib)
+	// Flatten with a simple length-prefixed encoding for the broadcast.
+	var flat []byte
+	if r.id == 0 {
+		for _, part := range parts {
+			flat = append(flat,
+				byte(len(part)>>24), byte(len(part)>>16), byte(len(part)>>8), byte(len(part)))
+			flat = append(flat, part...)
+		}
+	}
+	flat = r.Bcast(p, 0, flat)
+	out := make([][]byte, 0, r.w.Size())
+	for off := 0; off < len(flat); {
+		n := int(flat[off])<<24 | int(flat[off+1])<<16 | int(flat[off+2])<<8 | int(flat[off+3])
+		off += 4
+		out = append(out, append([]byte(nil), flat[off:off+n]...))
+		off += n
+	}
+	return out
+}
+
+// Alltoall delivers send[i] from this rank to rank i and returns what
+// every rank sent to this one, indexed by source (MPI_Alltoall). It uses
+// nonblocking operations so all exchanges overlap.
+func (r *Rank) Alltoall(p *sim.Proc, send [][]byte) [][]byte {
+	n := r.w.Size()
+	if len(send) != n {
+		p.Fatalf("mpi: alltoall needs %d buffers, got %d", n, len(send))
+	}
+	out := make([][]byte, n)
+	recvReqs := make([]*Request, 0, n-1)
+	srcOf := map[*Request]int{}
+	for i := 0; i < n; i++ {
+		if i == r.id {
+			out[i] = append([]byte(nil), send[i]...)
+			continue
+		}
+		q := r.Irecv(p, i, collTagAlltoall)
+		srcOf[q] = i
+		recvReqs = append(recvReqs, q)
+	}
+	sendReqs := make([]*Request, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i == r.id {
+			continue
+		}
+		sendReqs = append(sendReqs, r.Isend(p, i, collTagAlltoall, send[i]))
+	}
+	for _, q := range recvReqs {
+		data, _ := r.Wait(p, q)
+		out[srcOf[q]] = data
+	}
+	r.Waitall(p, sendReqs)
+	return out
+}

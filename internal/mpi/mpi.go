@@ -1,0 +1,114 @@
+// Package mpi is a from-scratch message-passing layer over the simulated
+// cluster: ranks placed on node processors, tagged point-to-point
+// communication with MPI matching semantics (wildcards, non-overtaking
+// per sender), an eager/rendezvous protocol split, probes, and the
+// collective operations Pilot builds on. It plays the role Open MPI 1.2.8
+// played in the paper.
+//
+// Ranks are single-threaded (MPI_THREAD_SINGLE), exactly the constraint
+// that drove the paper's Co-Pilot design: each rank must be driven by one
+// sim proc, and the package enforces it.
+package mpi
+
+import (
+	"fmt"
+
+	"cellpilot/internal/cellbe"
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/sim"
+)
+
+// Wildcards for Recv and Probe.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Placement locates one rank on a node.
+type Placement struct {
+	// Node is the index into the cluster's node list.
+	Node int
+	// Label names the rank's role for traces ("pilot", "copilot", "svc").
+	Label string
+}
+
+// World is the set of ranks (MPI_COMM_WORLD) over a cluster.
+type World struct {
+	K     *sim.Kernel
+	Clu   *cluster.Cluster
+	Par   *cellbe.Params
+	ranks []*Rank
+}
+
+// NewWorld creates a world with one rank per placement, in rank order.
+func NewWorld(c *cluster.Cluster, placements []Placement) (*World, error) {
+	w := &World{K: c.K, Clu: c, Par: c.Params}
+	for i, pl := range placements {
+		if pl.Node < 0 || pl.Node >= len(c.Nodes) {
+			return nil, fmt.Errorf("mpi: rank %d placed on unknown node %d", i, pl.Node)
+		}
+		w.ranks = append(w.ranks, &Rank{
+			w:    w,
+			id:   i,
+			node: c.Nodes[pl.Node],
+			lbl:  pl.Label,
+		})
+	}
+	return w, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank {
+	if i < 0 || i >= len(w.ranks) {
+		panic(fmt.Sprintf("mpi: no rank %d in world of size %d", i, len(w.ranks)))
+	}
+	return w.ranks[i]
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w    *World
+	id   int
+	node *cellbe.Node
+	lbl  string
+
+	owner      *sim.Proc // the single proc driving this rank
+	posted     []*recvReq
+	unexpected []*envelope
+	probes     []*probeReq
+	arrival    func() // OnArrival hook
+}
+
+// ID reports the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Node reports the node hosting the rank.
+func (r *Rank) Node() *cellbe.Node { return r.node }
+
+// Label reports the rank's role label.
+func (r *Rank) Label() string { return r.lbl }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.w }
+
+// bind enforces MPI_THREAD_SINGLE: the first proc to use the rank owns it.
+func (r *Rank) bind(p *sim.Proc) {
+	if r.owner == nil {
+		r.owner = p
+		return
+	}
+	if r.owner != p {
+		p.Fatalf("mpi: rank %d (%s) used by proc %q but owned by %q (MPI_THREAD_SINGLE)",
+			r.id, r.lbl, p.Name(), r.owner.Name())
+	}
+}
+
+// Status describes a received or probed message.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}

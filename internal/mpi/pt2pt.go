@@ -1,0 +1,264 @@
+package mpi
+
+import (
+	"fmt"
+
+	"cellpilot/internal/sim"
+)
+
+// envelope is a message in flight or queued unexpected at the receiver.
+type envelope struct {
+	src, tag int
+	size     int
+	eager    bool
+	data     []byte // eager payload (copied at send time)
+	// senderDone runs (in scheduler context) when a rendezvous data phase
+	// lets the sender proceed: waking a parked Send, or completing an
+	// Isend request.
+	senderDone func()
+	srcBuf     []byte // rendezvous: sender's buffer, read at the data phase
+	srcNode    int
+	dstNode    int
+}
+
+// recvReq is a posted receive awaiting a matching envelope.
+type recvReq struct {
+	src, tag int
+	proc     *sim.Proc
+	buf      []byte   // destination; nil means allocate
+	segs     [][]byte // vectored destination (RecvIntoVec); overrides buf
+	segTotal int
+	done     bool
+	status   Status
+	out      []byte
+	// onDone, when set, also receives the completion (nonblocking Irecv).
+	onDone func(out []byte, st Status)
+}
+
+func match(src, tag, esrc, etag int) bool {
+	return (src == AnySource || src == esrc) && (tag == AnyTag || tag == etag)
+}
+
+// localCopyTime is the shared-memory per-byte cost of the intra-node path.
+func (w *World) localCopyTime(n int) sim.Time {
+	if w.Par.LocalMPIBytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return sim.Time(float64(n) / w.Par.LocalMPIBytesPerSec * float64(sim.Second))
+}
+
+// ctrlLatency is the one-way time of a small control message (rendezvous
+// RTS/CTS) between the two nodes.
+func (w *World) ctrlLatency(a, b int) sim.Time {
+	if a == b {
+		return w.Par.LocalMPILatency
+	}
+	return w.Par.NetLatency
+}
+
+// Send transmits data to rank dst with the given tag. It blocks p for the
+// software overhead and (remote) NIC serialization; above the eager
+// threshold it additionally blocks until the receiver has posted the
+// matching receive (rendezvous), which is how real MPI large-message sends
+// behave and what makes unmatched large sends deadlock-visible.
+func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
+	r.bind(p)
+	if dst < 0 || dst >= len(r.w.ranks) {
+		p.Fatalf("mpi: send to invalid rank %d", dst)
+	}
+	w := r.w
+	d := w.ranks[dst]
+	p.Advance(w.Par.MPISendOverhead)
+	size := len(data)
+	env := &envelope{
+		src: r.id, tag: tag, size: size,
+		srcNode: r.node.ID, dstNode: d.node.ID,
+	}
+	if size <= w.Par.EagerThreshold {
+		env.eager = true
+		env.data = append([]byte(nil), data...)
+		var arrival sim.Time
+		if r.node.ID == d.node.ID {
+			p.Advance(w.localCopyTime(size)) // copy into the shm mailbox
+			arrival = w.K.Now() + w.Par.LocalMPILatency
+		} else {
+			arrival = w.Clu.Net.Send(p, r.node.ID, d.node.ID, size)
+		}
+		w.K.After(arrival-w.K.Now(), func() { d.deliver(env) })
+		return
+	}
+	// Rendezvous: announce with an RTS, then park until the data phase
+	// (started by the matching receive) completes.
+	done := false
+	env.senderDone = func() {
+		done = true
+		w.K.ReadyIfParked(p)
+	}
+	env.srcBuf = data
+	rts := w.ctrlLatency(r.node.ID, d.node.ID)
+	w.K.After(rts, func() { d.deliver(env) })
+	for !done {
+		p.Park(fmt.Sprintf("mpi rendezvous send rank%d->rank%d tag %d (%d bytes)", r.id, dst, tag, size))
+	}
+}
+
+// deliver runs in scheduler context when an envelope reaches the receiver.
+func (r *Rank) deliver(env *envelope) {
+	if r.arrival != nil {
+		r.arrival()
+	}
+	r.wakeProbes(env)
+	for i, req := range r.posted {
+		if match(req.src, req.tag, env.src, env.tag) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			r.complete(env, req)
+			return
+		}
+	}
+	r.unexpected = append(r.unexpected, env)
+}
+
+// complete pairs an envelope with a receive request: immediate copy for an
+// arrived eager message, or the rendezvous data phase. It may run in
+// scheduler context (async delivery) or in the receiver's own context (a
+// Recv that found the envelope unexpected), so it wakes the receiver only
+// if the receiver is parked.
+//
+// Rendezvous data does not book NIC occupancy (the envelope already
+// modelled queueing for the header; payload contention is second-order for
+// the paper's single-stream benchmarks) — it charges serialization plus
+// propagation analytically.
+func (r *Rank) complete(env *envelope, req *recvReq) {
+	w := r.w
+	if req.segs != nil && env.size != req.segTotal {
+		w.K.Abort(fmt.Errorf("mpi: rank %d vectored recv expects exactly %d bytes, message has %d (tag %d from rank %d)",
+			r.id, req.segTotal, env.size, env.tag, env.src))
+		return
+	}
+	if req.segs == nil && req.buf != nil && env.size > len(req.buf) {
+		w.K.Abort(fmt.Errorf("mpi: rank %d recv buffer too small: %d < %d (tag %d from rank %d)",
+			r.id, len(req.buf), env.size, env.tag, env.src))
+		return
+	}
+	finish := func(payload []byte) {
+		n := 0
+		if req.segs != nil {
+			for _, seg := range req.segs {
+				n += copy(seg, payload[n:])
+			}
+		} else {
+			req.out = req.buf
+			if req.out == nil {
+				req.out = make([]byte, env.size)
+			}
+			n = copy(req.out, payload)
+		}
+		req.status = Status{Source: env.src, Tag: env.tag, Count: n}
+		req.done = true
+		if req.onDone != nil {
+			req.onDone(req.out, req.status)
+		}
+		w.K.ReadyIfParked(req.proc)
+	}
+	if env.eager {
+		finish(env.data)
+		return
+	}
+	// Rendezvous data phase: CTS travels back, then the payload.
+	cts := w.ctrlLatency(env.srcNode, env.dstNode)
+	var ser, lat sim.Time
+	if env.srcNode == env.dstNode {
+		ser = w.localCopyTime(env.size)
+		lat = w.Par.LocalMPILatency
+	} else {
+		ser = w.Clu.Net.SerializationTime(env.size)
+		lat = w.Par.NetLatency
+	}
+	w.K.After(cts+ser, env.senderDone)
+	w.K.After(cts+ser+lat, func() { finish(env.srcBuf) })
+}
+
+// Recv receives a message matching (src, tag) — wildcards allowed — into a
+// fresh buffer, blocking until it arrives.
+func (r *Rank) Recv(p *sim.Proc, src, tag int) ([]byte, Status) {
+	return r.recv(p, src, tag, nil)
+}
+
+// RecvInto receives into buf (which may alias simulated memory, e.g. an
+// SPE local-store window — the Co-Pilot's zero-copy trick). The message
+// must fit in buf.
+func (r *Rank) RecvInto(p *sim.Proc, src, tag int, buf []byte) (int, Status) {
+	out, st := r.recv(p, src, tag, buf)
+	_ = out
+	return st.Count, st
+}
+
+func (r *Rank) recv(p *sim.Proc, src, tag int, buf []byte) ([]byte, Status) {
+	r.bind(p)
+	w := r.w
+	p.Advance(w.Par.MPIRecvOverhead)
+	req := &recvReq{src: src, tag: tag, proc: p, buf: buf}
+	if env, ok := r.takeUnexpected(src, tag); ok {
+		r.complete(env, req)
+	} else {
+		r.posted = append(r.posted, req)
+	}
+	for !req.done {
+		p.Park(fmt.Sprintf("mpi recv rank%d src=%d tag=%d", r.id, src, tag))
+	}
+	return req.out, req.status
+}
+
+func (r *Rank) takeUnexpected(src, tag int) (*envelope, bool) {
+	for i, env := range r.unexpected {
+		if match(src, tag, env.src, env.tag) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			return env, true
+		}
+	}
+	return nil, false
+}
+
+// probeReq is a blocked Probe or ProbeMulti.
+type probeReq struct {
+	specs   []ProbeSpec
+	proc    *sim.Proc
+	status  Status
+	matched int
+	done    bool
+}
+
+func (r *Rank) wakeProbes(env *envelope) {
+	for i, pr := range r.probes {
+		for si, sp := range pr.specs {
+			if match(sp.Src, sp.Tag, env.src, env.tag) {
+				pr.status = Status{Source: env.src, Tag: env.tag, Count: env.size}
+				pr.matched = si
+				pr.done = true
+				r.probes = append(r.probes[:i], r.probes[i+1:]...)
+				r.w.K.ReadyIfParked(pr.proc)
+				return
+			}
+		}
+	}
+}
+
+// Probe blocks until a message matching (src, tag) is available to Recv,
+// and reports its status without consuming it.
+func (r *Rank) Probe(p *sim.Proc, src, tag int) Status {
+	_, st := r.ProbeMulti(p, []ProbeSpec{{Src: src, Tag: tag}})
+	return st
+}
+
+// Iprobe reports whether a message matching (src, tag) is available,
+// without blocking or consuming it.
+func (r *Rank) Iprobe(p *sim.Proc, src, tag int) (Status, bool) {
+	r.bind(p)
+	p.Advance(r.w.Par.MPIRecvOverhead)
+	for _, env := range r.unexpected {
+		if match(src, tag, env.src, env.tag) {
+			return Status{Source: env.src, Tag: env.tag, Count: env.size}, true
+		}
+	}
+	return Status{}, false
+}

@@ -1,0 +1,183 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func TestIsendIrecvEager(t *testing.T) {
+	c, w := newWorld(t)
+	c.K.Spawn("r0", func(p *sim.Proc) {
+		buf := []byte("nonblocking")
+		q := w.Rank(0).Isend(p, 2, 3, buf)
+		// Eager: the buffer is snapshotted; mutating it must not affect
+		// the message.
+		buf[0] = 'X'
+		w.Rank(0).Wait(p, q)
+	})
+	c.K.Spawn("r2", func(p *sim.Proc) {
+		q := w.Rank(2).Irecv(p, 0, 3)
+		data, st := w.Rank(2).Wait(p, q)
+		if string(data) != "nonblocking" || st.Source != 0 {
+			p.Fatalf("got %q %+v", data, st)
+		}
+	})
+	run(t, c)
+}
+
+func TestIsendRendezvousOverlapsCompute(t *testing.T) {
+	c, w := newWorld(t)
+	big := make([]byte, 64*1024)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	var computeDone, sendDone sim.Time
+	c.K.Spawn("r0", func(p *sim.Proc) {
+		q := w.Rank(0).Isend(p, 2, 3, big)
+		p.Advance(30 * sim.Millisecond) // compute while the send is pending
+		computeDone = p.Now()
+		w.Rank(0).Wait(p, q)
+		sendDone = p.Now()
+	})
+	c.K.Spawn("r2", func(p *sim.Proc) {
+		p.Advance(10 * sim.Millisecond)
+		data, _ := w.Rank(2).Recv(p, 0, 3)
+		if !bytes.Equal(data, big) {
+			p.Fatalf("rendezvous payload corrupted")
+		}
+	})
+	run(t, c)
+	if computeDone < 30*sim.Millisecond {
+		t.Fatalf("compute blocked by Isend: done at %s", computeDone)
+	}
+	// The rendezvous completed during the compute window (receiver posted
+	// at 10ms), so Wait should return promptly after it.
+	if sendDone < computeDone {
+		t.Fatalf("impossible times: %s < %s", sendDone, computeDone)
+	}
+}
+
+func TestTestPolling(t *testing.T) {
+	c, w := newWorld(t)
+	c.K.Spawn("r0", func(p *sim.Proc) {
+		p.Advance(5 * sim.Millisecond)
+		w.Rank(0).Send(p, 2, 1, []byte("late"))
+	})
+	c.K.Spawn("r2", func(p *sim.Proc) {
+		q := w.Rank(2).Irecv(p, 0, 1)
+		polls := 0
+		for !w.Rank(2).Test(p, q) {
+			polls++
+			p.Advance(sim.Millisecond)
+		}
+		if polls == 0 {
+			p.Fatalf("message available immediately; Test untested")
+		}
+		data, _ := w.Rank(2).Wait(p, q)
+		if string(data) != "late" {
+			p.Fatalf("got %q", data)
+		}
+	})
+	run(t, c)
+}
+
+func TestSendrecvCrossedPairNoDeadlock(t *testing.T) {
+	c, w := newWorld(t)
+	// Both sides use rendezvous-sized payloads; plain Send would deadlock.
+	big0 := bytes.Repeat([]byte{1}, 32*1024)
+	big2 := bytes.Repeat([]byte{2}, 32*1024)
+	c.K.Spawn("r0", func(p *sim.Proc) {
+		got, _ := w.Rank(0).Sendrecv(p, 2, 5, big0, 2, 6)
+		if !bytes.Equal(got, big2) {
+			p.Fatalf("r0 got wrong payload")
+		}
+	})
+	c.K.Spawn("r2", func(p *sim.Proc) {
+		got, _ := w.Rank(2).Sendrecv(p, 0, 6, big2, 0, 5)
+		if !bytes.Equal(got, big0) {
+			p.Fatalf("r2 got wrong payload")
+		}
+	})
+	run(t, c)
+}
+
+func TestIrecvIntoBuffer(t *testing.T) {
+	c, w := newWorld(t)
+	dst := make([]byte, 8)
+	c.K.Spawn("r0", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 1, []byte("12345678"))
+	})
+	c.K.Spawn("r1", func(p *sim.Proc) {
+		q := w.Rank(1).IrecvInto(p, 0, 1, dst)
+		w.Rank(1).Wait(p, q)
+	})
+	run(t, c)
+	if string(dst) != "12345678" {
+		t.Fatalf("dst = %q", dst)
+	}
+}
+
+func TestScatterCollective(t *testing.T) {
+	c, w := newWorld(t)
+	chunks := make([][]byte, w.Size())
+	for i := range chunks {
+		chunks[i] = []byte(fmt.Sprintf("chunk-%d", i))
+	}
+	for i := 0; i < w.Size(); i++ {
+		i := i
+		c.K.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			var in [][]byte
+			if i == 1 {
+				in = chunks
+			}
+			got := w.Rank(i).Scatter(p, 1, in)
+			if string(got) != fmt.Sprintf("chunk-%d", i) {
+				p.Fatalf("rank %d got %q", i, got)
+			}
+		})
+	}
+	run(t, c)
+}
+
+func TestAllgather(t *testing.T) {
+	c, w := newWorld(t)
+	for i := 0; i < w.Size(); i++ {
+		i := i
+		c.K.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			all := w.Rank(i).Allgather(p, bytes.Repeat([]byte{byte(i)}, i+1))
+			if len(all) != w.Size() {
+				p.Fatalf("rank %d: %d parts", i, len(all))
+			}
+			for j, part := range all {
+				if len(part) != j+1 || (j+1 > 0 && part[0] != byte(j)) {
+					p.Fatalf("rank %d part %d = %v", i, j, part)
+				}
+			}
+		})
+	}
+	run(t, c)
+}
+
+func TestAlltoall(t *testing.T) {
+	c, w := newWorld(t)
+	n := w.Size()
+	for i := 0; i < n; i++ {
+		i := i
+		c.K.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			send := make([][]byte, n)
+			for j := range send {
+				send[j] = []byte{byte(i), byte(j)} // (from, to)
+			}
+			got := w.Rank(i).Alltoall(p, send)
+			for j, part := range got {
+				if len(part) != 2 || part[0] != byte(j) || part[1] != byte(i) {
+					p.Fatalf("rank %d from %d = %v", i, j, part)
+				}
+			}
+		})
+	}
+	run(t, c)
+}

@@ -1,0 +1,148 @@
+package sdk
+
+import (
+	"strings"
+	"testing"
+
+	"cellpilot/internal/cellbe"
+	"cellpilot/internal/sim"
+)
+
+func TestSignalORAccumulates(t *testing.T) {
+	k, n := newNode(t)
+	spe, _ := n.SPE(5)
+	ctx, _ := ContextCreate(k, spe)
+	var got uint32
+	prog := &Program{Name: "sig", Main: func(c *Context, _ int, _ any) {
+		c.Proc.Advance(20 * sim.Microsecond) // let both senders write first
+		got = c.ReadSignal1(c.Proc)
+	}}
+	if err := ctx.Load(prog, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two independent senders each set one bit before the SPU reads.
+	k.Spawn("sender1", func(p *sim.Proc) {
+		p.Advance(5 * sim.Microsecond)
+		ctx.SignalWrite(p, 1, 1<<3)
+	})
+	k.Spawn("sender2", func(p *sim.Proc) {
+		p.Advance(2 * sim.Microsecond)
+		ctx.SignalWrite(p, 1, 1<<7)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1<<3|1<<7 {
+		t.Fatalf("OR-mode signal = %#x", got)
+	}
+	if spe.SNR1.Pending() != 0 {
+		t.Fatal("read did not clear the register")
+	}
+}
+
+func TestSignalOverwriteMode(t *testing.T) {
+	k, n := newNode(t)
+	spe, _ := n.SPE(6)
+	ctx, _ := ContextCreate(k, spe)
+	prog := &Program{Name: "sig2", Main: func(c *Context, _ int, _ any) {
+		c.Proc.Advance(50 * sim.Microsecond) // both writes land first
+		if v := c.ReadSignal2(c.Proc); v != 42 {
+			c.Proc.Fatalf("overwrite-mode signal = %d, want the last write", v)
+		}
+	}}
+	if err := ctx.Load(prog, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("writer", func(p *sim.Proc) {
+		ctx.SignalWrite(p, 2, 7)
+		ctx.SignalWrite(p, 2, 42)
+		if err := ctx.SignalWrite(p, 3, 1); err == nil {
+			p.Fatalf("signal register 3 accepted")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalBlocksUntilWritten(t *testing.T) {
+	k, n := newNode(t)
+	spe, _ := n.SPE(7)
+	ctx, _ := ContextCreate(k, spe)
+	var readAt sim.Time
+	prog := &Program{Name: "waiter", Main: func(c *Context, _ int, _ any) {
+		c.ReadSignal1(c.Proc)
+		readAt = c.Proc.Now()
+	}}
+	if err := ctx.Load(prog, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("late", func(p *sim.Proc) {
+		p.Advance(300 * sim.Microsecond)
+		ctx.SignalWrite(p, 1, 1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readAt < 300*sim.Microsecond {
+		t.Fatalf("signal read returned at %s, before the write", readAt)
+	}
+}
+
+func TestOverlayLoadAndBudget(t *testing.T) {
+	k, n := newNode(t)
+	spe, _ := n.SPE(1)
+	ctx, _ := ContextCreate(k, spe)
+	prog := &Program{Name: "seg", CodeSize: 40 * 1024, OverlaySize: 32 * 1024,
+		Main: func(c *Context, _ int, _ any) {
+			p := c.Proc
+			start := p.Now()
+			if err := c.LoadOverlay(p, "phase2", 30*1024); err != nil {
+				p.Fatalf("%v", err)
+			}
+			if p.Now() == start {
+				p.Fatalf("overlay load charged no time")
+			}
+			if err := c.LoadOverlay(p, "too-big", 48*1024); err == nil {
+				p.Fatalf("oversized overlay accepted")
+			}
+		}}
+	if err := ctx.Load(prog, 10336); err != nil {
+		t.Fatal(err)
+	}
+	// The overlay region participates in the LS budget.
+	want := 10336 + 40*1024 + 32*1024 + cellbe.DefaultParams().StackReserve
+	if spe.LS.Resident() != want {
+		t.Fatalf("resident = %d, want %d", spe.LS.Resident(), want)
+	}
+	if err := ctx.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlayBeforeLoadRejected(t *testing.T) {
+	k, n := newNode(t)
+	spe, _ := n.SPE(2)
+	ctx, _ := ContextCreate(k, spe)
+	k.Spawn("p", func(p *sim.Proc) {
+		err := ctx.LoadOverlay(p, "x", 10)
+		if err == nil || !strings.Contains(err.Error(), "before Load") {
+			p.Fatalf("err = %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

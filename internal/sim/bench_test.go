@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw scheduler speed: one proc
+// advancing b.N times (one heap event each).
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel(1)
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueHandoff measures the rendezvous fast path: producer and
+// consumer alternating through an unbuffered queue.
+func BenchmarkQueueHandoff(b *testing.B) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, "q", 0)
+	k.Spawn("prod", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+	})
+	k.Spawn("cons", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkContextSwitch measures the goroutine ping-pong cost of the
+// cooperative scheduler with many procs at one timestamp.
+func BenchmarkContextSwitch(b *testing.B) {
+	k := NewKernel(1)
+	const procs = 64
+	each := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		k.Spawn("p", func(p *Proc) {
+			for j := 0; j < each; j++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

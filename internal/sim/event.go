@@ -1,0 +1,57 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled kernel action: either waking a parked proc or
+// running a callback inside the scheduler.
+type event struct {
+	at    Time
+	seq   uint64 // tie-breaker: insertion order, for determinism
+	p     *Proc  // proc to wake, or nil
+	epoch uint64 // p's wake epoch at scheduling; stale events are skipped
+	fn    func() // callback to run in the scheduler, or nil
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+func (k *Kernel) schedule(at Time, p *Proc, fn func()) *event {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	ev := &event{at: at, seq: k.seq, p: p, fn: fn}
+	if p != nil {
+		ev.epoch = p.epoch
+	}
+	heap.Push(&k.pq, ev)
+	return ev
+}
+
+// After schedules fn to run inside the scheduler after delay d. It must be
+// called from scheduler context or before Run; procs should use Advance.
+func (k *Kernel) After(d Time, fn func()) {
+	k.schedule(k.now+d, nil, fn)
+}

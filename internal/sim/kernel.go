@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kernel owns the virtual clock, the event queue and all procs. All kernel
+// state is confined by the execution protocol: exactly one goroutine (the
+// scheduler or the single running proc) touches it at a time, so no locks
+// are needed and runs are deterministic.
+type Kernel struct {
+	now  Time
+	seq  uint64
+	pq   eventHeap
+	ctl  chan struct{} // running proc -> scheduler: "I parked or exited"
+	rng  *rand.Rand
+	trac Tracer
+
+	procs    []*Proc
+	live     int // procs spawned and not yet finished
+	running  *Proc
+	shutdown bool
+	abortErr error
+	nextID   int
+}
+
+// Tracer receives a line for every significant kernel action. Nil disables
+// tracing.
+type Tracer func(at Time, format string, args ...any)
+
+// NewKernel returns a kernel with the virtual clock at zero. The seed feeds
+// the kernel RNG used by procs; identical seeds give identical runs.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		ctl: make(chan struct{}),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source. It must only be
+// used from scheduler or running-proc context.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// SetTracer installs a trace callback.
+func (k *Kernel) SetTracer(t Tracer) { k.trac = t }
+
+func (k *Kernel) tracef(format string, args ...any) {
+	if k.trac != nil {
+		k.trac(k.now, format, args...)
+	}
+}
+
+// Spawn creates a proc named name running fn and schedules its first
+// activation after delay. It may be called before Run or from a running
+// proc (e.g. a parent process launching a child).
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAfter(name, 0, fn)
+}
+
+// SpawnAfter is Spawn with an initial activation delay.
+func (k *Kernel) SpawnAfter(name string, delay Time, fn func(p *Proc)) *Proc {
+	k.nextID++
+	p := &Proc{
+		k:    k,
+		id:   k.nextID,
+		name: name,
+		wake: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go p.run(fn)
+	k.schedule(k.now+delay, p, nil)
+	return p
+}
+
+// ready schedules p to resume at the current time. It is the wake-side half
+// of every synchronization primitive.
+func (k *Kernel) ready(p *Proc) {
+	if p.state != procParked {
+		panic(fmt.Sprintf("sim: ready(%s) but proc is not parked (state %d)", p.name, p.state))
+	}
+	p.state = procReady
+	k.schedule(k.now, p, nil)
+}
+
+// Ready schedules a parked proc to resume at the current time. It is the
+// wake-side counterpart of Proc.Park and panics if p is not parked.
+func (k *Kernel) Ready(p *Proc) { k.ready(p) }
+
+// ReadyIfParked is Ready, but a no-op when p is currently running or
+// already scheduled — for completion paths that may fire either before or
+// after the interested proc parks.
+func (k *Kernel) ReadyIfParked(p *Proc) bool {
+	if p.state == procParked {
+		k.ready(p)
+		return true
+	}
+	return false
+}
+
+// Abort stops the simulation with err. The current Run call returns err
+// after unwinding every remaining proc.
+func (k *Kernel) Abort(err error) {
+	if k.abortErr == nil {
+		k.abortErr = err
+	}
+	k.shutdown = true
+}
+
+// Run executes events until no proc can make progress. It returns nil when
+// every proc finished, ErrDeadlock when procs remain parked with an empty
+// event queue, or the Abort error.
+func (k *Kernel) Run() error { return k.RunUntil(Forever) }
+
+// RunUntil is Run bounded by a virtual deadline. Reaching the deadline with
+// procs still live is not an error; the clock is left at the deadline.
+func (k *Kernel) RunUntil(deadline Time) error {
+	if k.running != nil {
+		panic("sim: RunUntil called from proc context")
+	}
+	for len(k.pq) > 0 && !k.shutdown {
+		if k.pq[0].at > deadline {
+			k.now = deadline
+			return nil
+		}
+		ev := heap.Pop(&k.pq).(*event)
+		k.now = ev.at
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.p != nil:
+			if ev.epoch == ev.p.epoch {
+				k.resume(ev.p)
+			}
+		}
+	}
+	if k.shutdown {
+		k.drain()
+		return k.abortErr
+	}
+	if k.live > 0 {
+		err := k.deadlockError()
+		k.Abort(err)
+		k.drain()
+		return err
+	}
+	return nil
+}
+
+// resume hands control to p and blocks until p parks or exits. A wake
+// event whose epoch no longer matches (the proc was woken by something
+// else and re-parked, or already finished) is stale and skipped.
+func (k *Kernel) resume(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.epoch++
+	p.state = procRunning
+	k.running = p
+	p.wake <- struct{}{}
+	<-k.ctl
+	k.running = nil
+}
+
+// drain unwinds every parked proc after shutdown so no goroutines leak.
+func (k *Kernel) drain() {
+	for {
+		progressed := false
+		for _, p := range k.procs {
+			if p.state == procParked || p.state == procReady {
+				k.resume(p) // park() observes shutdown and panics out
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	k.pq = nil
+}
+
+// ErrDeadlock is wrapped by the error Run returns when the simulation
+// quiesces with live procs.
+type ErrDeadlock struct {
+	At      Time
+	Blocked []BlockedProc
+}
+
+// BlockedProc describes one stuck proc in an ErrDeadlock.
+type BlockedProc struct {
+	Name   string
+	Reason string
+}
+
+func (e *ErrDeadlock) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at t=%s: %d proc(s) blocked:", e.At, len(e.Blocked))
+	for _, bp := range e.Blocked {
+		fmt.Fprintf(&b, "\n  %s: %s", bp.Name, bp.Reason)
+	}
+	return b.String()
+}
+
+func (k *Kernel) deadlockError() error {
+	e := &ErrDeadlock{At: k.now}
+	for _, p := range k.procs {
+		if p.state == procParked {
+			e.Blocked = append(e.Blocked, BlockedProc{Name: p.name, Reason: p.waitReason})
+		}
+	}
+	sort.Slice(e.Blocked, func(i, j int) bool { return e.Blocked[i].Name < e.Blocked[j].Name })
+	return e
+}
+
+// Live reports how many procs have been spawned and not yet finished.
+func (k *Kernel) Live() int { return k.live }

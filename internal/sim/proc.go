@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+)
+
+type procState int
+
+const (
+	procNew procState = iota
+	procReady
+	procRunning
+	procParked
+	procDone
+)
+
+// Proc is a simulated thread of control. A proc's body runs on its own
+// goroutine but the kernel guarantees only one proc executes at a time;
+// between kernel primitives a proc runs instantaneously in virtual time.
+type Proc struct {
+	k          *Kernel
+	id         int
+	name       string
+	wake       chan struct{}
+	state      procState
+	waitReason string
+	rng        *rand.Rand
+	// epoch increments on every resume; wake events remember the epoch
+	// they were scheduled under so stale wakes (the proc was resumed by
+	// another source meanwhile) are discarded.
+	epoch uint64
+}
+
+// shutdownSentinel unwinds a proc's stack during kernel shutdown.
+type shutdownSentinel struct{}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	<-p.wake // first activation, scheduled by Spawn
+	defer func() {
+		p.state = procDone
+		p.k.live--
+		if r := recover(); r != nil {
+			if _, ok := r.(shutdownSentinel); !ok {
+				// Real panic in simulated code: abort the simulation and
+				// surface the panic (with stack) through Run's error.
+				p.k.Abort(fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack()))
+			}
+		}
+		p.k.ctl <- struct{}{}
+	}()
+	if p.k.shutdown {
+		return
+	}
+	p.state = procRunning
+	fn(p)
+}
+
+// Name reports the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// ID reports the proc's unique id (1-based, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Rand returns a per-proc deterministic random source, lazily seeded from
+// the kernel seed and the proc id.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.k.rng.Int63() ^ int64(p.id)<<32))
+	}
+	return p.rng
+}
+
+// checkRunning panics if a kernel primitive is invoked from a goroutine
+// other than the currently running proc — the classic way to corrupt a
+// cooperative simulation.
+func (p *Proc) checkRunning() {
+	if p.k.running != p {
+		panic(fmt.Sprintf("sim: primitive called on proc %q which is not the running proc", p.name))
+	}
+}
+
+// park blocks the proc until something calls Kernel.ready(p). reason is
+// surfaced in deadlock reports.
+func (p *Proc) park(reason string) {
+	p.checkRunning()
+	p.state = procParked
+	p.waitReason = reason
+	p.k.ctl <- struct{}{}
+	<-p.wake
+	p.waitReason = ""
+	if p.k.shutdown {
+		panic(shutdownSentinel{})
+	}
+}
+
+// Park blocks the proc until another component calls Kernel.Ready on it.
+// It is the extension point synchronization layers (MPI matching, Pilot
+// channels) build on; reason appears in deadlock reports.
+func (p *Proc) Park(reason string) { p.park(reason) }
+
+// Advance blocks the proc for duration d of virtual time. It models
+// computation or a fixed hardware latency. A spurious wake from another
+// component (e.g. an asynchronous completion poking the proc) re-parks
+// until the full duration has elapsed, so timing is never shortened.
+func (p *Proc) Advance(d Time) {
+	p.checkRunning()
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	target := p.k.now + d
+	for p.k.now < target || d == 0 {
+		d = -1 // a zero advance still yields exactly once
+		p.state = procParked
+		p.waitReason = fmt.Sprintf("advancing to %s", target)
+		p.k.schedule(target, p, nil)
+		p.k.ctl <- struct{}{}
+		<-p.wake
+		p.waitReason = ""
+		if p.k.shutdown {
+			panic(shutdownSentinel{})
+		}
+	}
+}
+
+// AdvanceTo blocks until virtual time t (no-op if t is in the past).
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.k.now {
+		p.Advance(t - p.k.now)
+	}
+}
+
+// Yield reschedules the proc at the current instant, letting other procs
+// scheduled for the same time run first.
+func (p *Proc) Yield() { p.Advance(0) }
+
+// Fatalf aborts the whole simulation with a formatted error. It does not
+// return.
+func (p *Proc) Fatalf(format string, args ...any) {
+	p.checkRunning()
+	p.k.Abort(fmt.Errorf(format, args...))
+	panic(shutdownSentinel{})
+}

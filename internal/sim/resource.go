@@ -1,0 +1,66 @@
+package sim
+
+import "math"
+
+// Resource models a serial transmission medium (a bus, a NIC, an Ethernet
+// link): transfers queue FIFO for the medium, occupy it for
+// startup + bytes/bandwidth, and then propagate for an additional fixed
+// latency that does not occupy the medium.
+type Resource struct {
+	k *Kernel
+	// Name identifies the resource in traces.
+	Name string
+	// Startup is per-transfer setup time occupying the medium.
+	Startup Time
+	// BytesPerSec is the medium bandwidth; zero or negative means infinite.
+	BytesPerSec float64
+	// Latency is propagation delay added after serialization.
+	Latency Time
+
+	busyUntil Time
+}
+
+// NewResource creates a resource.
+func NewResource(k *Kernel, name string, startup Time, bytesPerSec float64, latency Time) *Resource {
+	return &Resource{k: k, Name: name, Startup: startup, BytesPerSec: bytesPerSec, Latency: latency}
+}
+
+// SerializationTime reports how long n bytes occupy the medium.
+func (r *Resource) SerializationTime(n int) Time {
+	d := r.Startup
+	if r.BytesPerSec > 0 && n > 0 {
+		d += Time(math.Ceil(float64(n) / r.BytesPerSec * float64(Second)))
+	}
+	return d
+}
+
+// Send blocks p while the transfer queues for and occupies the medium, and
+// returns the virtual time at which the data arrives at the far end
+// (occupancy end + propagation latency). The caller decides whether to wait
+// for arrival (AdvanceTo) or to schedule a delivery callback.
+func (r *Resource) Send(p *Proc, bytes int) (arrival Time) {
+	start := r.k.now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + r.SerializationTime(bytes)
+	r.busyUntil = end
+	p.AdvanceTo(end)
+	return end + r.Latency
+}
+
+// Reserve is Send for scheduler context: it books medium occupancy without
+// a proc to block, returning the arrival time. Used by asynchronous
+// delivery paths.
+func (r *Resource) Reserve(bytes int) (arrival Time) {
+	start := r.k.now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + r.SerializationTime(bytes)
+	r.busyUntil = end
+	return end + r.Latency
+}
+
+// BusyUntil reports when the medium becomes free.
+func (r *Resource) BusyUntil() Time { return r.busyUntil }

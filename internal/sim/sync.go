@@ -1,0 +1,198 @@
+package sim
+
+import "fmt"
+
+// Queue is a FIFO message queue in virtual time. Capacity 0 gives
+// rendezvous semantics (a Put completes only when matched by a Get);
+// capacity n > 0 buffers up to n items. It is the workhorse behind
+// mailboxes, MPI matching queues and Co-Pilot request queues.
+type Queue[T any] struct {
+	k    *Kernel
+	name string
+	cap  int
+	buf  []T
+	puts []*qwaiter[T]
+	gets []*qwaiter[T]
+}
+
+type qwaiter[T any] struct {
+	p      *Proc
+	v      T
+	rdy    bool // getter: value delivered
+	served bool // putter: value consumed or buffered
+}
+
+// NewQueue creates a queue with the given capacity (0 = rendezvous).
+func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
+	if capacity < 0 {
+		panic("sim: negative queue capacity")
+	}
+	return &Queue[T]{k: k, name: name, cap: capacity}
+}
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.buf) }
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Put enqueues v, blocking p while the queue is full (or, for a rendezvous
+// queue, until a receiver arrives). Spurious wakes re-park.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	if q.TryPut(v) {
+		return
+	}
+	w := &qwaiter[T]{p: p, v: v}
+	q.puts = append(q.puts, w)
+	for !w.served {
+		p.park(fmt.Sprintf("put on queue %s", q.name))
+	}
+}
+
+// TryPut enqueues v without blocking; it reports false if the queue is full
+// and no receiver is waiting.
+func (q *Queue[T]) TryPut(v T) bool {
+	if len(q.gets) > 0 {
+		g := q.gets[0]
+		q.gets = q.gets[1:]
+		g.v, g.rdy = v, true
+		q.k.ReadyIfParked(g.p)
+		return true
+	}
+	if q.cap > 0 && len(q.buf) < q.cap {
+		q.buf = append(q.buf, v)
+		return true
+	}
+	return false
+}
+
+// Get dequeues an item, blocking p while the queue is empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	if v, ok := q.TryGet(); ok {
+		return v
+	}
+	w := &qwaiter[T]{p: p}
+	q.gets = append(q.gets, w)
+	for !w.rdy {
+		p.park(fmt.Sprintf("get on queue %s", q.name))
+	}
+	return w.v
+}
+
+// TryGet dequeues without blocking; ok is false if nothing is available.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.buf) > 0 {
+		v = q.buf[0]
+		copy(q.buf, q.buf[1:])
+		q.buf = q.buf[:len(q.buf)-1]
+		q.refill()
+		return v, true
+	}
+	if len(q.puts) > 0 { // rendezvous, or cap exceeded by blocked putters
+		w := q.puts[0]
+		q.puts = q.puts[1:]
+		w.served = true
+		q.k.ReadyIfParked(w.p)
+		return w.v, true
+	}
+	return v, false
+}
+
+// refill promotes a blocked putter into freed buffer space.
+func (q *Queue[T]) refill() {
+	for len(q.puts) > 0 && len(q.buf) < q.cap {
+		w := q.puts[0]
+		q.puts = q.puts[1:]
+		q.buf = append(q.buf, w.v)
+		w.served = true
+		q.k.ReadyIfParked(w.p)
+	}
+}
+
+// Semaphore is a counting semaphore with FIFO wakeup order.
+type Semaphore struct {
+	k       *Kernel
+	name    string
+	count   int
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	p       *Proc
+	n       int
+	granted bool
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(k *Kernel, name string, count int) *Semaphore {
+	return &Semaphore{k: k, name: name, count: count}
+}
+
+// Count reports the currently available units.
+func (s *Semaphore) Count() int { return s.count }
+
+// Acquire takes n units, blocking p until they are available. Waiters are
+// served strictly in FIFO order (no barging), so Acquire is starvation-free.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if len(s.waiters) == 0 && s.count >= n {
+		s.count -= n
+		return
+	}
+	w := &semWaiter{p: p, n: n}
+	s.waiters = append(s.waiters, w)
+	for !w.granted {
+		p.park(fmt.Sprintf("acquire(%d) on semaphore %s", n, s.name))
+	}
+}
+
+// Release returns n units and wakes eligible waiters in order.
+func (s *Semaphore) Release(n int) {
+	s.count += n
+	for len(s.waiters) > 0 && s.count >= s.waiters[0].n {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.count -= w.n
+		w.granted = true
+		s.k.ReadyIfParked(w.p)
+	}
+}
+
+// Event is a one-shot broadcast: procs Wait until Fire, after which Wait
+// returns immediately forever.
+type Event struct {
+	k       *Kernel
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(k *Kernel, name string) *Event {
+	return &Event{k: k, name: name}
+}
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Wait blocks p until the event fires.
+func (e *Event) Wait(p *Proc) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	for !e.fired {
+		p.park(fmt.Sprintf("wait on event %s", e.name))
+	}
+}
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, p := range e.waiters {
+		e.k.ReadyIfParked(p)
+	}
+	e.waiters = nil
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func TestRecorderAggregation(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: 1 * sim.Microsecond, Kind: KindWrite, Proc: "a", Channel: 0, Bytes: 100})
+	r.Record(Event{At: 2 * sim.Microsecond, Kind: KindRead, Proc: "b", Channel: 0, Bytes: 100})
+	r.Record(Event{At: 3 * sim.Microsecond, Kind: KindWrite, Proc: "a", Channel: 0, Bytes: 50})
+	r.Record(Event{At: 9 * sim.Microsecond, Kind: KindWrite, Proc: "c", Channel: 2, Bytes: 8})
+	r.Record(Event{At: 5 * sim.Microsecond, Kind: KindCoPilot, Proc: "cp", Channel: 0, Bytes: 0})
+	stats := r.ByChannel()
+	if len(stats) != 2 {
+		t.Fatalf("channels = %d", len(stats))
+	}
+	c0 := stats[0]
+	if c0.Channel != 0 || c0.Writes != 2 || c0.Reads != 1 || c0.Bytes != 150 {
+		t.Fatalf("c0 = %+v", c0)
+	}
+	if c0.First != 1*sim.Microsecond || c0.Last != 3*sim.Microsecond {
+		t.Fatalf("span = %s..%s", c0.First, c0.Last)
+	}
+	if !strings.Contains(r.Summary(), "channel 2") {
+		t.Fatalf("summary: %s", r.Summary())
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindWrite, Channel: i})
+	}
+	if len(r.Events()) != 2 || r.Dropped() != 3 {
+		t.Fatalf("events=%d dropped=%d", len(r.Events()), r.Dropped())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{}) // must not panic
+}

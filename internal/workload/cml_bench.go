@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/cml"
+	"cellpilot/internal/sim"
+)
+
+// CMLPingPong measures the Cell Messaging Layer baseline on the same
+// remote SPE↔SPE exchange as CellPilot's type-5 PingPong: rank 0 on one
+// blade, rank 1 on another, one message bouncing. Returned as one-way
+// latency for direct comparison with Table II.
+func CMLPingPong(bytes, reps int) (sim.Time, error) {
+	clu, err := cluster.New(cluster.Spec{CellNodes: 2, Seed: 7})
+	if err != nil {
+		return 0, err
+	}
+	w, err := cml.NewWorld(clu, 1)
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, bytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	rounds := reps + 1
+	var total sim.Time
+	err = w.Run(func(ctx *cml.Ctx) {
+		if ctx.Rank() == 0 {
+			var start sim.Time
+			for r := 0; r < rounds; r++ {
+				if r == 1 {
+					start = ctx.P.Now()
+				}
+				ctx.Send(1, payload)
+				ctx.Recv(1)
+			}
+			total = ctx.P.Now() - start
+		} else {
+			for r := 0; r < rounds; r++ {
+				got := ctx.Recv(0)
+				ctx.Send(0, got)
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / sim.Time(2*reps), nil
+}

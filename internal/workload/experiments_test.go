@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func TestExperimentPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment pipeline in short mode")
+	}
+	rows, err := Table2(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tbl := FormatTable2(rows)
+	for _, want := range []string{"Table II", "CellPilot", "paper", "measured"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	bars := Figure5(rows)
+	if len(bars) != 15 {
+		t.Fatalf("bars = %d", len(bars))
+	}
+	f5 := FormatFigure5(bars)
+	if !strings.Contains(f5, "type5 Copy") || !strings.Contains(f5, "#") {
+		t.Fatalf("figure 5 malformed:\n%s", f5)
+	}
+	pts := Figure6(rows)
+	if len(pts) != 15 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Sorted by (type, method) and every throughput positive.
+	for i, p := range pts {
+		if p.MBps <= 0 {
+			t.Fatalf("point %d nonpositive", i)
+		}
+		if i > 0 && (pts[i-1].Type > p.Type || (pts[i-1].Type == p.Type && pts[i-1].Method >= p.Method)) {
+			t.Fatalf("points unsorted at %d", i)
+		}
+	}
+	if !strings.Contains(FormatFigure6(pts), "MB/s") {
+		t.Fatal("figure 6 malformed")
+	}
+}
+
+func TestCodeSizesOrdering(t *testing.T) {
+	// Locate the repo root relative to this test file's cwd.
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "examples/relay_cellpilot/main.go")); err != nil {
+		t.Skip("examples not found from test cwd")
+	}
+	rows, err := CodeSizes(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, r := range rows {
+		if r.Lines <= 0 {
+			t.Fatalf("%s counted %d lines", r.Variant, r.Lines)
+		}
+		byName[r.Variant] = r.Lines
+	}
+	// The paper's ordering: CellPilot < DaCS < SDK.
+	if !(byName["CellPilot"] < byName["DaCS"] && byName["DaCS"] < byName["Cell SDK"]) {
+		t.Fatalf("LoC ordering violated: %+v", byName)
+	}
+	if !strings.Contains(FormatCodeSizes(rows), "Programmability") {
+		t.Fatal("format malformed")
+	}
+	if _, err := CodeSizes("/nonexistent"); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestFootprintsExperiment(t *testing.T) {
+	rows := Footprints(nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cp, dacs := rows[0], rows[1]
+	if cp.Footprint != 10336 || dacs.Footprint != 36600 {
+		t.Fatalf("footprints %d/%d", cp.Footprint, dacs.Footprint)
+	}
+	if cp.UsableLS <= dacs.UsableLS {
+		t.Fatal("CellPilot must leave more usable local store")
+	}
+	delta := cp.UsableLS - dacs.UsableLS
+	if delta < 36600-10336 || delta > 36600-10336+16 { // ±16B image alignment
+		t.Fatalf("budget delta %d", delta)
+	}
+	if !strings.Contains(FormatFootprints(rows), "libdacs.a") {
+		t.Fatal("format malformed")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in short mode")
+	}
+	mpiPath, direct, err := AblationDirectLocal(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The direct path must not be slower (it removes MPI overheads).
+	for i := range mpiPath {
+		if direct[i] > mpiPath[i] {
+			t.Fatalf("direct path slower: %s vs %s", direct[i], mpiPath[i])
+		}
+	}
+	poll, err := AblationPoll([]sim.Time{5 * sim.Microsecond, 80 * sim.Microsecond}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poll[80*sim.Microsecond] <= poll[5*sim.Microsecond] {
+		t.Fatalf("slow polling should hurt type 4: %v", poll)
+	}
+	eager, err := AblationEager([]int{64}, []int{1, 1 << 20}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager[[2]int{1, 64}] <= eager[[2]int{1 << 20, 64}] {
+		t.Fatalf("forced rendezvous should cost more for small messages: %v", eager)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func TestIMBPingPongMatchesHandType1(t *testing.T) {
+	// The IMB PingPong at the raw-MPI level must agree with the Table II
+	// hand-coded type-1 baseline — same code path, same model.
+	imb, err := IMB(IMBConfig{Pattern: IMBPingPong, Bytes: 1600, Reps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := PingPong(PingPongConfig{Type: 1, Bytes: 1600, Method: MethodDMA, Reps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := imb.AvgTime - pp.OneWay
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*sim.Microsecond {
+		t.Fatalf("IMB PingPong %s vs hand type-1 %s", imb.AvgTime, pp.OneWay)
+	}
+}
+
+func TestIMBPatternsRun(t *testing.T) {
+	for _, pat := range []IMBPattern{IMBPingPing, IMBSendRecv, IMBExchange, IMBBcast, IMBAllreduce} {
+		ranks := 4
+		if pat == IMBPingPing {
+			ranks = 2
+		}
+		res, err := IMB(IMBConfig{Pattern: pat, Ranks: ranks, Bytes: 256, Reps: 50})
+		if err != nil {
+			t.Fatalf("%s: %v", pat, err)
+		}
+		if res.AvgTime <= 0 {
+			t.Fatalf("%s: no time measured", pat)
+		}
+	}
+	barrier, err := IMB(IMBConfig{Pattern: IMBBarrier, Ranks: 6, Reps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barrier.AvgTime <= 0 || barrier.MBps != 0 {
+		t.Fatalf("barrier result %+v", barrier)
+	}
+}
+
+func TestIMBPingPingCostsMoreThanHalfPingPong(t *testing.T) {
+	pp, err := IMB(IMBConfig{Pattern: IMBPingPong, Bytes: 1600, Reps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ping, err := IMB(IMBConfig{Pattern: IMBPingPing, Bytes: 1600, Reps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PingPing sends collide on the NICs, so a full iteration must cost
+	// at least the one-way PingPong time.
+	if ping.AvgTime < pp.AvgTime {
+		t.Fatalf("PingPing %s < PingPong one-way %s", ping.AvgTime, pp.AvgTime)
+	}
+}
+
+func TestIMBBcastScalesWithRanks(t *testing.T) {
+	t2, err := IMB(IMBConfig{Pattern: IMBBcast, Ranks: 2, Bytes: 1024, Reps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := IMB(IMBConfig{Pattern: IMBBcast, Ranks: 8, Bytes: 1024, Reps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.AvgTime <= t2.AvgTime {
+		t.Fatalf("8-rank bcast (%s) should cost more than 2-rank (%s)", t8.AvgTime, t2.AvgTime)
+	}
+	// Binomial tree: 8 ranks is 3 levels, so under ~4x the 2-rank time
+	// even with contention.
+	if t8.AvgTime > 5*t2.AvgTime {
+		t.Fatalf("8-rank bcast (%s) not tree-like vs 2-rank (%s)", t8.AvgTime, t2.AvgTime)
+	}
+}
+
+func TestIMBSweepAndValidation(t *testing.T) {
+	res, err := IMBSweep(IMBPingPong, 2, []int{64, 1024, 8192}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].AvgTime >= res[2].AvgTime {
+		t.Fatalf("sweep not monotone: %+v", res)
+	}
+	if _, err := IMB(IMBConfig{Pattern: IMBPingPong, Ranks: 3}); err == nil {
+		t.Fatal("3-rank pingpong accepted")
+	}
+	if _, err := IMB(IMBConfig{Pattern: IMBBcast, Ranks: 1}); err == nil {
+		t.Fatal("1-rank bcast accepted")
+	}
+}

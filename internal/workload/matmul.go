@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/core"
+	"cellpilot/internal/sim"
+)
+
+// Block matrix multiplication — the canonical Cell BE demonstration
+// workload — on CellPilot: the PPE coordinator broadcasts B, scatters row
+// panels of A across SPE workers, each worker computes its C panel with
+// the SPU (compute time charged per FLOP), and the panels are gathered
+// back. Everything fits the 256 KB local-store budget by construction,
+// which the configuration checks up front.
+
+// MatMulConfig configures a run.
+type MatMulConfig struct {
+	// N is the (square) matrix dimension; must divide evenly by Workers.
+	N int
+	// Workers is the number of SPE workers.
+	Workers int
+	// Seed generates the input matrices.
+	Seed int64
+	// FlopsPerSec models SPU compute speed (default 25.6 GFLOP/s, one
+	// Cell SPE's single-precision peak).
+	FlopsPerSec float64
+}
+
+// MatMulResult reports a run.
+type MatMulResult struct {
+	C       []float32
+	Elapsed sim.Time
+	// LSHighWater is the largest message staged in any SPE local store.
+	LSHighWater int
+}
+
+func (c MatMulConfig) withDefaults() MatMulConfig {
+	if c.N == 0 {
+		c.N = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 21
+	}
+	if c.FlopsPerSec == 0 {
+		c.FlopsPerSec = 25.6e9
+	}
+	return c
+}
+
+// matmulInputs generates deterministic A and B.
+func matmulInputs(n int, seed int64) (a, b []float32) {
+	a = make([]float32, n*n)
+	b = make([]float32, n*n)
+	s := uint32(seed)
+	next := func() float32 {
+		s = s*1664525 + 1013904223
+		return float32(int32(s>>16)%100) / 10
+	}
+	for i := range a {
+		a[i] = next()
+		b[i] = next()
+	}
+	return a, b
+}
+
+// MatMulSequential is the reference implementation.
+func MatMulSequential(cfg MatMulConfig) []float32 {
+	cfg = cfg.withDefaults()
+	a, b := matmulInputs(cfg.N, cfg.Seed)
+	n := cfg.N
+	c := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMul runs the block multiplication on a simulated Cell node with SPE
+// workers over CellPilot channels.
+func MatMul(cfg MatMulConfig) (MatMulResult, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.N
+	if n%cfg.Workers != 0 {
+		return MatMulResult{}, fmt.Errorf("workload: N=%d not divisible by %d workers", n, cfg.Workers)
+	}
+	rows := n / cfg.Workers
+	// LS budget check: B (n*n) + A panel + C panel must fit beside the
+	// runtime; surface the constraint instead of failing mid-run.
+	clu, err := cluster.New(cluster.Spec{CellNodes: (cfg.Workers + 15) / 16, Seed: cfg.Seed})
+	if err != nil {
+		return MatMulResult{}, err
+	}
+	par := clu.Params
+	needed := 4 * (n*n + 2*rows*n)
+	budget := par.LSSize - par.CellPilotFootprint - par.DefaultCodeSize - par.StackReserve
+	if needed > budget {
+		return MatMulResult{}, fmt.Errorf("workload: N=%d needs %d LS bytes for B and panels; only %d available (the paper's 256K discipline)",
+			n, needed, budget)
+	}
+	if cfg.Workers > clu.TotalSPEs() {
+		return MatMulResult{}, fmt.Errorf("workload: %d workers exceed %d SPEs", cfg.Workers, clu.TotalSPEs())
+	}
+
+	a, b := matmulInputs(n, cfg.Seed)
+	app := core.NewApp(clu, core.Options{SPECollectives: true})
+	toW := make([]*core.Channel, cfg.Workers)
+	fromW := make([]*core.Channel, cfg.Workers)
+	flops := 2 * rows * n * n
+	computeTime := sim.Time(float64(flops) / cfg.FlopsPerSec * float64(sim.Second))
+
+	worker := &core.SPEProgram{Name: "matmul", Body: func(ctx *core.SPECtx) {
+		id := ctx.Arg()
+		bm := make([]float32, n*n)
+		ctx.Read(toW[id], fmt.Sprintf("%%%df", n*n), bm) // broadcast of B
+		ap := make([]float32, rows*n)
+		ctx.Read(toW[id], fmt.Sprintf("%%%df", rows*n), ap) // scatter of A panel
+		ctx.P.Advance(computeTime)
+		cp := make([]float32, rows*n)
+		for i := 0; i < rows; i++ {
+			for k := 0; k < n; k++ {
+				aik := ap[i*n+k]
+				for j := 0; j < n; j++ {
+					cp[i*n+j] += aik * bm[k*n+j]
+				}
+			}
+		}
+		ctx.Write(fromW[id], fmt.Sprintf("%%%df", rows*n), cp)
+	}}
+
+	type speAssign struct {
+		sp  *core.Process
+		idx int
+	}
+	spes := make([]*core.Process, cfg.Workers)
+	parents := map[int]*core.Process{}
+	remote := map[int][]speAssign{}
+	for i := 0; i < cfg.Workers; i++ {
+		nodeID := i / 16 // 16 SPEs per blade
+		parent := app.Main()
+		if nodeID != 0 {
+			if parents[nodeID] == nil {
+				parents[nodeID] = app.CreateProcessOn(nodeID, fmt.Sprintf("host%d", nodeID),
+					func(ctx *core.Ctx, _ int, arg any) {
+						for _, as := range arg.([]speAssign) {
+							ctx.RunSPE(as.sp, as.idx, nil)
+						}
+					}, 0, nil)
+			}
+			parent = parents[nodeID]
+		}
+		spes[i] = app.CreateSPE(worker, parent, i)
+		if nodeID != 0 {
+			remote[nodeID] = append(remote[nodeID], speAssign{spes[i], i})
+		}
+		toW[i] = app.CreateChannel(app.Main(), spes[i])
+		fromW[i] = app.CreateChannel(spes[i], app.Main())
+	}
+	for nodeID, list := range remote {
+		parents[nodeID].SetArg(list)
+	}
+	bcast := app.CreateBundle(core.BundleBroadcast, toW)
+	scatter := app.CreateBundle(core.BundleScatter, toW)
+	gather := app.CreateBundle(core.BundleGather, fromW)
+
+	res := MatMulResult{C: make([]float32, n*n)}
+	runErr := app.Run(func(ctx *core.Ctx) {
+		start := ctx.Now()
+		for i, sp := range spes {
+			if sp.Parent() == app.Main() {
+				ctx.RunSPE(sp, i, nil)
+			}
+		}
+		ctx.Broadcast(bcast, fmt.Sprintf("%%%df", n*n), b)
+		ctx.Scatter(scatter, fmt.Sprintf("%%%df", rows*n), a)
+		ctx.Gather(gather, fmt.Sprintf("%%%df", rows*n), res.C)
+		res.Elapsed = ctx.Elapsed(start)
+	})
+	if runErr != nil {
+		return MatMulResult{}, runErr
+	}
+	res.LSHighWater = 4 * n * n
+	return res, nil
+}

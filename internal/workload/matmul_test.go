@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatMulMatchesSequential(t *testing.T) {
+	cfg := MatMulConfig{N: 64, Workers: 8, Seed: 21}
+	par, err := MatMul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatMulSequential(cfg)
+	for i := range want {
+		if par.C[i] != want[i] {
+			t.Fatalf("C[%d] = %g, want %g", i, par.C[i], want[i])
+		}
+	}
+	if par.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestMatMulMoreWorkersFaster(t *testing.T) {
+	// With a compute-bound problem (slow SPU model), the farm scales.
+	t2, err := MatMul(MatMulConfig{N: 64, Workers: 2, FlopsPerSec: 2e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := MatMul(MatMulConfig{N: 64, Workers: 8, FlopsPerSec: 2e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.Elapsed >= t2.Elapsed {
+		t.Fatalf("8 workers (%s) not faster than 2 (%s)", t8.Elapsed, t2.Elapsed)
+	}
+}
+
+func TestMatMulCommunicationBoundAtSmallSizes(t *testing.T) {
+	// At realistic SPU speed a 64x64 multiply is communication-bound:
+	// adding workers adds serialized Co-Pilot transfers and *slows down*
+	// — the classic accelerator-offload pitfall, reproduced faithfully.
+	t2, err := MatMul(MatMulConfig{N: 64, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := MatMul(MatMulConfig{N: 64, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.Elapsed <= t2.Elapsed {
+		t.Fatalf("expected communication-bound slowdown: 8 workers %s vs 2 workers %s",
+			t8.Elapsed, t2.Elapsed)
+	}
+}
+
+func TestMatMulCrossBlade(t *testing.T) {
+	// 32 workers span two blades: the second blade's SPEs are launched by
+	// a host process there, and their channels are type 3.
+	cfg := MatMulConfig{N: 128, Workers: 32, Seed: 4}
+	par, err := MatMul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatMulSequential(cfg)
+	for i := range want {
+		if par.C[i] != want[i] {
+			t.Fatalf("C[%d] = %g, want %g", i, par.C[i], want[i])
+		}
+	}
+}
+
+func TestMatMulLSBudgetEnforced(t *testing.T) {
+	// N=256 needs 4*(256*256 + ...) ≈ 278 KB of LS for B alone: too big.
+	_, err := MatMul(MatMulConfig{N: 256, Workers: 8})
+	if err == nil || !strings.Contains(err.Error(), "LS bytes") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := MatMul(MatMulConfig{N: 60, Workers: 8}); err == nil {
+		t.Fatal("indivisible N accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/core"
+	"cellpilot/internal/sim"
+)
+
+// CoPilotContention is the A4 ablation workload: `pairs` simultaneous
+// type-4 pingpongs on one dual-Cell blade, half the pairs in each Cell.
+// With the paper's single Co-Pilot every transfer serializes through one
+// service loop; with Options.CoPilotPerCell each Cell's spare PPE thread
+// hosts its own.
+func CoPilotContention(perCell bool, pairs, rounds int) (sim.Time, error) {
+	if pairs < 1 || pairs > 8 {
+		return 0, fmt.Errorf("workload: contention pairs must be 1..8, got %d", pairs)
+	}
+	c, err := cluster.New(cluster.Spec{CellNodes: 1, Seed: 13})
+	if err != nil {
+		return 0, err
+	}
+	a := core.NewApp(c, core.Options{CoPilotPerCell: perCell})
+	ab := make([]*core.Channel, pairs)
+	ba := make([]*core.Channel, pairs)
+	mk := func(i int, initiator bool) *core.SPEProgram {
+		name := "echo"
+		if initiator {
+			name = "init"
+		}
+		return &core.SPEProgram{Name: name, Body: func(ctx *core.SPECtx) {
+			buf := make([]byte, 64)
+			for r := 0; r < rounds; r++ {
+				if initiator {
+					ctx.Write(ab[i], "%64b", buf)
+					ctx.Read(ba[i], "%64b", buf)
+				} else {
+					ctx.Read(ab[i], "%64b", buf)
+					ctx.Write(ba[i], "%64b", buf)
+				}
+			}
+		}}
+	}
+	var spes []*core.Process
+	for i := 0; i < pairs; i++ {
+		base := (i % 2) * 8 // alternate pairs across the blade's two Cells
+		slot := base + (i/2)*2
+		w := a.CreateSPE(mk(i, true), a.Main(), slot)
+		r := a.CreateSPE(mk(i, false), a.Main(), slot+1)
+		ab[i] = a.CreateChannel(w, r)
+		ba[i] = a.CreateChannel(r, w)
+		spes = append(spes, w, r)
+	}
+	err = a.Run(func(ctx *core.Ctx) {
+		for i, s := range spes {
+			ctx.RunSPE(s, i, nil)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return c.K.Now(), nil
+}

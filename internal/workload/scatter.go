@@ -1,0 +1,435 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/core"
+	"cellpilot/internal/sim"
+)
+
+// This file implements the paper's Section VI case study: the
+// parallelization of scatter search — "a well-known meta-heuristic that
+// has been successfully applied to a variety of NP-hard problems,
+// primarily in the areas of combinatorial optimization" — over CellPilot.
+// The concrete problem is 0/1 knapsack (a standard binary-optimization
+// target for scatter search, cf. the paper's reference [22]); the
+// coordinator runs as PI_MAIN on a PPE and the improvement step is
+// offloaded to SPE worker processes over ordinary CellPilot channels.
+
+// Knapsack is a 0/1 knapsack instance.
+type Knapsack struct {
+	Weights  []int32
+	Values   []int32
+	Capacity int64
+}
+
+// NewKnapsack generates a deterministic instance with n items.
+func NewKnapsack(n int, seed int64) *Knapsack {
+	rng := rand.New(rand.NewSource(seed))
+	k := &Knapsack{
+		Weights: make([]int32, n),
+		Values:  make([]int32, n),
+	}
+	var totalW int64
+	for i := 0; i < n; i++ {
+		k.Weights[i] = int32(rng.Intn(95) + 5)
+		// Values loosely correlated with weights, so greedy is good but
+		// not optimal.
+		k.Values[i] = k.Weights[i] + int32(rng.Intn(40))
+		totalW += int64(k.Weights[i])
+	}
+	k.Capacity = totalW / 2
+	return k
+}
+
+// Items reports the instance size.
+func (k *Knapsack) Items() int { return len(k.Weights) }
+
+// Eval reports a solution's total value and weight. sol holds one 0/1
+// byte per item.
+func (k *Knapsack) Eval(sol []byte) (value, weight int64) {
+	for i, b := range sol {
+		if b != 0 {
+			value += int64(k.Values[i])
+			weight += int64(k.Weights[i])
+		}
+	}
+	return value, weight
+}
+
+// Feasible reports whether sol fits the capacity.
+func (k *Knapsack) Feasible(sol []byte) bool {
+	_, w := k.Eval(sol)
+	return w <= k.Capacity
+}
+
+// Repair drops the worst value-density items until sol is feasible.
+func (k *Knapsack) Repair(sol []byte) {
+	_, w := k.Eval(sol)
+	if w <= k.Capacity {
+		return
+	}
+	type cand struct {
+		idx     int
+		density float64
+	}
+	var in []cand
+	for i, b := range sol {
+		if b != 0 {
+			in = append(in, cand{i, float64(k.Values[i]) / float64(k.Weights[i])})
+		}
+	}
+	sort.Slice(in, func(a, b int) bool { return in[a].density < in[b].density })
+	for _, c := range in {
+		if w <= k.Capacity {
+			break
+		}
+		sol[c.idx] = 0
+		w -= int64(k.Weights[c.idx])
+	}
+}
+
+// Improve is the local-search step the SPE workers run: repeatedly try to
+// add unused items (best density first) and 1-1 swaps that increase value
+// while staying feasible. rounds bounds the work.
+func (k *Knapsack) Improve(sol []byte, rounds int) {
+	k.Repair(sol)
+	n := len(sol)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := float64(k.Values[order[a]]) / float64(k.Weights[order[a]])
+		db := float64(k.Values[order[b]]) / float64(k.Weights[order[b]])
+		return da > db
+	})
+	for r := 0; r < rounds; r++ {
+		improved := false
+		_, w := k.Eval(sol)
+		// Additions.
+		for _, i := range order {
+			if sol[i] == 0 && w+int64(k.Weights[i]) <= k.Capacity {
+				sol[i] = 1
+				w += int64(k.Weights[i])
+				improved = true
+			}
+		}
+		// 1-1 swaps.
+		for _, i := range order {
+			if sol[i] != 0 {
+				continue
+			}
+			for j := n - 1; j >= 0; j-- {
+				jj := order[j]
+				if sol[jj] == 0 || jj == i {
+					continue
+				}
+				nw := w - int64(k.Weights[jj]) + int64(k.Weights[i])
+				if nw <= k.Capacity && k.Values[i] > k.Values[jj] {
+					sol[jj], sol[i] = 0, 1
+					w = nw
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// Combine builds a child solution from two parents: common items are
+// kept, disputed items decided by value density with a deterministic
+// dither, then the child is repaired.
+func (k *Knapsack) Combine(a, b []byte, rng *rand.Rand) []byte {
+	child := make([]byte, len(a))
+	for i := range a {
+		switch {
+		case a[i] != 0 && b[i] != 0:
+			child[i] = 1
+		case a[i] != 0 || b[i] != 0:
+			if rng.Intn(100) < 60 {
+				child[i] = 1
+			}
+		}
+	}
+	k.Repair(child)
+	return child
+}
+
+// diversify produces a random feasible solution.
+func (k *Knapsack) diversify(rng *rand.Rand) []byte {
+	sol := make([]byte, k.Items())
+	for i := range sol {
+		if rng.Intn(2) == 1 {
+			sol[i] = 1
+		}
+	}
+	k.Repair(sol)
+	return sol
+}
+
+// ScatterConfig configures the case study.
+type ScatterConfig struct {
+	// Items is the knapsack size (default 256; must leave the solution
+	// well inside an SPE local store).
+	Items int
+	// Workers is the number of SPE improvement workers (default 8).
+	Workers int
+	// RefSetSize is the reference set size (default 10).
+	RefSetSize int
+	// Iterations is the number of scatter-search rounds (default 8).
+	Iterations int
+	// ImproveRounds bounds each worker's local search (default 6).
+	ImproveRounds int
+	// Seed drives instance generation and the heuristic's randomness.
+	Seed int64
+	// CellNodes sizes the cluster (default 1).
+	CellNodes int
+}
+
+func (c ScatterConfig) withDefaults() ScatterConfig {
+	if c.Items == 0 {
+		c.Items = 256
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.RefSetSize == 0 {
+		c.RefSetSize = 10
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 8
+	}
+	if c.ImproveRounds == 0 {
+		c.ImproveRounds = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.CellNodes == 0 {
+		c.CellNodes = 1
+	}
+	return c
+}
+
+// ScatterResult reports a run.
+type ScatterResult struct {
+	Best        int64
+	GreedyValue int64
+	Solution    []byte
+	Elapsed     sim.Time
+	Evaluations int
+}
+
+// Greedy reports the density-greedy baseline value.
+func (k *Knapsack) Greedy() int64 {
+	sol := make([]byte, k.Items())
+	for i := range sol {
+		sol[i] = 1
+	}
+	k.Repair(sol)
+	v, _ := k.Eval(sol)
+	return v
+}
+
+// ScatterSearchSequential runs the same heuristic single-threaded — the
+// correctness and quality reference for the CellPilot version.
+func ScatterSearchSequential(cfg ScatterConfig) ScatterResult {
+	cfg = cfg.withDefaults()
+	k := NewKnapsack(cfg.Items, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	evals := 0
+	improveBatch := func(batch [][]byte) {
+		for _, sol := range batch {
+			k.Improve(sol, cfg.ImproveRounds)
+			evals++
+		}
+	}
+	res := scatterCoreBatched(cfg, k, rng, improveBatch)
+	res.Evaluations = evals
+	return res
+}
+
+// ScatterSearch runs the case study on a simulated Cell cluster with the
+// improvement operator offloaded to SPE workers over CellPilot channels:
+// the PI_MAIN coordinator ships candidate solutions out, SPE processes
+// run the local search (charging SPU compute time), and results come back
+// on the reverse channels.
+func ScatterSearch(cfg ScatterConfig) (ScatterResult, error) {
+	cfg = cfg.withDefaults()
+	clu, err := cluster.New(cluster.Spec{CellNodes: cfg.CellNodes, Seed: cfg.Seed})
+	if err != nil {
+		return ScatterResult{}, err
+	}
+	maxWorkers := clu.TotalSPEs()
+	if cfg.Workers > maxWorkers {
+		return ScatterResult{}, fmt.Errorf("workload: %d workers but only %d SPEs", cfg.Workers, maxWorkers)
+	}
+	k := NewKnapsack(cfg.Items, cfg.Seed)
+	app := core.NewApp(clu, core.Options{})
+
+	toW := make([]*core.Channel, cfg.Workers)
+	fromW := make([]*core.Channel, cfg.Workers)
+	// SPU local-search cost model: ~3ns per item per round plus fixed
+	// kernel launch overhead, charged in virtual time.
+	improveCost := sim.Time(3*cfg.Items*cfg.ImproveRounds)*sim.Nanosecond + 2*sim.Microsecond
+
+	worker := &core.SPEProgram{Name: "ss_improve", Body: func(ctx *core.SPECtx) {
+		id := ctx.Arg()
+		sol := make([]byte, cfg.Items)
+		for {
+			var op byte
+			hdr := make([]byte, 1)
+			ctx.Read(toW[id], "%b", hdr)
+			op = hdr[0]
+			if op == 0 { // shutdown
+				return
+			}
+			ctx.Read(toW[id], "%*b", cfg.Items, sol)
+			ctx.P.Advance(improveCost)
+			k.Improve(sol, cfg.ImproveRounds)
+			ctx.Write(fromW[id], "%*b", cfg.Items, sol)
+		}
+	}}
+	spes := make([]*core.Process, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		spes[i] = app.CreateSPE(worker, app.Main(), i)
+		toW[i] = app.CreateChannel(app.Main(), spes[i])
+		fromW[i] = app.CreateChannel(spes[i], app.Main())
+	}
+
+	var res ScatterResult
+	evals := 0
+	runErr := app.Run(func(ctx *core.Ctx) {
+		for i := 0; i < cfg.Workers; i++ {
+			ctx.RunSPE(spes[i], i, nil)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		start := ctx.P.Now()
+
+		// The offloaded improvement operator: batch candidates across the
+		// SPE farm, one in flight per worker.
+		improveBatch := func(batch [][]byte) {
+			for base := 0; base < len(batch); base += cfg.Workers {
+				n := cfg.Workers
+				if base+n > len(batch) {
+					n = len(batch) - base
+				}
+				for i := 0; i < n; i++ {
+					ctx.Write(toW[i], "%b", []byte{1})
+					ctx.Write(toW[i], "%*b", cfg.Items, batch[base+i])
+				}
+				for i := 0; i < n; i++ {
+					ctx.Read(fromW[i], "%*b", cfg.Items, batch[base+i])
+					evals++
+				}
+			}
+		}
+		res = scatterCoreBatched(cfg, k, rng, improveBatch)
+		res.Elapsed = ctx.P.Now() - start
+		res.Evaluations = evals
+		// Shut the farm down.
+		for i := 0; i < cfg.Workers; i++ {
+			ctx.Write(toW[i], "%b", []byte{0})
+		}
+	})
+	if runErr != nil {
+		return ScatterResult{}, runErr
+	}
+	return res, nil
+}
+
+// Hamming reports the number of differing positions between two
+// solutions — scatter search's standard diversity metric.
+func Hamming(a, b []byte) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// selectRefSet builds the classic two-tier reference set from a candidate
+// pool sorted best-first: the top half by objective value, then the
+// candidates maximizing their minimum Hamming distance to the set so far
+// (diversity tier). Duplicates never enter.
+func selectRefSet(pool [][]byte, size int) [][]byte {
+	uniq := pool[:0]
+	seen := map[string]bool{}
+	for _, s := range pool {
+		if !seen[string(s)] {
+			seen[string(s)] = true
+			uniq = append(uniq, s)
+		}
+	}
+	pool = uniq
+	if len(pool) <= size {
+		return pool
+	}
+	quality := size - size/2
+	ref := append([][]byte(nil), pool[:quality]...)
+	rest := pool[quality:]
+	for len(ref) < size && len(rest) > 0 {
+		bestIdx, bestDist := 0, -1
+		for i, cand := range rest {
+			minD := len(cand) + 1
+			for _, r := range ref {
+				if d := Hamming(cand, r); d < minD {
+					minD = d
+				}
+			}
+			if minD > bestDist {
+				bestDist, bestIdx = minD, i
+			}
+		}
+		ref = append(ref, rest[bestIdx])
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+	}
+	return ref
+}
+
+// scatterCoreBatched is the scatter-search coordinator: diversification,
+// two-tier reference set maintenance (quality + diversity), pairwise
+// combination, and improvement of candidate sets as whole batches (so the
+// SPE farm works in parallel).
+func scatterCoreBatched(cfg ScatterConfig, k *Knapsack, rng *rand.Rand,
+	improveBatch func([][]byte)) ScatterResult {
+	ref := make([][]byte, 0, cfg.RefSetSize*2)
+	for i := 0; i < cfg.RefSetSize*2; i++ {
+		ref = append(ref, k.diversify(rng))
+	}
+	improveBatch(ref)
+	byValue := func(ss [][]byte) {
+		sort.SliceStable(ss, func(a, b int) bool {
+			va, _ := k.Eval(ss[a])
+			vb, _ := k.Eval(ss[b])
+			return va > vb
+		})
+	}
+	byValue(ref)
+	ref = selectRefSet(ref, cfg.RefSetSize)
+	for it := 0; it < cfg.Iterations; it++ {
+		var children [][]byte
+		for i := 0; i < len(ref); i++ {
+			for j := i + 1; j < len(ref); j++ {
+				children = append(children, k.Combine(ref[i], ref[j], rng))
+			}
+		}
+		improveBatch(children)
+		ref = append(ref, children...)
+		byValue(ref)
+		ref = selectRefSet(ref, cfg.RefSetSize)
+	}
+	byValue(ref)
+	best := ref[0]
+	v, _ := k.Eval(best)
+	return ScatterResult{Best: v, GreedyValue: k.Greedy(), Solution: append([]byte(nil), best...)}
+}

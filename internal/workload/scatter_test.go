@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnapsackEvalRepair(t *testing.T) {
+	k := NewKnapsack(64, 3)
+	sol := make([]byte, 64)
+	for i := range sol {
+		sol[i] = 1
+	}
+	if k.Feasible(sol) {
+		t.Fatal("all-items solution should exceed half-total capacity")
+	}
+	k.Repair(sol)
+	if !k.Feasible(sol) {
+		t.Fatal("repair left solution infeasible")
+	}
+	v, w := k.Eval(sol)
+	if v <= 0 || w <= 0 || w > k.Capacity {
+		t.Fatalf("eval: v=%d w=%d cap=%d", v, w, k.Capacity)
+	}
+}
+
+func TestImproveNeverWorsensFeasibility(t *testing.T) {
+	prop := func(seed int64, pattern []byte) bool {
+		k := NewKnapsack(48, seed%1000+1)
+		sol := make([]byte, 48)
+		for i := range sol {
+			if i < len(pattern) && pattern[i]%2 == 1 {
+				sol[i] = 1
+			}
+		}
+		before, _ := k.Eval(sol)
+		wasFeasible := k.Feasible(sol)
+		k.Improve(sol, 4)
+		if !k.Feasible(sol) {
+			return false
+		}
+		after, _ := k.Eval(sol)
+		// Improvement must not reduce the value of a feasible solution.
+		return !wasFeasible || after >= before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineFeasible(t *testing.T) {
+	k := NewKnapsack(64, 5)
+	seq := ScatterSearchSequential(ScatterConfig{Items: 64, Seed: 5, Iterations: 2})
+	a := seq.Solution
+	b := make([]byte, 64)
+	k.Repair(b)
+	rng := newTestRand()
+	child := k.Combine(a, b, rng)
+	if !k.Feasible(child) {
+		t.Fatal("combine produced infeasible child")
+	}
+	if len(child) != 64 {
+		t.Fatal("child size wrong")
+	}
+}
+
+func TestScatterSequentialBeatsGreedyOrMatches(t *testing.T) {
+	res := ScatterSearchSequential(ScatterConfig{Items: 128, Seed: 7})
+	if res.Best < res.GreedyValue {
+		t.Fatalf("scatter search (%d) worse than greedy (%d)", res.Best, res.GreedyValue)
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("no improvement evaluations recorded")
+	}
+}
+
+func TestScatterSearchOnCellPilot(t *testing.T) {
+	cfg := ScatterConfig{Items: 128, Seed: 7, Workers: 8, Iterations: 4}
+	par, err := ScatterSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKnapsack(cfg.Items, cfg.Seed)
+	if !k.Feasible(par.Solution) {
+		t.Fatal("parallel result infeasible")
+	}
+	if par.Best < par.GreedyValue {
+		t.Fatalf("parallel scatter search (%d) worse than greedy (%d)", par.Best, par.GreedyValue)
+	}
+	// Identical algorithm and seed: parallel and sequential agree exactly.
+	seq := ScatterSearchSequential(ScatterConfig{Items: 128, Seed: 7, Iterations: 4})
+	if par.Best != seq.Best || !bytes.Equal(par.Solution, seq.Solution) {
+		t.Fatalf("parallel best %d != sequential best %d", par.Best, seq.Best)
+	}
+	if par.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if par.Evaluations != seq.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", par.Evaluations, seq.Evaluations)
+	}
+}
+
+func TestScatterWorkerLimit(t *testing.T) {
+	if _, err := ScatterSearch(ScatterConfig{Workers: 1000}); err == nil {
+		t.Fatal("absurd worker count accepted")
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func TestHammingAndRefSetSelection(t *testing.T) {
+	if Hamming([]byte{1, 0, 1}, []byte{1, 1, 0}) != 2 {
+		t.Fatal("Hamming wrong")
+	}
+	// Pool sorted best-first; duplicates must be dropped and the
+	// diversity tier must prefer the farthest candidate.
+	pool := [][]byte{
+		{1, 1, 1, 1}, // best
+		{1, 1, 1, 0}, // second
+		{1, 1, 1, 0}, // duplicate
+		{1, 1, 0, 0}, // near the firsts
+		{0, 0, 0, 0}, // maximally diverse
+	}
+	ref := selectRefSet(pool, 3)
+	if len(ref) != 3 {
+		t.Fatalf("refset size %d", len(ref))
+	}
+	if string(ref[0]) != string([]byte{1, 1, 1, 1}) || string(ref[1]) != string([]byte{1, 1, 1, 0}) {
+		t.Fatalf("quality tier wrong: %v", ref)
+	}
+	if string(ref[2]) != string([]byte{0, 0, 0, 0}) {
+		t.Fatalf("diversity tier picked %v", ref[2])
+	}
+	// Small pools pass through deduplicated.
+	small := selectRefSet([][]byte{{1}, {1}, {0}}, 5)
+	if len(small) != 2 {
+		t.Fatalf("dedup wrong: %v", small)
+	}
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cellpilot/internal/cluster"
+	"cellpilot/internal/core"
+	"cellpilot/internal/sim"
+)
+
+// 1-D Jacobi heat diffusion over a ring of SPE processes with halo
+// exchange on type-4 channels — the classic nearest-neighbour HPC
+// pattern (examples/stencil is the runnable demonstration; this is the
+// tested library form).
+
+// StencilConfig configures a run.
+type StencilConfig struct {
+	// Workers is the number of SPE processes (≤ 16, one blade).
+	Workers int
+	// CellsPerWorker is the interior cells each worker owns.
+	CellsPerWorker int
+	// Iterations is the Jacobi step count.
+	Iterations int
+	// Alpha is the diffusion coefficient.
+	Alpha float64
+}
+
+func (c StencilConfig) withDefaults() StencilConfig {
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.CellsPerWorker == 0 {
+		c.CellsPerWorker = 64
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.25
+	}
+	return c
+}
+
+// StencilResult reports a run.
+type StencilResult struct {
+	Final   []float64
+	Elapsed sim.Time
+	// MaxErr is the largest deviation from the sequential reference.
+	MaxErr float64
+}
+
+// StencilSequential computes the reference evolution.
+func StencilSequential(cfg StencilConfig, init []float64) []float64 {
+	cfg = cfg.withDefaults()
+	n := len(init)
+	u := make([]float64, n+2)
+	copy(u[1:], init)
+	next := make([]float64, n+2)
+	for it := 0; it < cfg.Iterations; it++ {
+		u[0], u[n+1] = 0, 0
+		for i := 1; i <= n; i++ {
+			next[i] = u[i] + cfg.Alpha*(u[i-1]-2*u[i]+u[i+1])
+		}
+		u, next = next, u
+	}
+	return append([]float64(nil), u[1:n+1]...)
+}
+
+// StencilInit builds the standard initial condition.
+func StencilInit(n int) []float64 {
+	init := make([]float64, n)
+	for i := range init {
+		init[i] = math.Sin(float64(i) / float64(n) * math.Pi * 3)
+	}
+	return init
+}
+
+// Stencil runs the distributed version on one simulated blade and
+// compares against the sequential reference.
+func Stencil(cfg StencilConfig) (StencilResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers < 2 || cfg.Workers > 16 {
+		return StencilResult{}, fmt.Errorf("workload: stencil needs 2..16 workers, got %d", cfg.Workers)
+	}
+	clu, err := cluster.New(cluster.Spec{CellNodes: 1, Seed: 9})
+	if err != nil {
+		return StencilResult{}, err
+	}
+	app := core.NewApp(clu, core.Options{SPECollectives: true})
+	n := cfg.Workers * cfg.CellsPerWorker
+	cw := cfg.CellsPerWorker
+	chunkFmt := fmt.Sprintf("%%%dlf", cw)
+
+	scatterCh := make([]*core.Channel, cfg.Workers)
+	gatherCh := make([]*core.Channel, cfg.Workers)
+	rightCh := make([]*core.Channel, cfg.Workers)
+	leftCh := make([]*core.Channel, cfg.Workers)
+
+	worker := &core.SPEProgram{Name: "stencil", Body: func(ctx *core.SPECtx) {
+		id := ctx.Arg()
+		u := make([]float64, cw+2)
+		ctx.Read(scatterCh[id], "%*lf", cw, u[1:cw+1])
+		next := make([]float64, cw+2)
+		for it := 0; it < cfg.Iterations; it++ {
+			recvLeft := make([]float64, 1)
+			recvRight := make([]float64, 1)
+			if id%2 == 0 {
+				if id+1 < cfg.Workers {
+					ctx.Write(rightCh[id], "%lf", u[cw])
+					ctx.Read(leftCh[id+1], "%*lf", 1, recvRight)
+				}
+				if id > 0 {
+					ctx.Write(leftCh[id], "%lf", u[1])
+					ctx.Read(rightCh[id-1], "%*lf", 1, recvLeft)
+				}
+			} else {
+				ctx.Read(rightCh[id-1], "%*lf", 1, recvLeft)
+				ctx.Write(leftCh[id], "%lf", u[1])
+				if id+1 < cfg.Workers {
+					ctx.Read(leftCh[id+1], "%*lf", 1, recvRight)
+					ctx.Write(rightCh[id], "%lf", u[cw])
+				}
+			}
+			if id > 0 {
+				u[0] = recvLeft[0]
+			} else {
+				u[0] = 0
+			}
+			if id+1 < cfg.Workers {
+				u[cw+1] = recvRight[0]
+			} else {
+				u[cw+1] = 0
+			}
+			ctx.P.Advance(2 * sim.Microsecond) // SPU compute
+			for i := 1; i <= cw; i++ {
+				next[i] = u[i] + cfg.Alpha*(u[i-1]-2*u[i]+u[i+1])
+			}
+			u, next = next, u
+		}
+		ctx.Write(gatherCh[id], "%*lf", cw, u[1:cw+1])
+	}}
+
+	spes := make([]*core.Process, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		spes[i] = app.CreateSPE(worker, app.Main(), i)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		scatterCh[i] = app.CreateChannel(app.Main(), spes[i])
+		gatherCh[i] = app.CreateChannel(spes[i], app.Main())
+		if i+1 < cfg.Workers {
+			rightCh[i] = app.CreateChannel(spes[i], spes[i+1])
+		}
+		if i > 0 {
+			leftCh[i] = app.CreateChannel(spes[i], spes[i-1])
+		}
+	}
+	scatter := app.CreateBundle(core.BundleScatter, scatterCh)
+	gather := app.CreateBundle(core.BundleGather, gatherCh)
+
+	init := StencilInit(n)
+	res := StencilResult{Final: make([]float64, n)}
+	err = app.Run(func(ctx *core.Ctx) {
+		start := ctx.Now()
+		for i, s := range spes {
+			ctx.RunSPE(s, i, nil)
+		}
+		ctx.Scatter(scatter, chunkFmt, init)
+		ctx.Gather(gather, chunkFmt, res.Final)
+		res.Elapsed = ctx.Elapsed(start)
+	})
+	if err != nil {
+		return StencilResult{}, err
+	}
+	want := StencilSequential(cfg, init)
+	for i := range want {
+		if d := math.Abs(res.Final[i] - want[i]); d > res.MaxErr {
+			res.MaxErr = d
+		}
+	}
+	return res, nil
+}

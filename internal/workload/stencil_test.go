@@ -1,0 +1,48 @@
+package workload
+
+import "testing"
+
+func TestStencilMatchesReference(t *testing.T) {
+	res, err := Stencil(StencilConfig{Workers: 8, CellsPerWorker: 32, Iterations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxErr != 0 {
+		t.Fatalf("max error %g; halo exchange must be bit-exact", res.MaxErr)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestStencilWorkerCounts(t *testing.T) {
+	for _, w := range []int{2, 3, 5, 16} {
+		res, err := Stencil(StencilConfig{Workers: w, CellsPerWorker: 16, Iterations: 10})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.MaxErr != 0 {
+			t.Fatalf("workers=%d: max error %g", w, res.MaxErr)
+		}
+	}
+	if _, err := Stencil(StencilConfig{Workers: 1}); err == nil {
+		t.Fatal("1-worker stencil accepted (no ring)")
+	}
+	if _, err := Stencil(StencilConfig{Workers: 17}); err == nil {
+		t.Fatal("17 workers on one blade accepted")
+	}
+}
+
+func TestStencilEnergyDissipates(t *testing.T) {
+	// Physical sanity: diffusion with cold boundaries loses energy.
+	init := StencilInit(128)
+	out := StencilSequential(StencilConfig{Iterations: 50}, init)
+	var e0, e1 float64
+	for i := range init {
+		e0 += init[i] * init[i]
+		e1 += out[i] * out[i]
+	}
+	if e1 >= e0 {
+		t.Fatalf("energy grew: %g -> %g", e0, e1)
+	}
+}
