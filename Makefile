@@ -1,0 +1,27 @@
+# Standard-library Go only; everything runs offline.
+
+GO ?= go
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem
+
+# Tier-1 gate: what must stay green on every change.
+ci: build vet test
+
+# Deeper sweep (slower): tier-1 plus the race detector.
+ci-full: ci race
+.PHONY: ci-full

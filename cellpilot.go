@@ -145,11 +145,26 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceEvent is one recorded operation.
 	TraceEvent = trace.Event
+	// Span is one channel transfer reconstructed from its phase events
+	// (TraceRecorder.Spans).
+	Span = trace.Span
+	// PhaseEvent is one stage of a transfer (mailbox, Co-Pilot, relay…).
+	PhaseEvent = trace.PhaseEvent
+	// Meter aggregates latency/bandwidth histograms and blocked-time
+	// attribution at zero virtual cost; attach one via App.Metrics.
+	Meter = core.Meter
+	// ChannelTypeMetrics is one channel type's aggregate in Stats.
+	ChannelTypeMetrics = core.ChannelTypeMetrics
+	// ProcTime is one process's compute/blocked time split in Stats.
+	ProcTime = core.ProcTime
 )
 
 // NewTraceRecorder creates a recorder keeping at most limit events
 // (0 = unlimited).
 func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
+
+// NewMeter creates an empty metrics aggregator for App.Metrics.
+func NewMeter() *Meter { return core.NewMeter() }
 
 // NewCluster builds a simulated hybrid cluster.
 func NewCluster(spec ClusterSpec) (*Cluster, error) { return cluster.New(spec) }

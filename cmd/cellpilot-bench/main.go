@@ -7,24 +7,32 @@
 //	cellpilot-bench -exp loc        # Section IV.C lines-of-code comparison
 //	cellpilot-bench -exp footprint  # Section V SPE memory footprint
 //	cellpilot-bench -exp ablations  # A1-A3 design-choice ablations
+//	cellpilot-bench -exp phases     # per-phase latency breakdown (spans)
 //	cellpilot-bench -exp all        # everything
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
+	"cellpilot/internal/core"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
 	"cellpilot/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|phases|all")
 	reps := flag.Int("reps", 1000, "PingPong repetitions (paper: 1000)")
 	repo := flag.String("repo", ".", "repository root (for the loc experiment)")
+	chrome := flag.String("chrome", "", "phases: write Chrome trace JSON for -trace-type's run to this file")
+	metricsOut := flag.String("metrics", "", "phases: write the metric registry JSON for -trace-type's run to this file")
+	traceType := flag.Int("trace-type", 5, "phases: channel type whose run the exporter flags capture")
 	flag.Parse()
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -65,6 +73,83 @@ func main() {
 	}
 	if want("cml") {
 		runCML(*reps / 4)
+	}
+	if want("phases") {
+		runPhases(*reps/10, *traceType, *chrome, *metricsOut)
+	}
+}
+
+// runPhases reruns the Table II pingpong grid with the recorder and meter
+// attached and decomposes each channel type's one-way latency into its
+// transfer phases (mailbox, Co-Pilot wait/service, relay/copy, MPI) — the
+// observability view of where Table II's microseconds go. Observation is
+// free in virtual time, so the latencies match the uninstrumented runs
+// exactly.
+func runPhases(reps, traceType int, chromePath, metricsPath string) {
+	if reps < 10 {
+		reps = 10
+	}
+	fmt.Println("phase breakdown per one-way transfer (1600B payload, CellPilot)")
+	for typ := 1; typ <= 5; typ++ {
+		rec := trace.NewRecorder(0)
+		meter := core.NewMeter()
+		res, err := workload.PingPong(workload.PingPongConfig{
+			Type: typ, Bytes: 1600, Method: workload.MethodCellPilot, Reps: reps,
+			Trace: rec, Metrics: meter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		spans := rec.Spans()
+		phase := map[trace.PhaseKind]sim.Time{}
+		for _, sp := range spans {
+			for _, ph := range sp.Phases {
+				phase[ph.Phase] += ph.Dur()
+			}
+		}
+		kinds := make([]trace.PhaseKind, 0, len(phase))
+		for k := range phase {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return phase[kinds[i]] > phase[kinds[j]] })
+		fmt.Printf("type%d  one-way %8.1fus  (%d spans):", typ, res.OneWay.Micros(), len(spans))
+		for _, k := range kinds {
+			fmt.Printf("  %s=%.1fus", k, (phase[k] / sim.Time(len(spans))).Micros())
+		}
+		fmt.Println()
+		if typ == traceType {
+			if chromePath != "" {
+				writeFile(chromePath, rec.WriteChrome)
+				fmt.Printf("  chrome trace for type%d written to %s\n", typ, chromePath)
+			}
+			if metricsPath != "" {
+				writeFile(metricsPath, func(w io.Writer) error {
+					data, err := meter.Registry().MarshalJSON()
+					if err != nil {
+						return err
+					}
+					_, err = w.Write(append(data, '\n'))
+					return err
+				})
+				fmt.Printf("  metrics for type%d written to %s\n", typ, metricsPath)
+			}
+		}
+	}
+}
+
+// writeFile writes one exporter's output ("-" = stdout).
+func writeFile(path string, fn func(w io.Writer) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := fn(f); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,22 +1,49 @@
 // Command cellpilot-trace runs a demonstration CellPilot application with
-// the communication recorder attached and prints the event timeline and
-// per-channel statistics — a view of what the Co-Pilot moves around
-// during a run, at zero virtual-time cost (traced runs keep the
-// calibrated timings exactly).
+// the communication recorder and meter attached and prints the event
+// timeline, per-channel statistics and per-channel-type metrics — a view
+// of what the Co-Pilot moves around during a run, at zero virtual-time
+// cost (traced runs keep the calibrated timings exactly).
+//
+// Exporters (all optional, "-" means stdout):
+//
+//	cellpilot-trace -chrome out.json    # Chrome trace_event JSON (Perfetto)
+//	cellpilot-trace -json out.jsonl     # event timeline as JSON lines
+//	cellpilot-trace -metrics out.json   # metric registry as JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"cellpilot"
-	"cellpilot/internal/trace"
 )
+
+// writeOut opens path for an exporter ("-" = stdout) and runs fn on it.
+func writeOut(path string, fn func(w io.Writer) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := fn(f); err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	rounds := flag.Int("rounds", 5, "pingpong rounds per channel type")
 	events := flag.Int("events", 40, "timeline events to print")
+	chrome := flag.String("chrome", "", "write Chrome trace_event JSON to this file (\"-\" = stdout)")
+	jsonl := flag.String("json", "", "write the event timeline as JSON lines to this file (\"-\" = stdout)")
+	metricsOut := flag.String("metrics", "", "write the metric registry as JSON to this file (\"-\" = stdout)")
+	spans := flag.Int("spans", 10, "transfer spans to print")
 	flag.Parse()
 
 	clu, err := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 2})
@@ -24,12 +51,15 @@ func main() {
 		log.Fatal(err)
 	}
 	app := cellpilot.NewApp(clu, cellpilot.Options{})
-	rec := trace.NewRecorder(0)
+	rec := cellpilot.NewTraceRecorder(0)
 	app.Trace = rec
+	meter := cellpilot.NewMeter()
+	app.Metrics = meter
 
-	// One channel pair of each SPE-connected flavour: type 2 (PPE↔local
-	// SPE), type 4 (SPE↔SPE same blade) and type 5 (SPE↔remote SPE).
-	var t2down, t2up, t4ab, t4ba, t5ab, t5ba *cellpilot.Channel
+	// One channel pair of each Table I flavour: type 1 (PPE↔remote PPE),
+	// type 2 (PPE↔local SPE), type 3 (PPE↔remote SPE), type 4 (SPE↔SPE
+	// same blade) and type 5 (SPE↔remote SPE).
+	var t1down, t1up, t2down, t2up, t3down, t3up, t4ab, t4ba, t5ab, t5ba *cellpilot.Channel
 	n := *rounds
 	mkEcho := func(down, up **cellpilot.Channel) *cellpilot.SPEProgram {
 		return &cellpilot.SPEProgram{Name: "echo", Body: func(ctx *cellpilot.SPECtx) {
@@ -54,19 +84,33 @@ func main() {
 	spe4a := app.CreateSPE(mkInit(&t4ab, &t4ba), app.Main(), 1)
 	spe4b := app.CreateSPE(mkEcho(&t4ab, &t4ba), app.Main(), 2)
 	parent := app.CreateProcessOn(1, "parent", func(ctx *cellpilot.Ctx, _ int, arg any) {
-		ctx.RunSPE(arg.(*cellpilot.Process), 0, nil)
+		procs := arg.([]*cellpilot.Process)
+		for _, sp := range procs {
+			ctx.RunSPE(sp, 0, nil)
+		}
+		buf := make([]int32, 32)
+		for r := 0; r < n; r++ {
+			ctx.Read(t1down, "%32d", buf)
+			ctx.Write(t1up, "%32d", buf)
+		}
 	}, 0, nil)
 	spe5a := app.CreateSPE(mkInit(&t5ab, &t5ba), app.Main(), 3)
 	spe5b := app.CreateSPE(mkEcho(&t5ab, &t5ba), parent, 0)
-	parent.SetArg(spe5b)
+	spe3 := app.CreateSPE(mkEcho(&t3down, &t3up), parent, 1)
+	parent.SetArg([]*cellpilot.Process{spe5b, spe3})
 
+	t1down = app.CreateChannel(app.Main(), parent)
+	t1up = app.CreateChannel(parent, app.Main())
 	t2down = app.CreateChannel(app.Main(), spe2)
 	t2up = app.CreateChannel(spe2, app.Main())
+	t3down = app.CreateChannel(app.Main(), spe3)
+	t3up = app.CreateChannel(spe3, app.Main())
 	t4ab = app.CreateChannel(spe4a, spe4b)
 	t4ba = app.CreateChannel(spe4b, spe4a)
 	t5ab = app.CreateChannel(spe5a, spe5b)
 	t5ba = app.CreateChannel(spe5b, spe5a)
-	for _, ch := range []*cellpilot.Channel{t2down, t2up, t4ab, t4ba, t5ab, t5ba} {
+	all := []*cellpilot.Channel{t1down, t1up, t2down, t2up, t3down, t3up, t4ab, t4ba, t5ab, t5ba}
+	for _, ch := range all {
 		ch.SetName(fmt.Sprintf("%s/%d", ch.Type(), ch.ID()))
 	}
 
@@ -77,12 +121,42 @@ func main() {
 		ctx.RunSPE(spe5a, 0, nil)
 		buf := make([]int32, 32)
 		for r := 0; r < n; r++ {
+			ctx.Write(t1down, "%32d", buf)
+			ctx.Read(t1up, "%32d", buf)
 			ctx.Write(t2down, "%32d", buf)
 			ctx.Read(t2up, "%32d", buf)
+			ctx.Write(t3down, "%32d", buf)
+			ctx.Read(t3up, "%32d", buf)
 		}
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *chrome != "" {
+		writeOut(*chrome, rec.WriteChrome)
+		if *chrome != "-" {
+			fmt.Printf("chrome trace written to %s (load in Perfetto or chrome://tracing)\n", *chrome)
+		}
+	}
+	if *jsonl != "" {
+		writeOut(*jsonl, rec.WriteJSONL)
+		if *jsonl != "-" {
+			fmt.Printf("event timeline written to %s\n", *jsonl)
+		}
+	}
+	if *metricsOut != "" {
+		writeOut(*metricsOut, func(w io.Writer) error {
+			data, err := meter.Registry().MarshalJSON()
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(append(data, '\n'))
+			return err
+		})
+		if *metricsOut != "-" {
+			fmt.Printf("metrics written to %s\n", *metricsOut)
+		}
 	}
 
 	fmt.Printf("timeline (first %d of %d events):\n", *events, len(rec.Events()))
@@ -91,6 +165,19 @@ func main() {
 			break
 		}
 		fmt.Printf("  [%12s] %-7s ch=%-3d %5dB  %s\n", ev.At, ev.Kind, ev.Channel, ev.Bytes, ev.Proc)
+	}
+	fmt.Println()
+	allSpans := rec.Spans()
+	fmt.Printf("transfer spans (first %d of %d):\n", *spans, len(allSpans))
+	for i, sp := range allSpans {
+		if i >= *spans {
+			break
+		}
+		fmt.Printf("  #%-4d ch=%-3d type%d %5dB %10s:", sp.ID, sp.Channel, sp.ChanType, sp.Bytes, sp.Dur())
+		for _, ph := range sp.Phases {
+			fmt.Printf(" %s=%s", ph.Phase, ph.Dur())
+		}
+		fmt.Println()
 	}
 	fmt.Println()
 	fmt.Print(rec.Summary())

@@ -79,14 +79,26 @@ type App struct {
 	userLive int
 	allDone  *sim.Event
 
-	directBoxes map[int]*sim.Queue[[]byte]
+	directBoxes map[int]*sim.Queue[dbMsg]
+
+	// Observability side-band state (see observe.go): the transfer-id
+	// counter and the per-SPE in-flight request records that correlate
+	// mailbox requests with Co-Pilot service into spans.
+	lastXfer int64
+	spePosts map[int]spePost
+	speDone  map[int]int64
 
 	// Logf, when set, receives trace lines from Ctx.Log and SPECtx.Log
 	// prefixed with virtual time and process identity.
 	Logf func(format string, args ...any)
-	// Trace, when set, records every completed channel operation (at zero
-	// virtual-time cost, so traced runs keep calibrated timings).
+	// Trace, when set, records every completed channel operation and the
+	// phases inside it (at zero virtual-time cost, so traced runs keep
+	// calibrated timings).
 	Trace *trace.Recorder
+	// Metrics, when set, aggregates per-channel-type histograms, Co-Pilot
+	// queue statistics and per-process blocked-time attribution, surfaced
+	// through Stats. Also free of virtual-time cost.
+	Metrics *Meter
 }
 
 // NewApp starts the configuration phase on a cluster. The PI_MAIN process
@@ -100,6 +112,8 @@ func NewApp(c *cluster.Cluster, opts Options) *App {
 		speUsed:     map[int]int{},
 		copilots:    map[copilotKey]*copilot{},
 		copilotRank: map[copilotKey]int{},
+		spePosts:    map[int]spePost{},
+		speDone:     map[int]int64{},
 	}
 	if opts.SPEDeadlock && !opts.DeadlockDetection {
 		panic(usageError(callerLoc(1), "NewApp", "SPEDeadlock requires DeadlockDetection"))
@@ -328,6 +342,8 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 		}
 		a.K.Spawn(p.name, func(sp *sim.Proc) {
 			defer a.userDone()
+			a.meterProcStart(p, sp.Now())
+			defer func() { a.meterProcEnd(p, sp.Now()) }()
 			ctx := &Ctx{app: a, P: sp, Self: p, rank: world.Rank(p.rank)}
 			body(ctx, p.index, p.arg)
 		})
@@ -373,15 +389,22 @@ func (a *App) copilotFor(p *Process) *copilot { return a.copilots[a.copilotKeyFo
 // copilotRankFor returns that Co-Pilot's MPI rank.
 func (a *App) copilotRankFor(p *Process) int { return a.copilotRank[a.copilotKeyFor(p)] }
 
+// dbMsg is one payload in a direct-handoff box, carrying its transfer id
+// alongside (not inside) the wire bytes so the timing stays unchanged.
+type dbMsg struct {
+	data []byte
+	xfer int64
+}
+
 // directBox returns the per-channel handoff queue used by the
 // CoPilotDirectLocal ablation (created lazily).
-func (a *App) directBox(ch *Channel) *sim.Queue[[]byte] {
+func (a *App) directBox(ch *Channel) *sim.Queue[dbMsg] {
 	if a.directBoxes == nil {
-		a.directBoxes = map[int]*sim.Queue[[]byte]{}
+		a.directBoxes = map[int]*sim.Queue[dbMsg]{}
 	}
 	q, ok := a.directBoxes[ch.id]
 	if !ok {
-		q = sim.NewQueue[[]byte](a.K, fmt.Sprintf("directbox/%d", ch.id), 4)
+		q = sim.NewQueue[dbMsg](a.K, fmt.Sprintf("directbox/%d", ch.id), 4)
 		a.directBoxes[ch.id] = q
 	}
 	return q
@@ -395,8 +418,8 @@ func (a *App) logf(p *sim.Proc, proc *Process, format string, args ...any) {
 }
 
 // record feeds the optional trace recorder.
-func (a *App) record(p *sim.Proc, kind trace.Kind, proc *Process, ch *Channel, bytes int) {
+func (a *App) record(p *sim.Proc, kind trace.Kind, proc *Process, ch *Channel, bytes int, xfer int64) {
 	if a.Trace != nil {
-		a.Trace.Record(trace.Event{At: p.Now(), Kind: kind, Proc: proc.String(), Channel: ch.id, Bytes: bytes})
+		a.Trace.Record(trace.Event{At: p.Now(), Kind: kind, Proc: proc.String(), Channel: ch.id, Bytes: bytes, Xfer: xfer})
 	}
 }

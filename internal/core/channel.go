@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cellpilot/internal/cellbe"
+	"cellpilot/internal/sim"
 )
 
 // ChannelType is the paper's Table I taxonomy, derived from where the two
@@ -189,4 +190,10 @@ type speReq struct {
 	lsAddr uint32
 	size   int
 	sig    uint32
+
+	// Observability bookkeeping (zero-valued when no sink is attached).
+	xfer     int64    // correlating transfer id; 0 for unresolved reads
+	postedAt sim.Time // when the SPE stub began posting the descriptor
+	decodeAt sim.Time // when the Co-Pilot decoded it
+	svcEnd   sim.Time // when decode/dispatch service finished
 }

@@ -79,9 +79,15 @@ func (c *Ctx) Scatter(b *Bundle, format string, data any) {
 	per := item.Count * item.Type.Size()
 	hdr := putHeader(spec.Signature(), per)
 	for i, ch := range b.chans {
+		xfer := c.app.newXfer()
+		sendStart := c.P.Now()
+		c.rank.TagNextXfer(xfer)
 		c.rank.SendVec(c.P, c.peerRank(ch.To), ch.tag(), hdr, wire[i*per:(i+1)*per])
 		c.app.reportSent(ch)
-		c.app.record(c.P, trace.KindWrite, c.Self, ch, per)
+		c.app.spanPhase(xfer, trace.PhaseMPISend, c.Self.String(), ch, per, sendStart, c.P.Now())
+		c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
+		c.app.meterOp(ch, per, c.P.Now()-sendStart)
+		c.app.record(c.P, trace.KindWrite, c.Self, ch, per, xfer)
 	}
 }
 
@@ -112,8 +118,9 @@ func (c *Ctx) Reduce(b *Bundle, format string, op ReduceOp, out any) {
 	per := item.Count * item.Type.Size()
 	var acc []byte
 	for i, ch := range b.chans {
+		waitStart := c.P.Now()
 		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
-		data, _ := c.rank.Recv(c.P, c.peerRank(ch.From), ch.tag())
+		data, st := c.rank.Recv(c.P, c.peerRank(ch.From), ch.tag())
 		c.app.reportUnblock(c.Self)
 		if len(data) < hdrSize {
 			c.fail(loc, "PI_Reduce", "malformed message on %s", ch)
@@ -123,7 +130,10 @@ func (c *Ctx) Reduce(b *Bundle, format string, op ReduceOp, out any) {
 			c.fail(loc, "PI_Reduce", "writer on %s sent %d bytes with a different format; expected %q (%d bytes)",
 				ch, size, format, per)
 		}
-		c.app.record(c.P, trace.KindRead, c.Self, ch, size)
+		c.app.spanPhase(st.Xfer, trace.PhaseMPIWait, c.Self.String(), ch, size, waitStart, c.P.Now())
+		c.app.meterBlocked(c.Self, blockRead, c.P.Now()-waitStart)
+		c.app.meterOp(ch, size, c.P.Now()-waitStart)
+		c.app.record(c.P, trace.KindRead, c.Self, ch, size, st.Xfer)
 		if i == 0 {
 			acc = append([]byte(nil), data[hdrSize:]...)
 			continue

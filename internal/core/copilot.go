@@ -4,6 +4,7 @@ import (
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/sdk"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
 )
 
 // copilot is the Co-Pilot: the second MPI process CellPilot creates on
@@ -109,6 +110,7 @@ func (cp *copilot) step(p *sim.Proc) bool {
 	}
 	// Then decode one new request from the SPE mailboxes.
 	for _, b := range cp.bindings {
+		decodeStart := p.Now()
 		w0, ok := b.sctx.TryReadOutMbox(p)
 		if !ok {
 			continue
@@ -120,12 +122,17 @@ func (cp *copilot) step(p *sim.Proc) bool {
 		if chanID < 0 || chanID >= len(cp.app.chans) {
 			p.Fatalf("%v", usageError("runtime", "co-pilot", "SPE %s requested unknown channel %d", b.proc, chanID))
 		}
+		post := cp.app.speTakePost(b.proc)
 		req := &speReq{
 			op: op, ch: cp.app.chans[chanID],
 			spe: b.sctx.SPE, proc: b.proc,
 			lsAddr: lsAddr, size: int(size), sig: sig,
+			xfer: post.xfer, postedAt: post.postedAt, decodeAt: decodeStart,
 		}
 		p.Advance(cp.app.par.CoPilotDispatch)
+		req.svcEnd = p.Now()
+		cp.app.meterCopilotReq(cp.rank.Label(), decodeStart-post.postedAt,
+			len(cp.pendWrites)+len(cp.pendReads))
 		if op == opWrite {
 			cp.stats.WriteReqs++
 		} else {
@@ -191,13 +198,18 @@ func (cp *copilot) tryWrite(p *sim.Proc, req *speReq) bool {
 			return false
 		}
 		cp.validatePair(p, req, rd)
+		rd.xfer = req.xfer // the reader's span is the writer's transfer
 		src := cp.lsWindow(p, req)
 		dst := cp.lsWindow(p, rd)
+		copyStart := p.Now()
 		p.Advance(cp.app.par.MemcpyTime(req.size))
 		copy(dst, src)
+		cp.app.spanPhase(req.xfer, trace.PhaseCopy, cp.rank.Label(), ch, req.size, copyStart, p.Now())
 		cp.stats.Type4Copies++
 		cp.stats.Type4Bytes += int64(req.size)
+		cp.obsComplete(req)
 		cp.notify(p, req, speStatusOK)
+		cp.obsComplete(rd)
 		cp.notify(p, rd, speStatusOK)
 		return true
 
@@ -209,16 +221,21 @@ func (cp *copilot) tryWrite(p *sim.Proc, req *speReq) bool {
 		// toward this Co-Pilot.
 		hdr := putHeader(req.sig, req.size)
 		win := cp.lsWindow(p, req)
+		relayStart := p.Now()
 		if cp.app.opts.CoPilotDirectLocal && ch.typ == Type2 {
 			// A1 ablation: hand the payload to the local reader directly —
 			// same per-byte copy as the MPI path, none of its overheads.
 			p.Advance(cp.app.par.ShmCopyTime(req.size))
 			buf := append(append([]byte(nil), hdr...), win...)
-			cp.app.directBox(ch).Put(p, buf)
+			cp.app.directBox(ch).Put(p, dbMsg{data: buf, xfer: req.xfer})
+			cp.app.spanPhase(req.xfer, trace.PhaseCopy, cp.rank.Label(), ch, req.size, relayStart, p.Now())
 		} else {
+			cp.rank.TagNextXfer(req.xfer)
 			cp.rank.IsendVec(p, ch.To.rank, ch.tag(), hdr, win)
+			cp.app.spanPhase(req.xfer, trace.PhaseRelay, cp.rank.Label(), ch, req.size, relayStart, p.Now())
 		}
 		cp.stats.RelayedBytes += int64(req.size)
+		cp.obsComplete(req)
 		cp.notify(p, req, speStatusOK)
 		return true
 
@@ -226,8 +243,12 @@ func (cp *copilot) tryWrite(p *sim.Proc, req *speReq) bool {
 		// Peer is a remote SPE: relay to its Co-Pilot, also nonblocking.
 		hdr := putHeader(req.sig, req.size)
 		win := cp.lsWindow(p, req)
+		relayStart := p.Now()
+		cp.rank.TagNextXfer(req.xfer)
 		cp.rank.IsendVec(p, cp.app.copilotRankFor(ch.To), ch.tag(), hdr, win)
+		cp.app.spanPhase(req.xfer, trace.PhaseRelay, cp.rank.Label(), ch, req.size, relayStart, p.Now())
 		cp.stats.RelayedBytes += int64(req.size)
+		cp.obsComplete(req)
 		cp.notify(p, req, speStatusOK)
 		return true
 
@@ -253,14 +274,18 @@ func (cp *copilot) tryRead(p *sim.Proc, req *speReq) bool {
 		}
 		if cp.app.opts.CoPilotDirectLocal && ch.typ == Type2 && !ch.From.IsSPE() {
 			// A1 ablation: the local writer handed the payload off directly.
-			buf, ok := cp.app.directBox(ch).TryGet()
+			msg, ok := cp.app.directBox(ch).TryGet()
 			if !ok {
 				return false
 			}
-			sig, size := parseHeader(buf)
+			req.xfer = msg.xfer
+			sig, size := parseHeader(msg.data)
 			cp.validateIncoming(p, req, sig, size)
+			copyStart := p.Now()
 			p.Advance(cp.app.par.ShmCopyTime(req.size))
-			copy(cp.lsWindow(p, req), buf[hdrSize:])
+			copy(cp.lsWindow(p, req), msg.data[hdrSize:])
+			cp.app.spanPhase(req.xfer, trace.PhaseCopy, cp.rank.Label(), ch, req.size, copyStart, p.Now())
+			cp.obsComplete(req)
 			cp.notify(p, req, speStatusOK)
 			return true
 		}
@@ -272,11 +297,15 @@ func (cp *copilot) tryRead(p *sim.Proc, req *speReq) bool {
 			p.Fatalf("%v", usageError("runtime", "PI_Read", "size mismatch on %s: writer sent %d bytes, SPE reader %s expects %d",
 				ch, st.Count-hdrSize, req.proc, req.size))
 		}
+		req.xfer = st.Xfer
 		var hdr [hdrSize]byte
 		win := cp.lsWindow(p, req)
+		recvStart := p.Now()
 		cp.rank.RecvIntoVec(p, src, ch.tag(), hdr[:], win)
+		cp.app.spanPhase(req.xfer, trace.PhaseRelay, cp.rank.Label(), ch, req.size, recvStart, p.Now())
 		sig, size := parseHeader(hdr[:])
 		cp.validateIncoming(p, req, sig, size)
+		cp.obsComplete(req)
 		cp.notify(p, req, speStatusOK)
 		return true
 

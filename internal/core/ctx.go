@@ -64,17 +64,26 @@ func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
 	if err != nil {
 		c.fail(loc, "PI_Write", "%v", err)
 	}
+	opStart := c.P.Now()
 	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(len(wire)))
 	hdr := putHeader(spec.Signature(), len(wire))
+	xfer := c.app.newXfer()
+	self := c.Self.String()
+	c.app.spanPhase(xfer, trace.PhasePack, self, ch, len(wire), opStart, c.P.Now())
 
 	// A1 ablation: type-2 writes go through a direct shared-memory handoff
 	// to the Co-Pilot instead of local MPI.
 	if c.app.opts.CoPilotDirectLocal && ch.typ == Type2 && ch.To.IsSPE() {
+		copyStart := c.P.Now()
 		c.P.Advance(c.app.par.ShmCopyTime(len(wire)))
 		box := c.app.directBox(ch)
-		box.Put(c.P, append(append([]byte(nil), hdr...), wire...))
+		box.Put(c.P, dbMsg{data: append(append([]byte(nil), hdr...), wire...), xfer: xfer})
 		c.app.copilotFor(ch.To).nudge()
 		c.app.reportSent(ch)
+		c.app.spanPhase(xfer, trace.PhaseCopy, self, ch, len(wire), copyStart, c.P.Now())
+		c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-copyStart)
+		c.app.meterOp(ch, len(wire), c.P.Now()-opStart)
+		c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
 		return
 	}
 
@@ -85,6 +94,8 @@ func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
 		// matching receive; the detector pairs it with that read.
 		c.app.reportBlock(c.Self, ch.To, ch, deadlock.OpWrite)
 	}
+	sendStart := c.P.Now()
+	c.rank.TagNextXfer(xfer)
 	c.rank.SendVec(c.P, dst, ch.tag(), hdr, wire)
 	if blocking {
 		c.app.reportUnblock(c.Self)
@@ -93,7 +104,10 @@ func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
 		// detector so a blocked read on ch is not treated as a wait.
 		c.app.reportSent(ch)
 	}
-	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire))
+	c.app.spanPhase(xfer, trace.PhaseMPISend, self, ch, len(wire), sendStart, c.P.Now())
+	c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
+	c.app.meterOp(ch, len(wire), c.P.Now()-opStart)
+	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
 }
 
 // Read receives a message from ch into args (PI_Read). The format must
@@ -121,19 +135,32 @@ func (c *Ctx) readFrom(loc string, ch *Channel, format string, args ...any) {
 		c.fail(loc, "PI_Read", "%v", err)
 	}
 
+	opStart := c.P.Now()
+	self := c.Self.String()
 	var data []byte
+	var xfer int64
+	waitStart := c.P.Now()
 	if c.app.opts.CoPilotDirectLocal && ch.typ == Type2 && ch.From.IsSPE() {
 		// A1 ablation: take the payload from the direct handoff box.
 		box := c.app.directBox(ch)
 		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
-		data = box.Get(c.P)
+		msg := box.Get(c.P)
 		c.app.reportUnblock(c.Self)
+		data, xfer = msg.data, msg.xfer
+		c.app.spanPhase(xfer, trace.PhaseMPIWait, self, ch, len(data)-hdrSize, waitStart, c.P.Now())
+		c.app.meterBlocked(c.Self, blockRead, c.P.Now()-waitStart)
+		copyStart := c.P.Now()
 		c.P.Advance(c.app.par.ShmCopyTime(len(data) - hdrSize))
+		c.app.spanPhase(xfer, trace.PhaseCopy, self, ch, len(data)-hdrSize, copyStart, c.P.Now())
 	} else {
 		src := c.peerRank(ch.From)
 		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
-		data, _ = c.rank.Recv(c.P, src, ch.tag())
+		var st mpi.Status
+		data, st = c.rank.Recv(c.P, src, ch.tag())
 		c.app.reportUnblock(c.Self)
+		xfer = st.Xfer
+		c.app.spanPhase(xfer, trace.PhaseMPIWait, self, ch, len(data)-hdrSize, waitStart, c.P.Now())
+		c.app.meterBlocked(c.Self, blockRead, c.P.Now()-waitStart)
 	}
 
 	if len(data) < hdrSize {
@@ -146,11 +173,14 @@ func (c *Ctx) readFrom(loc string, ch *Channel, format string, args ...any) {
 	if size != expected || size != len(data)-hdrSize {
 		c.fail(loc, "PI_Read", "size mismatch on %s: writer sent %d bytes, reader expects %d", ch, size, expected)
 	}
+	unpackStart := c.P.Now()
 	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(size))
 	if err := spec.Unpack(data[hdrSize:], args...); err != nil {
 		c.fail(loc, "PI_Read", "%v", err)
 	}
-	c.app.record(c.P, trace.KindRead, c.Self, ch, size)
+	c.app.spanPhase(xfer, trace.PhasePack, self, ch, size, unpackStart, c.P.Now())
+	c.app.meterOp(ch, size, c.P.Now()-opStart)
+	c.app.record(c.P, trace.KindRead, c.Self, ch, size, xfer)
 }
 
 // RunSPE launches a dormant SPE process created with CreateSPE
@@ -184,6 +214,8 @@ func (c *Ctx) RunSPE(sp *Process, arg int, env any) {
 		CodeSize: sp.prog.CodeSize,
 		Main: func(sc *sdk.Context, a int, e any) {
 			defer app.userDone()
+			app.meterProcStart(sp, sc.Proc.Now())
+			defer func() { app.meterProcEnd(sp, sc.Proc.Now()) }()
 			sctx2 := &SPECtx{app: app, P: sc.Proc, Self: sp, sctx: sc, arg: a, env: e}
 			sp.prog.Body(sctx2)
 		},
@@ -224,8 +256,15 @@ func (c *Ctx) Broadcast(b *Bundle, format string, args ...any) {
 	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(len(wire)))
 	hdr := putHeader(spec.Signature(), len(wire))
 	for _, ch := range b.chans {
+		xfer := c.app.newXfer()
+		sendStart := c.P.Now()
+		c.rank.TagNextXfer(xfer)
 		c.rank.SendVec(c.P, c.peerRank(ch.To), ch.tag(), hdr, wire)
 		c.app.reportSent(ch)
+		c.app.spanPhase(xfer, trace.PhaseMPISend, c.Self.String(), ch, len(wire), sendStart, c.P.Now())
+		c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
+		c.app.meterOp(ch, len(wire), c.P.Now()-sendStart)
+		c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
 	}
 }
 
@@ -253,12 +292,17 @@ func (c *Ctx) Gather(b *Bundle, format string, out any) {
 	perWriter := item.Count * item.Type.Size()
 	var all []byte
 	for _, ch := range b.chans {
+		waitStart := c.P.Now()
 		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
-		data, _ := c.rank.Recv(c.P, c.peerRank(ch.From), ch.tag())
+		data, st := c.rank.Recv(c.P, c.peerRank(ch.From), ch.tag())
 		c.app.reportUnblock(c.Self)
 		if len(data) < hdrSize {
 			c.fail(loc, "PI_Gather", "malformed message on %s", ch)
 		}
+		c.app.spanPhase(st.Xfer, trace.PhaseMPIWait, c.Self.String(), ch, len(data)-hdrSize, waitStart, c.P.Now())
+		c.app.meterBlocked(c.Self, blockRead, c.P.Now()-waitStart)
+		c.app.meterOp(ch, len(data)-hdrSize, c.P.Now()-waitStart)
+		c.app.record(c.P, trace.KindRead, c.Self, ch, len(data)-hdrSize, st.Xfer)
 		sig, size := parseHeader(data)
 		if sig != spec.Signature() || size != perWriter {
 			c.fail(loc, "PI_Gather", "writer on %s sent %d bytes with a different format; expected %q (%d bytes)",
@@ -290,7 +334,9 @@ func (c *Ctx) Select(b *Bundle) int {
 	for i, ch := range b.chans {
 		specs[i] = mpi.ProbeSpec{Src: c.peerRank(ch.From), Tag: ch.tag()}
 	}
+	waitStart := c.P.Now()
 	idx, _ := c.rank.ProbeMulti(c.P, specs)
+	c.app.meterBlocked(c.Self, blockRead, c.P.Now()-waitStart)
 	return idx
 }
 

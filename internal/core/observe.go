@@ -1,0 +1,210 @@
+package core
+
+import (
+	"cellpilot/internal/metrics"
+	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
+)
+
+// This file is the core side of the observability subsystem: per-transfer
+// ids correlating the stages of a channel operation into trace spans, and
+// the Meter aggregating latency/bandwidth histograms and per-process
+// blocked-time attribution. Everything here is host-side bookkeeping — no
+// call in this file advances virtual time, so an instrumented run keeps
+// the calibrated timings of an uninstrumented one bit-for-bit.
+
+// blockKind classifies where a process's non-compute virtual time went.
+type blockKind int
+
+const (
+	blockRead    blockKind = iota // blocked in a channel read (MPI recv or handoff)
+	blockWrite                    // inside a channel write (send overhead + rendezvous wait)
+	blockMailbox                  // SPE stub posting a request or awaiting completion
+)
+
+// procAcc accumulates one process's virtual-time split.
+type procAcc struct {
+	start, end sim.Time
+	ended      bool
+	blocked    [3]sim.Time
+}
+
+// Histogram bucket layouts. Latencies and waits are recorded in
+// microseconds (the paper's unit), payload sizes in bytes, bandwidth in
+// MB/s, queue depth in requests.
+var (
+	latencyBucketsUs = metrics.ExpBuckets(0.5, 2, 24)
+	sizeBuckets      = metrics.ExpBuckets(1, 4, 16)
+	bwBucketsMBps    = metrics.ExpBuckets(0.125, 2, 24)
+	depthBuckets     = metrics.LinearBuckets(0, 1, 33)
+)
+
+// Meter aggregates run-wide communication metrics: per-channel-type
+// operation latency, payload size and achieved bandwidth histograms,
+// Co-Pilot service-queue wait and depth, and per-process blocked-time
+// attribution. Attach one via App.Metrics before Run; read the results
+// from App.Stats after. Like the trace recorder, a Meter observes at zero
+// virtual-time cost.
+type Meter struct {
+	reg   *metrics.Registry
+	procs map[int]*procAcc // by process id
+}
+
+// NewMeter creates an empty meter.
+func NewMeter() *Meter {
+	return &Meter{reg: metrics.NewRegistry(), procs: map[int]*procAcc{}}
+}
+
+// Registry exposes the raw metric registry (for dumps and exports).
+func (m *Meter) Registry() *metrics.Registry { return m.reg }
+
+func (m *Meter) acc(p *Process) *procAcc {
+	a, ok := m.procs[p.id]
+	if !ok {
+		a = &procAcc{}
+		m.procs[p.id] = a
+	}
+	return a
+}
+
+// observing reports whether any observability sink is attached.
+func (a *App) observing() bool { return a.Trace != nil || a.Metrics != nil }
+
+// newXfer allocates the next transfer id (ids are 1-based; 0 means
+// "untagged"). Allocation happens only under observation so that
+// instrumented and uninstrumented runs differ in nothing but bookkeeping.
+func (a *App) newXfer() int64 {
+	if !a.observing() {
+		return 0
+	}
+	a.lastXfer++
+	return a.lastXfer
+}
+
+// spanPhase records one transfer phase against the trace recorder.
+func (a *App) spanPhase(xfer int64, phase trace.PhaseKind, proc string, ch *Channel, bytes int, start, end sim.Time) {
+	if a.Trace == nil || xfer == 0 {
+		return
+	}
+	a.Trace.RecordPhase(trace.PhaseEvent{
+		Xfer: xfer, Phase: phase, Proc: proc,
+		Channel: ch.id, ChanType: int(ch.typ), Bytes: bytes,
+		Start: start, End: end,
+	})
+}
+
+// meterOp records one completed channel operation (read or write side).
+func (a *App) meterOp(ch *Channel, bytes int, dur sim.Time) {
+	m := a.Metrics
+	if m == nil {
+		return
+	}
+	prefix := "chan/" + ch.typ.String()
+	m.reg.Counter(prefix + "/ops").Inc()
+	m.reg.Counter(prefix + "/payload_bytes_total").Add(int64(bytes))
+	m.reg.Histogram(prefix+"/latency_us", latencyBucketsUs).Observe(dur.Micros())
+	m.reg.Histogram(prefix+"/payload_bytes", sizeBuckets).Observe(float64(bytes))
+	if dur > 0 && bytes > 0 {
+		mbps := float64(bytes) / (float64(dur) / float64(sim.Second)) / 1e6
+		m.reg.Histogram(prefix+"/bandwidth_mbps", bwBucketsMBps).Observe(mbps)
+	}
+}
+
+// meterCopilotReq records one decoded Co-Pilot request: how long it sat
+// between the SPE posting it and the Co-Pilot decoding it (mailbox
+// transfer + polling quantization + service-queue wait), and the queue
+// depth found at decode time.
+func (a *App) meterCopilotReq(label string, wait sim.Time, depth int) {
+	m := a.Metrics
+	if m == nil {
+		return
+	}
+	prefix := "copilot/" + label
+	m.reg.Counter(prefix + "/requests").Inc()
+	m.reg.Histogram(prefix+"/queue_wait_us", latencyBucketsUs).Observe(wait.Micros())
+	m.reg.Histogram(prefix+"/queue_depth", depthBuckets).Observe(float64(depth))
+}
+
+// meterBlocked attributes d of proc p's virtual time to a blocked state.
+func (a *App) meterBlocked(p *Process, k blockKind, d sim.Time) {
+	if a.Metrics == nil || d <= 0 {
+		return
+	}
+	a.Metrics.acc(p).blocked[k] += d
+}
+
+// meterProcStart marks the process alive from virtual time at.
+func (a *App) meterProcStart(p *Process, at sim.Time) {
+	if a.Metrics == nil {
+		return
+	}
+	a.Metrics.acc(p).start = at
+}
+
+// meterProcEnd marks the process finished at virtual time at.
+func (a *App) meterProcEnd(p *Process, at sim.Time) {
+	if a.Metrics == nil {
+		return
+	}
+	acc := a.Metrics.acc(p)
+	acc.end = at
+	acc.ended = true
+}
+
+// spePost is the side-band record of an SPE's in-flight mailbox request.
+// The four-word descriptor has no room for a transfer id, and widening it
+// would change the calibrated mailbox timings — so the id travels next to
+// the simulated protocol, not in it.
+type spePost struct {
+	xfer     int64 // writer-allocated transfer id; 0 for read requests
+	postedAt sim.Time
+}
+
+// spePosted records that p began posting a request descriptor at `at`.
+// Called by the SPE stub immediately before the first mailbox word.
+func (a *App) spePosted(p *Process, xfer int64, at sim.Time) {
+	if !a.observing() {
+		return
+	}
+	a.spePosts[p.id] = spePost{xfer: xfer, postedAt: at}
+}
+
+// speTakePost consumes the pending post record for p (decode time).
+func (a *App) speTakePost(p *Process) spePost {
+	post := a.spePosts[p.id]
+	delete(a.spePosts, p.id)
+	return post
+}
+
+// speSetDone hands the transfer id of a completed request back to the SPE
+// stub (a reader learns its transfer's id only when the payload arrives).
+func (a *App) speSetDone(p *Process, xfer int64) {
+	if !a.observing() {
+		return
+	}
+	a.speDone[p.id] = xfer
+}
+
+// speTakeDone consumes the completed-transfer id for p.
+func (a *App) speTakeDone(p *Process) int64 {
+	xfer := a.speDone[p.id]
+	delete(a.speDone, p.id)
+	return xfer
+}
+
+// obsComplete records the Co-Pilot-side phases of a finished SPE request
+// (queue wait, decode/dispatch service) and hands the transfer id back to
+// the stub for its own phase records.
+func (cp *copilot) obsComplete(req *speReq) {
+	a := cp.app
+	if req.xfer != 0 {
+		lbl := cp.rank.Label()
+		a.spanPhase(req.xfer, trace.PhaseCoPilotWait, lbl, req.ch, req.size, req.postedAt, req.decodeAt)
+		a.spanPhase(req.xfer, trace.PhaseCoPilotService, lbl, req.ch, req.size, req.decodeAt, req.svcEnd)
+	}
+	if req.op == opRead {
+		// A reading stub learns its transfer's id only here, from the
+		// payload; a writing stub allocated the id itself.
+		a.speSetDone(req.proc, req.xfer)
+	}
+}

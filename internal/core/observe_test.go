@@ -1,0 +1,320 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
+)
+
+// runFiveTypes runs a 2-Cell-node + 1-Xeon cluster workload that exercises
+// every Table I channel type (1: PPE↔remote PPE, 2: PPE↔local SPE,
+// 3: PPE↔remote SPE, 4: SPE↔local SPE, 5: SPE↔remote SPE), with the given
+// observability sinks attached, and returns the final virtual time.
+func runFiveTypes(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter) (*App, sim.Time) {
+	t.Helper()
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	a.Trace = rec
+	a.Metrics = meter
+
+	var t1d, t1u, t2d, t2u, t3d, t3u, t4ab, t4ba, t5ab, t5ba *Channel
+	mkEcho := func(down, up **Channel) *SPEProgram {
+		return &SPEProgram{Name: "echo", Body: func(ctx *SPECtx) {
+			buf := make([]int32, 16)
+			for r := 0; r < rounds; r++ {
+				ctx.Read(*down, "%16d", buf)
+				ctx.Write(*up, "%16d", buf)
+			}
+		}}
+	}
+	mkInit := func(up, down **Channel) *SPEProgram {
+		return &SPEProgram{Name: "init", Body: func(ctx *SPECtx) {
+			buf := make([]int32, 16)
+			for r := 0; r < rounds; r++ {
+				ctx.Write(*up, "%16d", buf)
+				ctx.Read(*down, "%16d", buf)
+			}
+		}}
+	}
+
+	spe2 := a.CreateSPE(mkEcho(&t2d, &t2u), a.Main(), 0)
+	spe4a := a.CreateSPE(mkInit(&t4ab, &t4ba), a.Main(), 1)
+	spe4b := a.CreateSPE(mkEcho(&t4ab, &t4ba), a.Main(), 2)
+	parent := a.CreateProcessOn(1, "parent", func(ctx *Ctx, _ int, arg any) {
+		for _, sp := range arg.([]*Process) {
+			ctx.RunSPE(sp, 0, nil)
+		}
+		buf := make([]int32, 16)
+		for r := 0; r < rounds; r++ {
+			ctx.Read(t1d, "%16d", buf)
+			ctx.Write(t1u, "%16d", buf)
+		}
+	}, 0, nil)
+	spe5a := a.CreateSPE(mkInit(&t5ab, &t5ba), a.Main(), 3)
+	spe5b := a.CreateSPE(mkEcho(&t5ab, &t5ba), parent, 0)
+	spe3 := a.CreateSPE(mkEcho(&t3d, &t3u), parent, 1)
+	parent.arg = []*Process{spe5b, spe3}
+
+	t1d = a.CreateChannel(a.Main(), parent)
+	t1u = a.CreateChannel(parent, a.Main())
+	t2d = a.CreateChannel(a.Main(), spe2)
+	t2u = a.CreateChannel(spe2, a.Main())
+	t3d = a.CreateChannel(a.Main(), spe3)
+	t3u = a.CreateChannel(spe3, a.Main())
+	t4ab = a.CreateChannel(spe4a, spe4b)
+	t4ba = a.CreateChannel(spe4b, spe4a)
+	t5ab = a.CreateChannel(spe5a, spe5b)
+	t5ba = a.CreateChannel(spe5b, spe5a)
+
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(spe2, 0, nil)
+		ctx.RunSPE(spe4a, 0, nil)
+		ctx.RunSPE(spe4b, 0, nil)
+		ctx.RunSPE(spe5a, 0, nil)
+		buf := make([]int32, 16)
+		for r := 0; r < rounds; r++ {
+			ctx.Write(t2d, "%16d", buf)
+			ctx.Read(t2u, "%16d", buf)
+			ctx.Write(t1d, "%16d", buf)
+			ctx.Read(t1u, "%16d", buf)
+			ctx.Write(t3d, "%16d", buf)
+			ctx.Read(t3u, "%16d", buf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, c.K.Now()
+}
+
+// E-OBS1: attaching the recorder, the meter, or both leaves the virtual
+// timeline bit-for-bit identical — the tentpole's zero-cost guarantee.
+func TestObservabilityZeroCost(t *testing.T) {
+	_, bare := runFiveTypes(t, 2, nil, nil)
+	recA := trace.NewRecorder(0)
+	_, withRec := runFiveTypes(t, 2, recA, nil)
+	_, withMeter := runFiveTypes(t, 2, nil, NewMeter())
+	recB := trace.NewRecorder(0)
+	_, withBoth := runFiveTypes(t, 2, recB, NewMeter())
+
+	if bare != withRec || bare != withMeter || bare != withBoth {
+		t.Fatalf("virtual time diverged: bare=%v rec=%v meter=%v both=%v",
+			bare, withRec, withMeter, withBoth)
+	}
+	// Per-channel event times must also be identical across sink choices.
+	evA, evB := recA.Events(), recB.Events()
+	if len(evA) != len(evB) {
+		t.Fatalf("event counts diverged: %d vs %d", len(evA), len(evB))
+	}
+	for i := range evA {
+		if evA[i] != evB[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, evA[i], evB[i])
+		}
+	}
+}
+
+// E-OBS2: every transfer on an SPE-connected channel type (2–5) becomes a
+// span decomposed into mailbox, Co-Pilot, and copy-or-relay phases.
+func TestSpansCoverAllSPETypes(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	_, _ = runFiveTypes(t, 2, rec, nil)
+	spans := rec.Spans()
+	byType := map[int]int{}
+	for _, sp := range spans {
+		byType[sp.ChanType]++
+		if sp.ChanType == 1 {
+			continue
+		}
+		var mbox, copilot, move bool
+		for _, ph := range sp.Phases {
+			switch ph.Phase {
+			case trace.PhaseMailboxReq, trace.PhaseMailboxWait:
+				mbox = true
+			case trace.PhaseCoPilotWait, trace.PhaseCoPilotService:
+				copilot = true
+			case trace.PhaseCopy, trace.PhaseRelay, trace.PhaseMPISend, trace.PhaseMPIWait:
+				move = true
+			}
+		}
+		if !mbox || !copilot || !move {
+			t.Fatalf("span #%d (type%d) missing phases: mailbox=%v copilot=%v move=%v\nphases: %+v",
+				sp.ID, sp.ChanType, mbox, copilot, move, sp.Phases)
+		}
+	}
+	for typ := 1; typ <= 5; typ++ {
+		// 2 rounds × 2 directions = 4 transfers per type.
+		if byType[typ] != 4 {
+			t.Fatalf("type%d spans = %d, want 4 (all: %v)", typ, byType[typ], byType)
+		}
+	}
+}
+
+// E-OBS3: the Chrome export is valid trace_event JSON with one named
+// track per process and per Co-Pilot.
+func TestChromeExportTracks(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	_, _ = runFiveTypes(t, 2, rec, nil)
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+			Cat  string         `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	tracks := map[string]bool{}
+	sliceTids := map[int]bool{}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				tracks[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			sliceTids[ev.Tid] = true
+			cats[ev.Cat] = true
+		}
+	}
+	// 1 PI_MAIN + 1 parent + 6 SPE processes + 2 Co-Pilots have phases.
+	var copilots, procs int
+	for name := range tracks {
+		if strings.Contains(name, "copilot") {
+			copilots++
+		} else {
+			procs++
+		}
+	}
+	if copilots != 2 {
+		t.Fatalf("co-pilot tracks = %d, want 2 (tracks: %v)", copilots, tracks)
+	}
+	if procs != 8 {
+		t.Fatalf("process tracks = %d, want 8 (tracks: %v)", procs, tracks)
+	}
+	for typ := 1; typ <= 5; typ++ {
+		want := "type" + string(rune('0'+typ))
+		if !cats[want] {
+			t.Fatalf("no slices with category %s (cats: %v)", want, cats)
+		}
+	}
+	if len(sliceTids) < 5 {
+		t.Fatalf("slices land on only %d tracks", len(sliceTids))
+	}
+}
+
+// E-OBS4: App.Stats reports per-channel-type histograms and per-process
+// blocked-time attribution when a Meter is attached.
+func TestStatsMetrics(t *testing.T) {
+	meter := NewMeter()
+	a, final := runFiveTypes(t, 2, nil, meter)
+	st := a.Stats()
+	if st.Registry == nil {
+		t.Fatal("Stats.Registry nil with a meter attached")
+	}
+	if len(st.ChannelTypes) != 5 {
+		t.Fatalf("ChannelTypes = %d, want all 5: %+v", len(st.ChannelTypes), st.ChannelTypes)
+	}
+	for _, ct := range st.ChannelTypes {
+		// 2 rounds × 2 directions × 2 sides (write op + read op).
+		if ct.Ops != 8 {
+			t.Fatalf("%s ops = %d, want 8", ct.Type, ct.Ops)
+		}
+		if ct.Bytes != 8*64 {
+			t.Fatalf("%s bytes = %d, want 512", ct.Type, ct.Bytes)
+		}
+		if ct.LatencyUs.Count() != 8 || ct.LatencyUs.Quantile(0.5) <= 0 {
+			t.Fatalf("%s latency histogram: count=%d p50=%v", ct.Type, ct.LatencyUs.Count(), ct.LatencyUs.Quantile(0.5))
+		}
+		if ct.BandwidthMBps.Count() == 0 || ct.SizeBytes.Count() != 8 {
+			t.Fatalf("%s bandwidth/size histograms empty", ct.Type)
+		}
+	}
+	// 1 PI_MAIN + 1 parent + 6 SPE processes.
+	if len(st.ProcTimes) != 8 {
+		t.Fatalf("ProcTimes = %d, want 8", len(st.ProcTimes))
+	}
+	var sawMailbox, sawRead bool
+	for _, pt := range st.ProcTimes {
+		if pt.Total < 0 || pt.Compute < 0 {
+			t.Fatalf("%s has negative time split: %+v", pt.Process, pt)
+		}
+		if pt.Total > final {
+			t.Fatalf("%s total %v exceeds run time %v", pt.Process, pt.Total, final)
+		}
+		if sum := pt.Compute + pt.BlockedRead + pt.BlockedWrite + pt.MailboxWait; sum != pt.Total {
+			t.Fatalf("%s split does not add up: %+v", pt.Process, pt)
+		}
+		if pt.MailboxWait > 0 {
+			sawMailbox = true
+		}
+		if pt.BlockedRead > 0 {
+			sawRead = true
+		}
+	}
+	if !sawMailbox || !sawRead {
+		t.Fatalf("blocked-time attribution missing: mailbox=%v read=%v", sawMailbox, sawRead)
+	}
+	// Co-Pilot queue metrics exist for both Cell nodes' service processes.
+	var queues int
+	for _, name := range st.Registry.HistogramNames() {
+		if strings.HasPrefix(name, "copilot/") && strings.HasSuffix(name, "/queue_wait_us") {
+			queues++
+		}
+	}
+	if queues != 2 {
+		t.Fatalf("copilot queue_wait_us histograms = %d, want 2 (%v)", queues, st.Registry.HistogramNames())
+	}
+}
+
+// E-OBS5: Stats.String renders the metric sections; without a meter the
+// report stays in its seed shape.
+func TestStatsStringMetricsSections(t *testing.T) {
+	meter := NewMeter()
+	a, _ := runFiveTypes(t, 2, nil, meter)
+	s := a.Stats().String()
+	for _, want := range []string{"type1:", "type5:", "latency p50=", "bandwidth p50=", "compute", "mailbox"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Stats.String missing %q:\n%s", want, s)
+		}
+	}
+	b, _ := runFiveTypes(t, 2, nil, nil)
+	if s := b.Stats().String(); strings.Contains(s, "latency p50=") || strings.Contains(s, "compute") {
+		t.Fatalf("Stats.String shows metric sections without a meter:\n%s", s)
+	}
+}
+
+// E-OBS6: ConfigDump lists every process, channel and bundle of the
+// configured application.
+func TestConfigDumpListsConfiguration(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	peer := a.CreateProcessOn(1, "peer", func(ctx *Ctx, _ int, arg any) {
+		var v int32
+		ctx.Read(arg.(*Channel), "%d", &v)
+	}, 0, nil)
+	spe := a.CreateSPE(&SPEProgram{Name: "idle", Body: func(ctx *SPECtx) {}}, a.Main(), 0)
+	_ = spe
+	ch := a.CreateChannel(a.Main(), peer)
+	peer.arg = ch
+	dump := a.ConfigDump()
+	for _, want := range []string{"processes (3):", "PI_MAIN", "peer", "idle#0", "channels (1):", "bundles (0):"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("ConfigDump missing %q:\n%s", want, dump)
+		}
+	}
+	if err := a.Run(func(ctx *Ctx) { ctx.Write(ch, "%d", int32(7)) }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -71,7 +71,10 @@ func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
 	if err != nil {
 		c.fail(loc, "PI_Write", "%v", err)
 	}
+	packStart := c.P.Now()
 	c.P.Advance(c.app.par.SPEStubOverhead + c.app.par.PackTime(len(wire)))
+	xfer := c.app.newXfer()
+	c.app.spanPhase(xfer, trace.PhasePack, c.Self.String(), ch, len(wire), packStart, c.P.Now())
 	ls := c.sctx.SPE.LS
 	lsAddr, err := ls.Alloc("PI_Write buffer", len(wire), 16)
 	if err != nil {
@@ -93,7 +96,10 @@ func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
 	if blocking {
 		c.app.reportBlock(c.Self, ch.To, ch, deadlock.OpWrite)
 	}
+	postStart := c.P.Now()
+	c.app.spePosted(c.Self, xfer, postStart)
 	c.request(opWrite, ch, lsAddr, len(wire), spec.Signature())
+	postEnd := c.P.Now()
 	if status := c.sctx.ReadInMbox(c.P); status != speStatusOK {
 		c.fail(loc, "PI_Write", "transfer failed on %s (status %d)", ch, status)
 	}
@@ -102,7 +108,12 @@ func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
 	} else {
 		c.app.reportSent(ch) // eager relay: in flight regardless of reader
 	}
-	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire))
+	self := c.Self.String()
+	c.app.spanPhase(xfer, trace.PhaseMailboxReq, self, ch, len(wire), postStart, postEnd)
+	c.app.spanPhase(xfer, trace.PhaseMailboxWait, self, ch, len(wire), postEnd, c.P.Now())
+	c.app.meterBlocked(c.Self, blockMailbox, c.P.Now()-postStart)
+	c.app.meterOp(ch, len(wire), c.P.Now()-packStart)
+	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
 	ls.Release()
 }
 
@@ -133,13 +144,18 @@ func (c *SPECtx) Read(ch *Channel, format string, args ...any) {
 	if c.app.opts.SPEDeadlock {
 		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
 	}
+	postStart := c.P.Now()
+	c.app.spePosted(c.Self, 0, postStart) // reader: id arrives with the payload
 	c.request(opRead, ch, lsAddr, expected, spec.Signature())
+	postEnd := c.P.Now()
 	if status := c.sctx.ReadInMbox(c.P); status != speStatusOK {
 		c.fail(loc, "PI_Read", "transfer failed on %s (status %d)", ch, status)
 	}
 	if c.app.opts.SPEDeadlock {
 		c.app.reportUnblock(c.Self)
 	}
+	waitEnd := c.P.Now()
+	xfer := c.app.speTakeDone(c.Self)
 	win, err := ls.Window(lsAddr, expected)
 	if err != nil {
 		c.fail(loc, "PI_Read", "%v", err)
@@ -148,7 +164,13 @@ func (c *SPECtx) Read(ch *Channel, format string, args ...any) {
 	if err := spec.Unpack(win, args...); err != nil {
 		c.fail(loc, "PI_Read", "%v", err)
 	}
-	c.app.record(c.P, trace.KindRead, c.Self, ch, expected)
+	self := c.Self.String()
+	c.app.spanPhase(xfer, trace.PhaseMailboxReq, self, ch, expected, postStart, postEnd)
+	c.app.spanPhase(xfer, trace.PhaseMailboxWait, self, ch, expected, postEnd, waitEnd)
+	c.app.spanPhase(xfer, trace.PhasePack, self, ch, expected, waitEnd, c.P.Now())
+	c.app.meterBlocked(c.Self, blockMailbox, waitEnd-postStart)
+	c.app.meterOp(ch, expected, c.P.Now()-postStart)
+	c.app.record(c.P, trace.KindRead, c.Self, ch, expected, xfer)
 	ls.Release()
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"cellpilot/internal/metrics"
 	"cellpilot/internal/sim"
 )
 
@@ -30,6 +31,40 @@ type SPEStats struct {
 	HighWater int
 }
 
+// ChannelTypeMetrics aggregates every operation that completed on
+// channels of one Table I type. Populated only when a Meter was attached
+// (App.Metrics); the histograms are live views into the meter's registry.
+type ChannelTypeMetrics struct {
+	Type ChannelType
+	// Ops counts completed read and write operations; Bytes is the total
+	// payload they carried.
+	Ops   int64
+	Bytes int64
+	// LatencyUs is per-operation latency in microseconds, SizeBytes the
+	// payload-size distribution, BandwidthMBps achieved per-operation
+	// bandwidth in MB/s.
+	LatencyUs     *metrics.Histogram
+	SizeBytes     *metrics.Histogram
+	BandwidthMBps *metrics.Histogram
+}
+
+// ProcTime attributes one process's virtual lifetime: compute versus the
+// three ways a CellPilot process blocks on communication. Populated only
+// when a Meter was attached.
+type ProcTime struct {
+	Process string
+	// Total is the process's lifetime (spawn to return).
+	Total sim.Time
+	// Compute is Total minus all blocked time.
+	Compute sim.Time
+	// BlockedRead is time inside channel reads, BlockedWrite inside
+	// channel writes, MailboxWait inside the SPE mailbox protocol
+	// (posting the request descriptor and awaiting completion).
+	BlockedRead  sim.Time
+	BlockedWrite sim.Time
+	MailboxWait  sim.Time
+}
+
 // Stats is an application-wide utilization report, available after Run.
 type Stats struct {
 	// VirtualTime is the run's final clock value.
@@ -42,6 +77,11 @@ type Stats struct {
 	CoPilots []CoPilotStats
 	// SPEs covers every SPE process that was launched.
 	SPEs []SPEStats
+	// ChannelTypes, ProcTimes and Registry carry the Meter's aggregates
+	// when App.Metrics was attached; all are nil otherwise.
+	ChannelTypes []ChannelTypeMetrics
+	ProcTimes    []ProcTime
+	Registry     *metrics.Registry
 }
 
 // Stats collects the utilization report. Call it after Run returns.
@@ -72,6 +112,43 @@ func (a *App) Stats() Stats {
 				Resident:  ls.Resident(),
 				HighWater: ls.HighWater(),
 			})
+		}
+	}
+	if m := a.Metrics; m != nil {
+		st.Registry = m.reg
+		for t := Type1; t <= Type5; t++ {
+			prefix := "chan/" + t.String()
+			lat := m.reg.LookupHistogram(prefix + "/latency_us")
+			if lat == nil {
+				continue // no operation completed on this channel type
+			}
+			st.ChannelTypes = append(st.ChannelTypes, ChannelTypeMetrics{
+				Type:          t,
+				Ops:           m.reg.Counter(prefix + "/ops").Value(),
+				Bytes:         m.reg.Counter(prefix + "/payload_bytes_total").Value(),
+				LatencyUs:     lat,
+				SizeBytes:     m.reg.LookupHistogram(prefix + "/payload_bytes"),
+				BandwidthMBps: m.reg.LookupHistogram(prefix + "/bandwidth_mbps"),
+			})
+		}
+		for _, p := range a.procs {
+			acc, ok := m.procs[p.id]
+			if !ok {
+				continue
+			}
+			end := acc.end
+			if !acc.ended {
+				end = a.K.Now()
+			}
+			pt := ProcTime{
+				Process:      p.String(),
+				Total:        end - acc.start,
+				BlockedRead:  acc.blocked[blockRead],
+				BlockedWrite: acc.blocked[blockWrite],
+				MailboxWait:  acc.blocked[blockMailbox],
+			}
+			pt.Compute = pt.Total - pt.BlockedRead - pt.BlockedWrite - pt.MailboxWait
+			st.ProcTimes = append(st.ProcTimes, pt)
 		}
 	}
 	return st
@@ -112,6 +189,18 @@ func (s Stats) String() string {
 	}
 	for _, spe := range s.SPEs {
 		fmt.Fprintf(&b, "  %-28s LS resident %6d, high water %6d\n", spe.Process, spe.Resident, spe.HighWater)
+	}
+	for _, ct := range s.ChannelTypes {
+		fmt.Fprintf(&b, "  %s: %d ops, %d bytes, latency p50=%.1fus p99=%.1fus",
+			ct.Type, ct.Ops, ct.Bytes, ct.LatencyUs.Quantile(0.5), ct.LatencyUs.Quantile(0.99))
+		if ct.BandwidthMBps != nil && ct.BandwidthMBps.Count() > 0 {
+			fmt.Fprintf(&b, ", bandwidth p50=%.1fMB/s", ct.BandwidthMBps.Quantile(0.5))
+		}
+		b.WriteByte('\n')
+	}
+	for _, pt := range s.ProcTimes {
+		fmt.Fprintf(&b, "  %-28s total %v: compute %v, read-blocked %v, write-blocked %v, mailbox %v\n",
+			pt.Process, pt.Total, pt.Compute, pt.BlockedRead, pt.BlockedWrite, pt.MailboxWait)
 	}
 	return b.String()
 }

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0.5 || h.Max() != 500 {
+		t.Fatalf("min/max = %g/%g", h.Min(), h.Max())
+	}
+	if got := h.Sum(); got != 560.5 {
+		t.Fatalf("sum = %g", got)
+	}
+	counts := h.Counts()
+	want := []int64{1, 2, 1, 1}
+	for i, c := range want {
+		if counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d", i, counts[i], c)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10))
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i + 1))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 30 || p50 > 70 {
+		t.Fatalf("p50 = %g, want near 50", p50)
+	}
+	if q := h.Quantile(0); q != h.Min() {
+		t.Fatalf("q0 = %g", q)
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Fatalf("q1 = %g", q)
+	}
+	if q := h.Quantile(0.999); q > h.Max() {
+		t.Fatalf("q999 = %g exceeds max %g", q, h.Max())
+	}
+}
+
+func TestBucketBuilders(t *testing.T) {
+	exp := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("exp[%d] = %g", i, exp[i])
+		}
+	}
+	lin := LinearBuckets(0, 2, 3)
+	wantLin := []float64{0, 2, 4}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("lin[%d] = %g", i, lin[i])
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(3)
+	r.Counter("ops").Inc()
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(4)
+	if r.Counter("ops").Value() != 4 {
+		t.Fatalf("ops = %d", r.Counter("ops").Value())
+	}
+	if r.Histogram("lat", nil) != h {
+		t.Fatal("histogram not memoized")
+	}
+	if r.LookupHistogram("missing") != nil {
+		t.Fatal("lookup of missing histogram should be nil")
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "ops") || !strings.Contains(dump, "lat") {
+		t.Fatalf("dump: %s", dump)
+	}
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Counters["ops"] != 4 || parsed.Histograms["lat"].Count != 1 {
+		t.Fatalf("json roundtrip: %+v", parsed)
+	}
+}

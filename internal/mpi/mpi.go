@@ -80,6 +80,7 @@ type Rank struct {
 	unexpected []*envelope
 	probes     []*probeReq
 	arrival    func() // OnArrival hook
+	nextXfer   int64  // TagNextXfer value consumed by the next send
 }
 
 // ID reports the rank number.
@@ -106,9 +107,26 @@ func (r *Rank) bind(p *sim.Proc) {
 	}
 }
 
+// TagNextXfer attaches an observability transfer id to the next send (or
+// nonblocking send) issued on this rank. The id rides the envelope
+// out-of-band — it adds no bytes and no virtual time — and surfaces in the
+// receiver's Status, which is how CellPilot correlates the two ends of a
+// transfer into one trace span. Zero means untagged.
+func (r *Rank) TagNextXfer(id int64) { r.nextXfer = id }
+
+// takeXfer consumes the pending transfer id.
+func (r *Rank) takeXfer() int64 {
+	id := r.nextXfer
+	r.nextXfer = 0
+	return id
+}
+
 // Status describes a received or probed message.
 type Status struct {
 	Source int
 	Tag    int
 	Count  int
+	// Xfer is the sender's observability transfer id (see TagNextXfer);
+	// 0 when the send was untagged.
+	Xfer int64
 }

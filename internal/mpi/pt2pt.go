@@ -19,6 +19,7 @@ type envelope struct {
 	srcBuf     []byte // rendezvous: sender's buffer, read at the data phase
 	srcNode    int
 	dstNode    int
+	xfer       int64 // observability transfer id (TagNextXfer), 0 = untagged
 }
 
 // recvReq is a posted receive awaiting a matching envelope.
@@ -73,6 +74,7 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
 	env := &envelope{
 		src: r.id, tag: tag, size: size,
 		srcNode: r.node.ID, dstNode: d.node.ID,
+		xfer: r.takeXfer(),
 	}
 	if size <= w.Par.EagerThreshold {
 		env.eager = true
@@ -153,7 +155,7 @@ func (r *Rank) complete(env *envelope, req *recvReq) {
 			}
 			n = copy(req.out, payload)
 		}
-		req.status = Status{Source: env.src, Tag: env.tag, Count: n}
+		req.status = Status{Source: env.src, Tag: env.tag, Count: n, Xfer: env.xfer}
 		req.done = true
 		if req.onDone != nil {
 			req.onDone(req.out, req.status)
@@ -232,7 +234,7 @@ func (r *Rank) wakeProbes(env *envelope) {
 	for i, pr := range r.probes {
 		for si, sp := range pr.specs {
 			if match(sp.Src, sp.Tag, env.src, env.tag) {
-				pr.status = Status{Source: env.src, Tag: env.tag, Count: env.size}
+				pr.status = Status{Source: env.src, Tag: env.tag, Count: env.size, Xfer: env.xfer}
 				pr.matched = si
 				pr.done = true
 				r.probes = append(r.probes[:i], r.probes[i+1:]...)
@@ -257,7 +259,7 @@ func (r *Rank) Iprobe(p *sim.Proc, src, tag int) (Status, bool) {
 	p.Advance(r.w.Par.MPIRecvOverhead)
 	for _, env := range r.unexpected {
 		if match(src, tag, env.src, env.tag) {
-			return Status{Source: env.src, Tag: env.tag, Count: env.size}, true
+			return Status{Source: env.src, Tag: env.tag, Count: env.size, Xfer: env.xfer}, true
 		}
 	}
 	return Status{}, false

@@ -37,6 +37,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
 	env := &envelope{
 		src: r.id, tag: tag, size: size,
 		srcNode: r.node.ID, dstNode: d.node.ID,
+		xfer: r.takeXfer(),
 	}
 	if size <= w.Par.EagerThreshold {
 		env.eager = true

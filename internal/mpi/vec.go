@@ -82,7 +82,7 @@ func (r *Rank) ProbeMulti(p *sim.Proc, specs []ProbeSpec) (int, Status) {
 	for _, env := range r.unexpected {
 		for i, sp := range specs {
 			if match(sp.Src, sp.Tag, env.src, env.tag) {
-				return i, Status{Source: env.src, Tag: env.tag, Count: env.size}
+				return i, Status{Source: env.src, Tag: env.tag, Count: env.size, Xfer: env.xfer}
 			}
 		}
 	}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"cellpilot/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// about://tracing and Perfetto load). Timestamps and durations are in
+// microseconds; we map each CellPilot process (and each Co-Pilot rank) to
+// its own thread track under a single pid.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromePid = 1
+
+func usec(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// WriteChrome renders the recorder's spans and events as Chrome
+// trace_event JSON: one thread track per process and per Co-Pilot, a
+// complete ("X") slice per transfer phase, and an instant event per flat
+// completion event. Open the output in Perfetto (ui.perfetto.dev) or
+// about://tracing.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	// Deterministic track table: every proc seen in a phase or event, in
+	// sorted order.
+	seen := map[string]bool{}
+	for _, pe := range r.phases {
+		seen[pe.Proc] = true
+	}
+	for _, ev := range r.events {
+		seen[ev.Proc] = true
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tids := make(map[string]int, len(names))
+	events := make([]chromeEvent, 0, 2*len(names)+len(r.phases)+len(r.events))
+	for i, name := range names {
+		tid := i + 1
+		tids[name] = tid
+		events = append(events,
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+				Args: map[string]any{"name": name}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: tid,
+				Args: map[string]any{"sort_index": tid}},
+		)
+	}
+	for _, pe := range r.phases {
+		dur := usec(pe.End - pe.Start)
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("%s ch%d", pe.Phase, pe.Channel),
+			Cat:  fmt.Sprintf("type%d", pe.ChanType),
+			Ph:   "X", Pid: chromePid, Tid: tids[pe.Proc],
+			Ts: usec(pe.Start), Dur: &dur,
+			Args: map[string]any{
+				"xfer": pe.Xfer, "channel": pe.Channel, "bytes": pe.Bytes,
+				"phase": pe.Phase.String(),
+			},
+		})
+	}
+	for _, ev := range r.events {
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("%s ch%d", ev.Kind, ev.Channel),
+			Cat:  "event",
+			Ph:   "i", Pid: chromePid, Tid: tids[ev.Proc],
+			Ts: usec(ev.At), S: "t",
+			Args: map[string]any{"channel": ev.Channel, "bytes": ev.Bytes, "xfer": ev.Xfer},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ns",
+	})
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"cellpilot/internal/sim"
+)
+
+// PhaseKind classifies one stage inside a channel transfer. A transfer
+// (one message moving writer → reader) is identified by its Xfer id; the
+// phase events sharing an id form the transfer's span, spread across the
+// endpoint processes and the Co-Pilots that serviced it.
+type PhaseKind int
+
+// Transfer phases.
+const (
+	// PhasePack is the endpoint packing or unpacking cost (Pilot overhead
+	// plus per-byte marshalling).
+	PhasePack PhaseKind = iota
+	// PhaseMailboxReq is an SPE stub posting its four-word request
+	// descriptor through the outbound mailbox.
+	PhaseMailboxReq
+	// PhaseMailboxWait is an SPE stub blocked on the inbound mailbox for
+	// the Co-Pilot's completion status.
+	PhaseMailboxWait
+	// PhaseCoPilotWait is the interval between a request being posted and
+	// the Co-Pilot decoding it: mailbox transfer plus service-queue wait
+	// plus polling quantization.
+	PhaseCoPilotWait
+	// PhaseCoPilotService is the Co-Pilot decoding and dispatching one
+	// request.
+	PhaseCoPilotService
+	// PhaseCopy is a shared-memory data move: the type-4 EA-window memcpy
+	// or the A1 direct-local handoff.
+	PhaseCopy
+	// PhaseRelay is a Co-Pilot MPI leg: relaying an SPE write onward, or
+	// landing an inbound payload in the reader's local store.
+	PhaseRelay
+	// PhaseMPISend is an endpoint process inside MPI send (including any
+	// rendezvous wait for the reader).
+	PhaseMPISend
+	// PhaseMPIWait is an endpoint process blocked in MPI receive.
+	PhaseMPIWait
+)
+
+// String implements fmt.Stringer.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhasePack:
+		return "pack"
+	case PhaseMailboxReq:
+		return "mbox-req"
+	case PhaseMailboxWait:
+		return "mbox-wait"
+	case PhaseCoPilotWait:
+		return "copilot-wait"
+	case PhaseCoPilotService:
+		return "copilot-service"
+	case PhaseCopy:
+		return "copy"
+	case PhaseRelay:
+		return "relay"
+	case PhaseMPISend:
+		return "mpi-send"
+	case PhaseMPIWait:
+		return "mpi-wait"
+	default:
+		return fmt.Sprintf("phase(%d)", int(k))
+	}
+}
+
+// PhaseEvent is one recorded transfer stage: who spent [Start, End] doing
+// what, for which transfer.
+type PhaseEvent struct {
+	// Xfer identifies the transfer; all phases of one message share it.
+	Xfer int64
+	// Phase is the stage.
+	Phase PhaseKind
+	// Proc is the process (or Co-Pilot rank label) that executed the stage.
+	Proc string
+	// Channel is the channel id; ChanType its Table I type (1..5).
+	Channel  int
+	ChanType int
+	// Bytes is the payload size of the transfer.
+	Bytes      int
+	Start, End sim.Time
+}
+
+// Dur reports the phase duration.
+func (pe PhaseEvent) Dur() sim.Time { return pe.End - pe.Start }
+
+// RecordPhase appends a phase event, honouring the recorder's limit with
+// separate drop accounting from flat events.
+func (r *Recorder) RecordPhase(pe PhaseEvent) {
+	if r == nil {
+		return
+	}
+	if r.limit > 0 && len(r.phases) >= r.limit {
+		r.phasesDropped++
+		return
+	}
+	r.phases = append(r.phases, pe)
+}
+
+// Phases returns a copy of the recorded phase events in recording order.
+func (r *Recorder) Phases() []PhaseEvent {
+	if r == nil {
+		return nil
+	}
+	return append([]PhaseEvent(nil), r.phases...)
+}
+
+// PhasesDropped reports phase events discarded past the limit.
+func (r *Recorder) PhasesDropped() int { return r.phasesDropped }
+
+// Span is one assembled transfer: every phase sharing a transfer id,
+// bounded by the earliest start and latest end.
+type Span struct {
+	ID         int64
+	Channel    int
+	ChanType   int
+	Bytes      int
+	Start, End sim.Time
+	Phases     []PhaseEvent
+}
+
+// Dur reports the span's wall (virtual) duration.
+func (s Span) Dur() sim.Time { return s.End - s.Start }
+
+// PhaseTotal sums the durations of the span's phases of one kind.
+func (s Span) PhaseTotal(k PhaseKind) sim.Time {
+	var total sim.Time
+	for _, pe := range s.Phases {
+		if pe.Phase == k {
+			total += pe.Dur()
+		}
+	}
+	return total
+}
+
+// Spans groups the recorded phase events by transfer id, ordered by start
+// time (id as tie-break). Phases recorded without an id (0) are not part
+// of any transfer and are skipped.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	byID := map[int64]*Span{}
+	for _, pe := range r.phases {
+		if pe.Xfer == 0 {
+			continue
+		}
+		sp, ok := byID[pe.Xfer]
+		if !ok {
+			sp = &Span{
+				ID: pe.Xfer, Channel: pe.Channel, ChanType: pe.ChanType,
+				Bytes: pe.Bytes, Start: pe.Start, End: pe.End,
+			}
+			byID[pe.Xfer] = sp
+		}
+		if pe.Start < sp.Start {
+			sp.Start = pe.Start
+		}
+		if pe.End > sp.End {
+			sp.End = pe.End
+		}
+		if pe.Bytes > sp.Bytes {
+			sp.Bytes = pe.Bytes
+		}
+		sp.Phases = append(sp.Phases, pe)
+	}
+	out := make([]Span, 0, len(byID))
+	for _, sp := range byID {
+		sort.Slice(sp.Phases, func(i, j int) bool {
+			a, b := sp.Phases[i], sp.Phases[j]
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			return a.Phase < b.Phase
+		})
+		out = append(out, *sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -48,6 +48,9 @@ type Event struct {
 	Proc    string
 	Channel int
 	Bytes   int
+	// Xfer is the transfer id correlating this event with the transfer's
+	// phase span (0 when the run was not span-instrumented).
+	Xfer int64
 }
 
 // Recorder accumulates events up to a limit (0 = unlimited). It is used
@@ -56,6 +59,9 @@ type Recorder struct {
 	limit   int
 	dropped int
 	events  []Event
+
+	phases        []PhaseEvent
+	phasesDropped int
 }
 
 // NewRecorder creates a recorder keeping at most limit events
@@ -76,8 +82,15 @@ func (r *Recorder) Record(ev Event) {
 	r.events = append(r.events, ev)
 }
 
-// Events returns the recorded events in order.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns a copy of the recorded events in order. (A copy, so
+// callers cannot corrupt the recorder's internal state by mutating or
+// appending to the returned slice.)
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return append([]Event(nil), r.events...)
+}
 
 // Dropped reports events discarded past the limit.
 func (r *Recorder) Dropped() int { return r.dropped }
@@ -89,6 +102,16 @@ type ChannelStats struct {
 	Reads       int
 	Bytes       int64
 	First, Last sim.Time
+}
+
+// Span reports the time between the channel's first and last event. With
+// fewer than two events there is no interval, so the span is 0 regardless
+// of where the single event (if any) sits on the timeline.
+func (st ChannelStats) Span() sim.Time {
+	if st.Writes+st.Reads < 2 {
+		return 0
+	}
+	return st.Last - st.First
 }
 
 // ByChannel aggregates events per channel id.
@@ -130,7 +153,10 @@ func (r *Recorder) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace: %d events (%d dropped)\n", len(r.events), r.dropped)
 	for _, st := range r.ByChannel() {
-		span := st.Last - st.First
+		span := "0s"
+		if s := st.Span(); s > 0 {
+			span = s.String()
+		}
 		fmt.Fprintf(&b, "  channel %-3d writes=%-5d reads=%-5d bytes=%-8d span=%s\n",
 			st.Channel, st.Writes, st.Reads, st.Bytes, span)
 	}

@@ -13,6 +13,7 @@ import (
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/sdk"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
 )
 
 // Method selects the transfer implementation, matching the paper's three
@@ -63,6 +64,11 @@ type PingPongConfig struct {
 	PollInterval sim.Time
 	// EagerThreshold overrides MPI's eager/rendezvous split when > 0 (A3).
 	EagerThreshold int
+	// Trace, when non-nil, records the CellPilot run's events and transfer
+	// spans (MethodCellPilot only; observation is free in virtual time).
+	Trace *trace.Recorder
+	// Metrics, when non-nil, aggregates the CellPilot run's histograms.
+	Metrics *core.Meter
 }
 
 // Result is a measured Table II cell.
@@ -192,6 +198,8 @@ func pingPongCellPilot(cfg PingPongConfig) (sim.Time, error) {
 		return 0, err
 	}
 	a := core.NewApp(c, core.Options{CoPilotDirectLocal: cfg.DirectLocal})
+	a.Trace = cfg.Trace
+	a.Metrics = cfg.Metrics
 	format, mk, rd := payloadFormat(cfg.Bytes)
 
 	var ab, ba *core.Channel
