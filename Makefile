@@ -22,6 +22,15 @@ bench:
 # Tier-1 gate: what must stay green on every change.
 ci: build vet test
 
-# Deeper sweep (slower): tier-1 plus the race detector.
-ci-full: ci race
+# Robustness gate: the seeded chaos suite (fault injection, degradation,
+# determinism) plus a short fuzz smoke of the format parser.
+ci-chaos:
+	$(GO) test -run 'TestChaos' ./internal/workload/
+	$(GO) test -run 'TestReliable' ./internal/mpi/
+	$(GO) test -run 'Fault|Timeout|Kill|Degradation|Recover|Lossy|Mailbox' ./internal/core/ ./internal/fault/
+	$(GO) test -run '^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/fmtmsg
+.PHONY: ci-chaos
+
+# Deeper sweep (slower): tier-1 plus the race detector and the chaos gate.
+ci-full: ci race ci-chaos
 .PHONY: ci-full

@@ -47,6 +47,7 @@ import (
 	"cellpilot/internal/cellbe"
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/core"
+	"cellpilot/internal/fault"
 	"cellpilot/internal/fmtmsg"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
@@ -158,6 +159,48 @@ type (
 	// ProcTime is one process's compute/blocked time split in Stats.
 	ProcTime = core.ProcTime
 )
+
+// Robustness types (fault injection, timeouts, graceful degradation).
+type (
+	// FaultPlan is a deterministic fault schedule for one run: timed
+	// events plus per-link loss/delay/corruption policies, all driven by
+	// the virtual clock and a seeded RNG.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault (node crash, SPE/Co-Pilot kill,
+	// mailbox drop or stall).
+	FaultEvent = fault.Event
+	// FaultKind discriminates FaultEvent.
+	FaultKind = fault.Kind
+	// LinkPolicy is a per-link probabilistic drop/delay/corrupt policy.
+	LinkPolicy = fault.LinkPolicy
+	// FaultInjector executes a FaultPlan against one run; pass it in
+	// Options.Faults.
+	FaultInjector = fault.Injector
+	// FaultCounts carries the injector's fault and reaction counters.
+	FaultCounts = fault.Counts
+	// ChannelFault is the structured error a channel operation returns
+	// (TryRead/TryWrite) or App.Run reports when a fault or timeout hit
+	// the operation.
+	ChannelFault = core.ChannelFault
+	// FaultSummary is App.Run's error when a hardened run completed
+	// degraded: the processes killed and the operation faults raised.
+	FaultSummary = core.FaultSummary
+	// FaultStats is the fault section of Stats.
+	FaultStats = core.FaultStats
+)
+
+// Fault event kinds.
+const (
+	FaultCrashNode    = fault.CrashNode
+	FaultKillSPE      = fault.KillSPE
+	FaultKillCoPilot  = fault.KillCoPilot
+	FaultMailboxDrop  = fault.MailboxDrop
+	FaultMailboxStall = fault.MailboxStall
+)
+
+// NewFaultInjector builds the executor for a fault plan. Create one per
+// run (injectors are single-use) and set it as Options.Faults.
+func NewFaultInjector(plan FaultPlan) *FaultInjector { return fault.NewInjector(plan) }
 
 // NewTraceRecorder creates a recorder keeping at most limit events
 // (0 = unlimited).

@@ -8,6 +8,7 @@
 //	cellpilot-bench -exp footprint  # Section V SPE memory footprint
 //	cellpilot-bench -exp ablations  # A1-A3 design-choice ablations
 //	cellpilot-bench -exp phases     # per-phase latency breakdown (spans)
+//	cellpilot-bench -exp chaos      # seeded fault-injection sweep (robustness)
 //	cellpilot-bench -exp all        # everything
 package main
 
@@ -27,7 +28,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|phases|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|phases|chaos|all")
+	seed := flag.Int64("seed", 1, "chaos: base RNG seed for the fault schedule")
+	chaosRuns := flag.Int("chaos-runs", 5, "chaos: number of seeded runs per scenario")
 	reps := flag.Int("reps", 1000, "PingPong repetitions (paper: 1000)")
 	repo := flag.String("repo", ".", "repository root (for the loc experiment)")
 	chrome := flag.String("chrome", "", "phases: write Chrome trace JSON for -trace-type's run to this file")
@@ -76,6 +79,58 @@ func main() {
 	}
 	if want("phases") {
 		runPhases(*reps/10, *traceType, *chrome, *metricsOut)
+	}
+	if want("chaos") {
+		runChaos(*seed, *chaosRuns)
+	}
+}
+
+// runChaos sweeps seeded fault schedules over concurrent traffic on all
+// five Table I channel types, printing per-scenario delivery and fault
+// counters plus a determinism check (every seed is run twice and the two
+// outcomes must be bit-for-bit identical).
+func runChaos(seed int64, runs int) {
+	if runs < 1 {
+		runs = 1
+	}
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	scenarios := []struct {
+		name string
+		cfg  workload.ChaosConfig
+	}{
+		{"loss10", workload.ChaosConfig{LossProb: 0.1}},
+		{"kill-spe", workload.ChaosConfig{KillSPE: true}},
+		{"mbox-drops", workload.ChaosConfig{MailboxDrops: 4}},
+		{"combined", workload.ChaosConfig{LossProb: 0.1, KillSPE: true, MailboxDrops: 2}},
+	}
+	fmt.Println("chaos sweep: 5 channel types x 20 round trips per run, seeded fault schedules")
+	for _, sc := range scenarios {
+		rs, err := workload.ChaosSweep(sc.cfg, seeds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs2, err := workload.ChaosSweep(sc.cfg, seeds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range rs {
+			det := "deterministic"
+			if r.Fingerprint() != rs2[i].Fingerprint() {
+				det = "NON-DETERMINISTIC"
+			}
+			status := "clean"
+			if r.RunErr != "" {
+				status = "degraded"
+			}
+			fmt.Printf("%-10s seed=%-3d %-9s done=%v drops=%d rexmit=%d mbox=%d/%d killed=%d timeouts=%d  %s\n",
+				sc.name, r.Config.Seed, status, r.Completed[1:],
+				r.Counts.LinkDrops, r.Counts.Retransmits,
+				r.Counts.MailboxDrops, r.Counts.MailboxReposts,
+				r.Counts.ProcsKilled, r.Counts.OpTimeouts, det)
+		}
 	}
 }
 

@@ -86,13 +86,17 @@ func (ls *LocalStore) HighWater() int {
 }
 
 // Release frees the most recent allocation (LIFO discipline, matching the
-// stub's stack usage).
-func (ls *LocalStore) Release() {
+// stub's stack usage). An unmatched Release is a stub bug; it is reported
+// as an error so the protocol layers can route it through the
+// application's abort path with a proper diagnostic instead of crashing
+// the host process.
+func (ls *LocalStore) Release() error {
 	if len(ls.allocs) == 0 {
-		panic("cellbe: LocalStore.Release without matching Alloc")
+		return fmt.Errorf("cellbe: LocalStore.Release without matching Alloc")
 	}
 	ls.top = ls.allocs[len(ls.allocs)-1]
 	ls.allocs = ls.allocs[:len(ls.allocs)-1]
+	return nil
 }
 
 // Window returns a mutable view of LS bytes [addr, addr+n).

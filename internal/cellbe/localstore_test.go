@@ -69,14 +69,15 @@ func TestLocalStoreLIFO(t *testing.T) {
 	if a3 != a2 {
 		t.Fatalf("LIFO release not reusing space: %#x vs %#x", a3, a2)
 	}
-	ls.Release()
-	ls.Release()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unbalanced Release did not panic")
-		}
-	}()
-	ls.Release()
+	if err := ls.Release(); err != nil {
+		t.Fatalf("matched Release errored: %v", err)
+	}
+	if err := ls.Release(); err != nil {
+		t.Fatalf("matched Release errored: %v", err)
+	}
+	if err := ls.Release(); err == nil {
+		t.Fatal("unbalanced Release did not error")
+	}
 }
 
 func TestLocalStoreWindowBounds(t *testing.T) {

@@ -10,7 +10,15 @@ type Mailbox struct {
 	name string
 	q    *sim.Queue[uint32]
 	par  *Params
+	// hook, when set, is consulted on every Write with the writer's fault
+	// verdict: drop loses the word after the write cost is charged (the
+	// store to the channel faults silently), stall adds latency first.
+	hook func() (drop bool, stall sim.Time)
 }
+
+// SetFaultHook installs the fault-injection hook for this mailbox
+// direction. A nil hook (the default) leaves Write untouched.
+func (m *Mailbox) SetFaultHook(h func() (drop bool, stall sim.Time)) { m.hook = h }
 
 // NewMailbox creates a mailbox with the given entry capacity.
 func NewMailbox(k *sim.Kernel, name string, capacity int, par *Params) *Mailbox {
@@ -20,6 +28,15 @@ func NewMailbox(k *sim.Kernel, name string, capacity int, par *Params) *Mailbox 
 // Write pushes one entry, stalling p while the mailbox is full.
 func (m *Mailbox) Write(p *sim.Proc, v uint32) {
 	p.Advance(m.par.MailboxWrite)
+	if m.hook != nil {
+		drop, stall := m.hook()
+		if stall > 0 {
+			p.Advance(stall)
+		}
+		if drop {
+			return
+		}
+	}
 	m.q.Put(p, v)
 }
 
@@ -41,6 +58,40 @@ func (m *Mailbox) TryRead(p *sim.Proc) (v uint32, ok bool) {
 func (m *Mailbox) TryWrite(p *sim.Proc, v uint32) bool {
 	p.Advance(m.par.MailboxWrite)
 	return m.q.TryPut(v)
+}
+
+// WriteCtl is Write bounded by an absolute deadline (0 = none) and an
+// optional stop predicate — the hardened SPE stub uses it so a write to a
+// full mailbox whose reader died cannot park forever. The fault hook
+// applies exactly as in Write.
+func (m *Mailbox) WriteCtl(p *sim.Proc, v uint32, deadline sim.Time, stop func() error) error {
+	p.Advance(m.par.MailboxWrite)
+	if m.hook != nil {
+		drop, stall := m.hook()
+		if stall > 0 {
+			p.Advance(stall)
+		}
+		if drop {
+			return nil
+		}
+	}
+	return m.q.PutCtl(p, v, deadline, stop)
+}
+
+// ReadCtl is Read bounded by an absolute deadline (0 = none) and an
+// optional stop predicate re-checked on every wake. It returns
+// sim.ErrTimeout when the deadline passes first; with a zero deadline and
+// nil stop it parks at exactly the same instants as Read.
+func (m *Mailbox) ReadCtl(p *sim.Proc, deadline sim.Time, stop func() error) (uint32, error) {
+	p.Advance(m.par.MailboxRead)
+	return m.q.GetCtl(p, deadline, stop)
+}
+
+// ReadTimeout is Read bounded by a relative timeout; ok is false when the
+// timeout expired before a word arrived.
+func (m *Mailbox) ReadTimeout(p *sim.Proc, d sim.Time) (uint32, bool) {
+	p.Advance(m.par.MailboxRead)
+	return m.q.GetTimeout(p, d)
 }
 
 // Count reports the entries currently queued (spe_out_mbox_status).

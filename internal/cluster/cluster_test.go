@@ -56,7 +56,7 @@ func TestNetworkTiming(t *testing.T) {
 	}
 	var arrival sim.Time
 	c.K.Spawn("sender", func(p *sim.Proc) {
-		arrival = c.Net.Send(p, 0, 1, 1600)
+		arrival, _ = c.Net.Send(p, 0, 1, 1600)
 	})
 	if err := c.K.Run(); err != nil {
 		t.Fatal(err)
@@ -82,8 +82,8 @@ func TestNetworkContention(t *testing.T) {
 		t.Fatal(err)
 	}
 	var a1, a2 sim.Time
-	c.K.Spawn("s1", func(p *sim.Proc) { a1 = c.Net.Send(p, 0, 1, 100000) })
-	c.K.Spawn("s2", func(p *sim.Proc) { a2 = c.Net.Send(p, 0, 2, 100000) })
+	c.K.Spawn("s1", func(p *sim.Proc) { a1, _ = c.Net.Send(p, 0, 1, 100000) })
+	c.K.Spawn("s2", func(p *sim.Proc) { a2, _ = c.Net.Send(p, 0, 2, 100000) })
 	if err := c.K.Run(); err != nil {
 		t.Fatal(err)
 	}

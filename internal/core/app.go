@@ -10,6 +10,7 @@ import (
 
 	"cellpilot/internal/cellbe"
 	"cellpilot/internal/cluster"
+	"cellpilot/internal/fault"
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
@@ -43,6 +44,16 @@ type Options struct {
 	// then services its two SPE groups in parallel (each Cell's spare PPE
 	// hardware thread hosts one), at the cost of an extra MPI rank.
 	CoPilotPerCell bool
+	// OpTimeout bounds every blocking channel operation (0 = unbounded,
+	// the classic Pilot behaviour). An operation that exceeds it fails
+	// with a ChannelFault whose diagnostic says whether the operation was
+	// part of a detected wait cycle or merely slow/faulted; the failing
+	// process unwinds and Run returns a FaultSummary.
+	OpTimeout sim.Time
+	// Faults attaches a fault injector (internal/fault) for chaos runs.
+	// An injector with an empty plan changes nothing — the virtual
+	// timeline stays bit-identical to a run without one.
+	Faults *fault.Injector
 }
 
 type phase int
@@ -71,10 +82,19 @@ type App struct {
 
 	world *mpi.World
 	// Co-Pilots are keyed by (node, cell); with the default one-per-node
-	// design the cell component is always 0.
-	copilots    map[copilotKey]*copilot
-	copilotRank map[copilotKey]int
-	svc         *svcState
+	// design the cell component is always 0. copilotOrder fixes a
+	// deterministic iteration order (rank order) for spawning and nudging.
+	copilots     map[copilotKey]*copilot
+	copilotRank  map[copilotKey]int
+	copilotOrder []copilotKey
+	svc          *svcState
+
+	// Fault-layer state (see fault.go); all empty in clean runs.
+	chanWaiters        map[int][]*sim.Proc
+	faults             []*ChannelFault
+	killed             []string
+	opTimeouts         int64
+	faultMetricsPushed bool
 
 	userLive int
 	allDone  *sim.Event
@@ -301,7 +321,9 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 			groups = len(n.Cells)
 		}
 		for g := 0; g < groups; g++ {
-			a.copilotRank[copilotKey{n.ID, g}] = len(placements)
+			key := copilotKey{n.ID, g}
+			a.copilotRank[key] = len(placements)
+			a.copilotOrder = append(a.copilotOrder, key)
 			label := fmt.Sprintf("copilot@%s", n.Name)
 			if groups > 1 {
 				label = fmt.Sprintf("copilot@%s/cell%d", n.Name, g)
@@ -319,12 +341,14 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 		return err
 	}
 	a.world = world
+	world.Faults = a.opts.Faults
 
-	// Co-Pilot service processes.
-	for key, rank := range a.copilotRank {
+	// Co-Pilot service processes, spawned in rank order (deterministic).
+	for _, key := range a.copilotOrder {
+		rank := a.copilotRank[key]
 		cp := newCopilot(a, key, world.Rank(rank))
 		a.copilots[key] = cp
-		a.K.Spawn(world.Rank(rank).Label(), cp.loop)
+		cp.proc = a.K.Spawn(world.Rank(rank).Label(), cp.loop)
 	}
 	// Deadlock service.
 	if svcRank >= 0 {
@@ -340,17 +364,29 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 		if p.id == 0 {
 			body = func(ctx *Ctx, _ int, _ any) { mainBody(ctx) }
 		}
-		a.K.Spawn(p.name, func(sp *sim.Proc) {
+		p.simProc = a.K.Spawn(p.name, func(sp *sim.Proc) {
 			defer a.userDone()
 			a.meterProcStart(p, sp.Now())
 			defer func() { a.meterProcEnd(p, sp.Now()) }()
+			// Registered last so it runs first: absorbs procFault unwinds
+			// (recording the fault) while the bookkeeping above still runs.
+			defer a.recoverFault(p)
 			ctx := &Ctx{app: a, P: sp, Self: p, rank: world.Rank(p.rank)}
 			body(ctx, p.index, p.arg)
 		})
 	}
 
+	// Arm the fault injector last, so its events see the full process set.
+	if inj := a.opts.Faults; inj != nil {
+		inj.OnEvent = a.applyFault
+		inj.Arm(a.K)
+	}
+
 	err = a.K.Run()
 	a.phase = phaseDone
+	if err == nil {
+		err = a.faultSummary()
+	}
 	return err
 }
 
@@ -361,8 +397,8 @@ func (a *App) userDone() {
 	a.userLive--
 	if a.userLive == 0 {
 		a.allDone.Fire()
-		for _, cp := range a.copilots {
-			cp.nudge()
+		for _, key := range a.copilotOrder {
+			a.copilots[key].nudge()
 		}
 		if a.svc != nil {
 			a.svc.post(svcMsg{kind: svcExit})

@@ -62,7 +62,16 @@ type Channel struct {
 	From *Process
 	To   *Process
 	typ  ChannelType
+
+	// fault, once set, poisons the channel: every subsequent operation on
+	// it fails with a ChannelFault derived from this one (sticky; set by
+	// App.failChannel when an endpoint or its Co-Pilot dies, or when a
+	// hard-deadline operation dies mid-protocol).
+	fault *ChannelFault
 }
+
+// Fault reports the poisoning fault, or nil while the channel is healthy.
+func (c *Channel) Fault() *ChannelFault { return c.fault }
 
 // ID reports the channel id.
 func (c *Channel) ID() int { return c.id }

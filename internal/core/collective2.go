@@ -119,7 +119,7 @@ func (c *Ctx) Reduce(b *Bundle, format string, op ReduceOp, out any) {
 	var acc []byte
 	for i, ch := range b.chans {
 		waitStart := c.P.Now()
-		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead, loc)
 		data, st := c.rank.Recv(c.P, c.peerRank(ch.From), ch.tag())
 		c.app.reportUnblock(c.Self)
 		if len(data) < hdrSize {

@@ -22,8 +22,10 @@ type copilot struct {
 	nodeID int
 	rank   *mpi.Rank
 	q      *sim.Queue[struct{}]
+	proc   *sim.Proc
+	dead   bool
 
-	bindings   []speBinding
+	bindings   []*speBinding
 	pendWrites []*speReq
 	pendReads  []*speReq
 	stats      CoPilotStats
@@ -32,6 +34,10 @@ type copilot struct {
 type speBinding struct {
 	proc *Process
 	sctx *sdk.Context
+	// lastSeq is the sequence number of the most recently accepted
+	// descriptor (mailbox-hardened runs); a repost of the same sequence is
+	// a duplicate caused by a slow ACK and is re-ACKed but not dispatched.
+	lastSeq int
 }
 
 const (
@@ -58,7 +64,7 @@ func (cp *copilot) nudge() { cp.q.TryPut(struct{}{}) }
 // register adds a newly launched SPE process to the polling set. Called by
 // RunSPE before the SPE can issue its first request.
 func (cp *copilot) register(sp *Process, sctx *sdk.Context) {
-	cp.bindings = append(cp.bindings, speBinding{proc: sp, sctx: sctx})
+	cp.bindings = append(cp.bindings, &speBinding{proc: sp, sctx: sctx, lastSeq: -1})
 	cp.nudge()
 }
 
@@ -95,6 +101,12 @@ func (cp *copilot) loop(p *sim.Proc) {
 // request arrives") and is what makes SPE↔SPE channels pay two full
 // Co-Pilot legs, as Table II shows.
 func (cp *copilot) step(p *sim.Proc) bool {
+	hardened := cp.app.hardened()
+	// Hardened runs: shed queued requests whose process died or whose
+	// channel was poisoned, so a dead peer cannot strand its partner.
+	if hardened && cp.sweepFaults(p) {
+		return true
+	}
 	// First progress pending requests, oldest first (deterministic).
 	for i, req := range cp.pendWrites {
 		if cp.tryWrite(p, req) {
@@ -109,18 +121,68 @@ func (cp *copilot) step(p *sim.Proc) bool {
 		}
 	}
 	// Then decode one new request from the SPE mailboxes.
+	mh := cp.app.mailboxHardened()
 	for _, b := range cp.bindings {
+		if hardened && b.proc.dead {
+			continue
+		}
 		decodeStart := p.Now()
 		w0, ok := b.sctx.TryReadOutMbox(p)
 		if !ok {
 			continue
 		}
-		op, chanID := parseWord0(w0)
-		lsAddr := b.sctx.ReadOutMbox(p)
-		size := b.sctx.ReadOutMbox(p)
-		sig := b.sctx.ReadOutMbox(p)
-		if chanID < 0 || chanID >= len(cp.app.chans) {
-			p.Fatalf("%v", usageError("runtime", "co-pilot", "SPE %s requested unknown channel %d", b.proc, chanID))
+		var op speOpcode
+		var chanID int
+		var seq uint32
+		if mh {
+			op, seq, chanID = parseWord0Seq(w0)
+		} else {
+			op, chanID = parseWord0(w0)
+		}
+		var lsAddr, size, sig uint32
+		if hardened {
+			// A fault (or a mid-descriptor death) can garble or truncate
+			// the four-word descriptor, so the remaining words are read
+			// under a timeout and the whole descriptor is validated before
+			// dispatch. Garbled descriptors are drained and NACKed
+			// (mailbox-hardened) or dropped; the stub reposts.
+			var words [3]uint32
+			bad := false
+			for i := range words {
+				v, ok := b.sctx.ReadOutMboxTimeout(p, cp.app.descTimeout())
+				if !ok {
+					bad = true
+					break
+				}
+				words[i] = v
+			}
+			if !bad && op != opWrite && op != opRead {
+				bad = true
+			}
+			if !bad && (chanID < 0 || chanID >= len(cp.app.chans)) {
+				bad = true
+			}
+			if bad {
+				cp.dropDesc(p, b, seq)
+				return true
+			}
+			lsAddr, size, sig = words[0], words[1], words[2]
+			if mh {
+				if b.lastSeq == int(seq) {
+					// Duplicate repost after a slow ACK: re-ACK, discard.
+					cp.ackDesc(p, b, speAck(seq))
+					return true
+				}
+				b.lastSeq = int(seq)
+				cp.ackDesc(p, b, speAck(seq))
+			}
+		} else {
+			lsAddr = b.sctx.ReadOutMbox(p)
+			size = b.sctx.ReadOutMbox(p)
+			sig = b.sctx.ReadOutMbox(p)
+			if chanID < 0 || chanID >= len(cp.app.chans) {
+				p.Fatalf("%v", usageError("runtime", "co-pilot", "SPE %s requested unknown channel %d", b.proc, chanID))
+			}
 		}
 		post := cp.app.speTakePost(b.proc)
 		req := &speReq{
@@ -160,6 +222,85 @@ func (cp *copilot) step(p *sim.Proc) bool {
 	return false
 }
 
+// sweepFaults drops queued requests whose SPE process has died and
+// fault-notifies those whose channel was poisoned (a dead peer, a timed
+// out partner). Reports whether anything was shed.
+func (cp *copilot) sweepFaults(p *sim.Proc) bool {
+	shed := false
+	keepW := cp.pendWrites[:0]
+	for _, req := range cp.pendWrites {
+		if cp.shedFaulted(p, req) {
+			shed = true
+			continue
+		}
+		keepW = append(keepW, req)
+	}
+	cp.pendWrites = keepW
+	keepR := cp.pendReads[:0]
+	for _, req := range cp.pendReads {
+		if cp.shedFaulted(p, req) {
+			shed = true
+			continue
+		}
+		keepR = append(keepR, req)
+	}
+	cp.pendReads = keepR
+	return shed
+}
+
+// shedFaulted reports whether req must be dropped from the pending
+// queues, notifying its (living) SPE with a fault status when the
+// channel is poisoned.
+func (cp *copilot) shedFaulted(p *sim.Proc, req *speReq) bool {
+	inj := cp.app.opts.Faults
+	if req.proc.dead {
+		if inj != nil {
+			inj.Logf(p.Now(), "%s drops queued request from dead %s on %s", cp.rank.Label(), req.proc, req.ch)
+		}
+		return true
+	}
+	if req.ch.fault != nil {
+		if inj != nil {
+			inj.Logf(p.Now(), "%s faults queued request from %s on poisoned %s", cp.rank.Label(), req.proc, req.ch)
+		}
+		cp.notify(p, req, speStatusFault)
+		return true
+	}
+	return false
+}
+
+// dropDesc discards a garbled descriptor: the mailbox is drained and, in
+// mailbox-hardened runs, the stub is NACKed so it reposts immediately
+// (otherwise it reposts on ACK timeout, or the fault surfaces as an
+// operation timeout).
+func (cp *copilot) dropDesc(p *sim.Proc, b *speBinding, seq uint32) {
+	for {
+		if _, ok := b.sctx.TryReadOutMbox(p); !ok {
+			break
+		}
+	}
+	inj := cp.app.opts.Faults
+	if cp.app.mailboxHardened() {
+		inj.Counts.MailboxNacks++
+		inj.Logf(p.Now(), "%s NACKs garbled descriptor seq=%d from %s", cp.rank.Label(), seq, b.proc)
+		cp.ackDesc(p, b, speNack(seq))
+	} else if inj != nil {
+		inj.Logf(p.Now(), "%s drops garbled descriptor from %s", cp.rank.Label(), b.proc)
+	}
+}
+
+// ackDesc writes an ACK/NACK word to a stub's inbound mailbox. The write
+// is deadline-bounded so a stub that died or gave up mid-protocol cannot
+// wedge the Co-Pilot; a dropped ACK is recovered by the stub's repost.
+func (cp *copilot) ackDesc(p *sim.Proc, b *speBinding, word uint32) {
+	if b.proc.dead {
+		return
+	}
+	if err := b.sctx.SPE.InMbox.WriteCtl(p, word, p.Now()+cp.app.ackTimeout(), nil); err != nil {
+		cp.app.opts.Faults.Logf(p.Now(), "%s drops mailbox ack for %s (%v)", cp.rank.Label(), b.proc, err)
+	}
+}
+
 // lsWindow resolves a request's buffer through the node's EA map — the
 // spe_ls_area_get trick at the heart of CellPilot's zero-copy transfers.
 func (cp *copilot) lsWindow(p *sim.Proc, req *speReq) []byte {
@@ -172,8 +313,25 @@ func (cp *copilot) lsWindow(p *sim.Proc, req *speReq) []byte {
 	return w
 }
 
-// notify completes a request toward its SPE via the inbound mailbox.
+// notify completes a request toward its SPE via the inbound mailbox. In
+// hardened runs, completions for dead processes are discarded, OK
+// statuses on poisoned channels are suppressed (the stub's late words
+// must not be mistaken for a later operation's status), and the write is
+// deadline-bounded so a vanished stub cannot wedge the Co-Pilot.
 func (cp *copilot) notify(p *sim.Proc, req *speReq, status uint32) {
+	if cp.app.hardened() {
+		if req.proc.dead {
+			return
+		}
+		if req.ch != nil && req.ch.fault != nil && status == speStatusOK {
+			cp.app.opts.Faults.Logf(p.Now(), "%s suppresses completion for %s on poisoned %s", cp.rank.Label(), req.proc, req.ch)
+			return
+		}
+		if err := req.spe.InMbox.WriteCtl(p, status, p.Now()+cp.app.ackTimeout(), nil); err != nil {
+			cp.app.opts.Faults.Logf(p.Now(), "%s drops completion for %s (%v)", cp.rank.Label(), req.proc, err)
+		}
+		return
+	}
 	req.spe.InMbox.Write(p, status)
 }
 

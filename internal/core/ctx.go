@@ -46,25 +46,44 @@ func (c *Ctx) peerRank(peer *Process) int {
 // (PI_Write). Only the configured writer endpoint may call it.
 func (c *Ctx) Write(ch *Channel, format string, args ...any) {
 	loc := callerLoc(1)
-	c.writeFrom(loc, ch, format, args...)
+	c.writeFrom(loc, "PI_Write", ch, 0, false, format, args...)
 }
 
-func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
+// TryWrite is Write bounded by a relative timeout (0 falls back to
+// Options.OpTimeout). Instead of unwinding the process, a deadline expiry
+// or poisoned channel is returned as a *ChannelFault; nil means the write
+// completed. A TryWrite timeout does not poison the channel unless the
+// operation died mid-protocol.
+func (c *Ctx) TryWrite(ch *Channel, timeout sim.Time, format string, args ...any) error {
+	loc := callerLoc(1)
+	return c.writeFrom(loc, "PI_TryWrite", ch, timeout, true, format, args...)
+}
+
+func (c *Ctx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft bool, format string, args ...any) error {
 	if ch == nil {
-		c.fail(loc, "PI_Write", "nil channel")
+		c.fail(loc, api, "nil channel")
 	}
 	if ch.From != c.Self {
-		c.fail(loc, "PI_Write", "%s is not the writer of %s", c.Self, ch)
+		c.fail(loc, api, "%s is not the writer of %s", c.Self, ch)
 	}
 	spec, err := fmtmsg.Parse(format)
 	if err != nil {
-		c.fail(loc, "PI_Write", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	wire, err := spec.Pack(args...)
 	if err != nil {
-		c.fail(loc, "PI_Write", "%v", err)
+		c.fail(loc, api, "%v", err)
+	}
+	useCtl := timeout > 0 || c.app.hardened()
+	if useCtl && ch.fault != nil {
+		cf := c.app.opFault(loc, api, c.Self, ch, ch.fault)
+		if soft {
+			return cf
+		}
+		c.app.raiseFault(c.Self, ch, cf, false)
 	}
 	opStart := c.P.Now()
+	deadline := c.app.opDeadline(opStart, timeout)
 	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(len(wire)))
 	hdr := putHeader(spec.Signature(), len(wire))
 	xfer := c.app.newXfer()
@@ -77,14 +96,28 @@ func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
 		copyStart := c.P.Now()
 		c.P.Advance(c.app.par.ShmCopyTime(len(wire)))
 		box := c.app.directBox(ch)
-		box.Put(c.P, dbMsg{data: append(append([]byte(nil), hdr...), wire...), xfer: xfer})
+		msg := dbMsg{data: append(append([]byte(nil), hdr...), wire...), xfer: xfer}
+		if useCtl {
+			unwatch := c.app.watchChannel(ch, c.P)
+			err := box.PutCtl(c.P, msg, deadline, c.app.chanStop(ch))
+			unwatch()
+			if err != nil {
+				cf := c.app.opFault(loc, api, c.Self, ch, err)
+				if soft {
+					return cf
+				}
+				c.app.raiseFault(c.Self, ch, cf, false)
+			}
+		} else {
+			box.Put(c.P, msg)
+		}
 		c.app.copilotFor(ch.To).nudge()
 		c.app.reportSent(ch)
 		c.app.spanPhase(xfer, trace.PhaseCopy, self, ch, len(wire), copyStart, c.P.Now())
 		c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-copyStart)
 		c.app.meterOp(ch, len(wire), c.P.Now()-opStart)
 		c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
-		return
+		return nil
 	}
 
 	dst := c.peerRank(ch.To)
@@ -92,11 +125,27 @@ func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
 	if blocking {
 		// A rendezvous send completes only when the reader posts the
 		// matching receive; the detector pairs it with that read.
-		c.app.reportBlock(c.Self, ch.To, ch, deadlock.OpWrite)
+		c.app.reportBlock(c.Self, ch.To, ch, deadlock.OpWrite, loc)
 	}
 	sendStart := c.P.Now()
 	c.rank.TagNextXfer(xfer)
-	c.rank.SendVec(c.P, dst, ch.tag(), hdr, wire)
+	if useCtl {
+		unwatch := c.app.watchChannel(ch, c.P)
+		err := c.rank.SendVecCtl(c.P, dst, ch.tag(), mpi.Ctl{Deadline: deadline, Stop: c.app.chanStop(ch)}, hdr, wire)
+		unwatch()
+		if err != nil {
+			cf := c.app.opFault(loc, api, c.Self, ch, err)
+			if soft {
+				if blocking {
+					c.app.reportUnblock(c.Self)
+				}
+				return cf
+			}
+			c.app.raiseFault(c.Self, ch, cf, blocking)
+		}
+	} else {
+		c.rank.SendVec(c.P, dst, ch.tag(), hdr, wire)
+	}
 	if blocking {
 		c.app.reportUnblock(c.Self)
 	} else {
@@ -108,6 +157,7 @@ func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
 	c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
 	c.app.meterOp(ch, len(wire), c.P.Now()-opStart)
 	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
+	return nil
 }
 
 // Read receives a message from ch into args (PI_Read). The format must
@@ -116,26 +166,44 @@ func (c *Ctx) writeFrom(loc string, ch *Channel, format string, args ...any) {
 // error Pilot exists to catch.
 func (c *Ctx) Read(ch *Channel, format string, args ...any) {
 	loc := callerLoc(1)
-	c.readFrom(loc, ch, format, args...)
+	c.readFrom(loc, "PI_Read", ch, 0, false, format, args...)
 }
 
-func (c *Ctx) readFrom(loc string, ch *Channel, format string, args ...any) {
+// TryRead is Read bounded by a relative timeout (0 falls back to
+// Options.OpTimeout). A deadline expiry or poisoned channel is returned
+// as a *ChannelFault instead of unwinding the process; nil means the read
+// completed and args are filled.
+func (c *Ctx) TryRead(ch *Channel, timeout sim.Time, format string, args ...any) error {
+	loc := callerLoc(1)
+	return c.readFrom(loc, "PI_TryRead", ch, timeout, true, format, args...)
+}
+
+func (c *Ctx) readFrom(loc, api string, ch *Channel, timeout sim.Time, soft bool, format string, args ...any) error {
 	if ch == nil {
-		c.fail(loc, "PI_Read", "nil channel")
+		c.fail(loc, api, "nil channel")
 	}
 	if ch.To != c.Self {
-		c.fail(loc, "PI_Read", "%s is not the reader of %s", c.Self, ch)
+		c.fail(loc, api, "%s is not the reader of %s", c.Self, ch)
 	}
 	spec, err := fmtmsg.Parse(format)
 	if err != nil {
-		c.fail(loc, "PI_Read", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	expected, err := spec.WireSize(args...)
 	if err != nil {
-		c.fail(loc, "PI_Read", "%v", err)
+		c.fail(loc, api, "%v", err)
+	}
+	useCtl := timeout > 0 || c.app.hardened()
+	if useCtl && ch.fault != nil {
+		cf := c.app.opFault(loc, api, c.Self, ch, ch.fault)
+		if soft {
+			return cf
+		}
+		c.app.raiseFault(c.Self, ch, cf, false)
 	}
 
 	opStart := c.P.Now()
+	deadline := c.app.opDeadline(opStart, timeout)
 	self := c.Self.String()
 	var data []byte
 	var xfer int64
@@ -143,8 +211,24 @@ func (c *Ctx) readFrom(loc string, ch *Channel, format string, args ...any) {
 	if c.app.opts.CoPilotDirectLocal && ch.typ == Type2 && ch.From.IsSPE() {
 		// A1 ablation: take the payload from the direct handoff box.
 		box := c.app.directBox(ch)
-		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
-		msg := box.Get(c.P)
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead, loc)
+		var msg dbMsg
+		if useCtl {
+			unwatch := c.app.watchChannel(ch, c.P)
+			m, err := box.GetCtl(c.P, deadline, c.app.chanStop(ch))
+			unwatch()
+			if err != nil {
+				cf := c.app.opFault(loc, api, c.Self, ch, err)
+				if soft {
+					c.app.reportUnblock(c.Self)
+					return cf
+				}
+				c.app.raiseFault(c.Self, ch, cf, true)
+			}
+			msg = m
+		} else {
+			msg = box.Get(c.P)
+		}
 		c.app.reportUnblock(c.Self)
 		data, xfer = msg.data, msg.xfer
 		c.app.spanPhase(xfer, trace.PhaseMPIWait, self, ch, len(data)-hdrSize, waitStart, c.P.Now())
@@ -154,9 +238,24 @@ func (c *Ctx) readFrom(loc string, ch *Channel, format string, args ...any) {
 		c.app.spanPhase(xfer, trace.PhaseCopy, self, ch, len(data)-hdrSize, copyStart, c.P.Now())
 	} else {
 		src := c.peerRank(ch.From)
-		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead, loc)
 		var st mpi.Status
-		data, st = c.rank.Recv(c.P, src, ch.tag())
+		if useCtl {
+			unwatch := c.app.watchChannel(ch, c.P)
+			d, s, err := c.rank.RecvCtl(c.P, src, ch.tag(), mpi.Ctl{Deadline: deadline, Stop: c.app.chanStop(ch)})
+			unwatch()
+			if err != nil {
+				cf := c.app.opFault(loc, api, c.Self, ch, err)
+				if soft {
+					c.app.reportUnblock(c.Self)
+					return cf
+				}
+				c.app.raiseFault(c.Self, ch, cf, true)
+			}
+			data, st = d, s
+		} else {
+			data, st = c.rank.Recv(c.P, src, ch.tag())
+		}
 		c.app.reportUnblock(c.Self)
 		xfer = st.Xfer
 		c.app.spanPhase(xfer, trace.PhaseMPIWait, self, ch, len(data)-hdrSize, waitStart, c.P.Now())
@@ -164,23 +263,24 @@ func (c *Ctx) readFrom(loc string, ch *Channel, format string, args ...any) {
 	}
 
 	if len(data) < hdrSize {
-		c.fail(loc, "PI_Read", "malformed message on %s", ch)
+		c.fail(loc, api, "malformed message on %s", ch)
 	}
 	sig, size := parseHeader(data)
 	if sig != spec.Signature() {
-		c.fail(loc, "PI_Read", "format %q does not match what the writer sent on %s", format, ch)
+		c.fail(loc, api, "format %q does not match what the writer sent on %s", format, ch)
 	}
 	if size != expected || size != len(data)-hdrSize {
-		c.fail(loc, "PI_Read", "size mismatch on %s: writer sent %d bytes, reader expects %d", ch, size, expected)
+		c.fail(loc, api, "size mismatch on %s: writer sent %d bytes, reader expects %d", ch, size, expected)
 	}
 	unpackStart := c.P.Now()
 	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(size))
 	if err := spec.Unpack(data[hdrSize:], args...); err != nil {
-		c.fail(loc, "PI_Read", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	c.app.spanPhase(xfer, trace.PhasePack, self, ch, size, unpackStart, c.P.Now())
 	c.app.meterOp(ch, size, c.P.Now()-opStart)
 	c.app.record(c.P, trace.KindRead, c.Self, ch, size, xfer)
+	return nil
 }
 
 // RunSPE launches a dormant SPE process created with CreateSPE
@@ -199,6 +299,14 @@ func (c *Ctx) RunSPE(sp *Process, arg int, env any) {
 	if sp.started {
 		c.fail(loc, "PI_RunSPE", "%s already started", sp)
 	}
+	if sp.dead {
+		// The SPE (or its node) was killed before launch: this parent's
+		// operation faults, but the application keeps running degraded.
+		c.app.raiseFault(c.Self, nil, &ChannelFault{
+			Loc: loc, API: "PI_RunSPE", Channel: sp.String(), ChannelID: -1,
+			Reason: "SPE process was killed by fault injection before launch",
+		}, false)
+	}
 	node := c.app.Clu.Nodes[sp.nodeID]
 	spe, err := node.SPE(sp.speIdx)
 	if err != nil {
@@ -216,6 +324,8 @@ func (c *Ctx) RunSPE(sp *Process, arg int, env any) {
 			defer app.userDone()
 			app.meterProcStart(sp, sc.Proc.Now())
 			defer func() { app.meterProcEnd(sp, sc.Proc.Now()) }()
+			defer app.recoverFault(sp)
+			sp.simProc = sc.Proc
 			sctx2 := &SPECtx{app: app, P: sc.Proc, Self: sp, sctx: sc, arg: a, env: e}
 			sp.prog.Body(sctx2)
 		},
@@ -226,6 +336,12 @@ func (c *Ctx) RunSPE(sp *Process, arg int, env any) {
 	c.P.Advance(c.app.par.SPELaunch)
 	sp.started = true
 	sp.sctx = sctx
+	if inj := app.opts.Faults; inj != nil && inj.UsesMailbox() {
+		// Route this SPE's mailbox words through the injector: its outbound
+		// (descriptor) words can be dropped or stalled per the plan.
+		name := sp.name
+		spe.OutMbox.SetFaultHook(func() (bool, sim.Time) { return inj.MailboxVerdict(name) })
+	}
 	app.userLive++
 	app.copilotFor(sp).register(sp, sctx)
 	if err := sctx.Run(arg, env); err != nil {
@@ -255,11 +371,25 @@ func (c *Ctx) Broadcast(b *Bundle, format string, args ...any) {
 	}
 	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(len(wire)))
 	hdr := putHeader(spec.Signature(), len(wire))
+	useCtl := c.app.hardened()
 	for _, ch := range b.chans {
+		if useCtl && ch.fault != nil {
+			c.app.raiseFault(c.Self, ch, c.app.opFault(loc, "PI_Broadcast", c.Self, ch, ch.fault), false)
+		}
 		xfer := c.app.newXfer()
 		sendStart := c.P.Now()
 		c.rank.TagNextXfer(xfer)
-		c.rank.SendVec(c.P, c.peerRank(ch.To), ch.tag(), hdr, wire)
+		if useCtl {
+			unwatch := c.app.watchChannel(ch, c.P)
+			err := c.rank.SendVecCtl(c.P, c.peerRank(ch.To), ch.tag(),
+				mpi.Ctl{Deadline: c.app.opDeadline(sendStart, 0), Stop: c.app.chanStop(ch)}, hdr, wire)
+			unwatch()
+			if err != nil {
+				c.app.raiseFault(c.Self, ch, c.app.opFault(loc, "PI_Broadcast", c.Self, ch, err), false)
+			}
+		} else {
+			c.rank.SendVec(c.P, c.peerRank(ch.To), ch.tag(), hdr, wire)
+		}
 		c.app.reportSent(ch)
 		c.app.spanPhase(xfer, trace.PhaseMPISend, c.Self.String(), ch, len(wire), sendStart, c.P.Now())
 		c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
@@ -291,10 +421,27 @@ func (c *Ctx) Gather(b *Bundle, format string, out any) {
 	item := spec.Items[0]
 	perWriter := item.Count * item.Type.Size()
 	var all []byte
+	useCtl := c.app.hardened()
 	for _, ch := range b.chans {
+		if useCtl && ch.fault != nil {
+			c.app.raiseFault(c.Self, ch, c.app.opFault(loc, "PI_Gather", c.Self, ch, ch.fault), false)
+		}
 		waitStart := c.P.Now()
-		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
-		data, st := c.rank.Recv(c.P, c.peerRank(ch.From), ch.tag())
+		deadline := c.app.opDeadline(waitStart, 0)
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead, loc)
+		var data []byte
+		var st mpi.Status
+		if useCtl {
+			unwatch := c.app.watchChannel(ch, c.P)
+			d, s, err := c.rank.RecvCtl(c.P, c.peerRank(ch.From), ch.tag(), mpi.Ctl{Deadline: deadline, Stop: c.app.chanStop(ch)})
+			unwatch()
+			if err != nil {
+				c.app.raiseFault(c.Self, ch, c.app.opFault(loc, "PI_Gather", c.Self, ch, err), true)
+			}
+			data, st = d, s
+		} else {
+			data, st = c.rank.Recv(c.P, c.peerRank(ch.From), ch.tag())
+		}
 		c.app.reportUnblock(c.Self)
 		if len(data) < hdrSize {
 			c.fail(loc, "PI_Gather", "malformed message on %s", ch)

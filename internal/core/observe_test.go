@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"cellpilot/internal/fault"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
 )
@@ -16,8 +17,15 @@ import (
 // observability sinks attached, and returns the final virtual time.
 func runFiveTypes(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter) (*App, sim.Time) {
 	t.Helper()
+	return runFiveTypesOpts(t, rounds, rec, meter, Options{})
+}
+
+// runFiveTypesOpts is runFiveTypes with explicit Options (used to prove
+// the hardened code paths are virtually free when no fault fires).
+func runFiveTypesOpts(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, opts Options) (*App, sim.Time) {
+	t.Helper()
 	c := newTestCluster(t)
-	a := NewApp(c, Options{})
+	a := NewApp(c, opts)
 	a.Trace = rec
 	a.Metrics = meter
 
@@ -104,6 +112,18 @@ func TestObservabilityZeroCost(t *testing.T) {
 	if bare != withRec || bare != withMeter || bare != withBoth {
 		t.Fatalf("virtual time diverged: bare=%v rec=%v meter=%v both=%v",
 			bare, withRec, withMeter, withBoth)
+	}
+	// An armed but empty fault plan routes every operation through the
+	// hardened control paths (deadline-capable parks, sequence-free
+	// descriptors, link tap). With nothing injected, the virtual timeline
+	// must still be bit-for-bit that of the unhardened run.
+	inj := fault.NewInjector(fault.Plan{})
+	_, withFaults := runFiveTypesOpts(t, 2, nil, nil, Options{Faults: inj})
+	if bare != withFaults {
+		t.Fatalf("zero-fault hardened run diverged: bare=%v hardened=%v", bare, withFaults)
+	}
+	if got := inj.Counts; got != (fault.Counts{}) {
+		t.Fatalf("empty plan recorded activity: %+v", got)
 	}
 	// Per-channel event times must also be identical across sink choices.
 	evA, evB := recA.Events(), recB.Events()

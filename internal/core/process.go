@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cellpilot/internal/sdk"
+	"cellpilot/internal/sim"
 )
 
 // Kind distinguishes regular Pilot processes (MPI ranks on PPEs or
@@ -61,6 +62,13 @@ type Process struct {
 	speIdx  int // reserved SPE (node-global index) on the parent's node
 	sctx    *sdk.Context
 	started bool
+
+	// Fault-layer state (untouched in clean runs): the sim proc backing
+	// the process once running (so injection can kill it), whether the
+	// process was killed, and the stub's mailbox descriptor sequence.
+	simProc *sim.Proc
+	dead    bool
+	mboxSeq uint32
 }
 
 // ID reports the process id (creation order; PI_MAIN is 0).

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"cellpilot/internal/deadlock"
 	"cellpilot/internal/fmtmsg"
 	"cellpilot/internal/sdk"
@@ -54,24 +57,167 @@ func (c *SPECtx) request(op speOpcode, ch *Channel, lsAddr uint32, size int, sig
 	c.sctx.WriteOutMbox(c.P, sig)
 }
 
+// postDesc posts the request descriptor in whichever mode the run
+// requires: plain (clean runs — identical to request()), deadline-bounded
+// (hardened, no mailbox faults), or the full sequence-numbered ACK/repost
+// protocol (mailbox faults in the plan). A non-nil return is the
+// operation's fault, already shaped by opFault.
+func (c *SPECtx) postDesc(loc, api string, op speOpcode, ch *Channel, lsAddr uint32, size int, sig uint32, deadline sim.Time) error {
+	if !c.app.hardened() {
+		c.request(op, ch, lsAddr, size, sig)
+		return nil
+	}
+	stop := c.app.chanStop(ch)
+	if !c.app.mailboxHardened() {
+		// Same four words at the same instants as request(), but a write
+		// against a dead Co-Pilot's full mailbox cannot park forever.
+		for i, w := range [4]uint32{reqWord0(op, ch.id), lsAddr, uint32(size), sig} {
+			if err := c.sctx.WriteOutMboxCtl(c.P, w, deadline, stop); err != nil {
+				return c.app.opFault(loc, api, c.Self, ch, err)
+			}
+			if i == 0 {
+				c.app.copilotFor(c.Self).nudge()
+			}
+		}
+		return nil
+	}
+	// Mailbox-hardened: word0 carries a 4-bit sequence number; the
+	// Co-Pilot ACKs every decoded descriptor and NACKs garbled ones. The
+	// stub reposts on NACK or ACK timeout; the Co-Pilot's per-SPE sequence
+	// check discards duplicates (re-ACKing them), so a repost racing a
+	// slow ACK is harmless.
+	seq := c.Self.mboxSeq & speSeqMask
+	c.Self.mboxSeq++
+	inj := c.app.opts.Faults
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			inj.Counts.MailboxReposts++
+			inj.Logf(c.P.Now(), "%s reposts descriptor seq=%d on %s (attempt %d)", c.Self, seq, ch, attempt+1)
+		}
+		if attempt >= maxReposts {
+			c.app.failChannel(ch, fmt.Sprintf("%s could not hand a request descriptor to its co-pilot after %d attempts", c.Self, attempt))
+			return c.app.opFault(loc, api, c.Self, ch, ch.fault)
+		}
+		for i, w := range [4]uint32{reqWord0Seq(op, seq, ch.id), lsAddr, uint32(size), sig} {
+			if err := c.sctx.WriteOutMboxCtl(c.P, w, deadline, stop); err != nil {
+				return c.app.opFault(loc, api, c.Self, ch, err)
+			}
+			if i == 0 {
+				c.app.copilotFor(c.Self).nudge()
+			}
+		}
+		ackBy := c.P.Now() + c.app.ackTimeout()
+		if deadline > 0 && deadline < ackBy {
+			ackBy = deadline
+		}
+		acked, err := c.awaitAck(ch, seq, ackBy, stop)
+		if err != nil {
+			if errors.Is(err, sim.ErrTimeout) && (deadline == 0 || c.P.Now() < deadline) {
+				continue // ACK overdue, not the operation deadline: repost
+			}
+			return c.app.opFault(loc, api, c.Self, ch, err)
+		}
+		if acked {
+			return nil
+		}
+		// NACK: the Co-Pilot saw a garbled/incomplete descriptor. Repost.
+	}
+}
+
+// awaitAck waits for the ACK/NACK of descriptor seq. Stray words
+// (suppressed completions, ACKs of earlier sequences) are discarded.
+func (c *SPECtx) awaitAck(ch *Channel, seq uint32, ackBy sim.Time, stop func() error) (acked bool, err error) {
+	for {
+		v, rerr := c.sctx.ReadInMboxCtl(c.P, ackBy, stop)
+		if rerr != nil {
+			return false, rerr
+		}
+		if !isAckNack(v) || v&speSeqMask != seq {
+			continue
+		}
+		return v&speStatusKindMask == speStatusAckBase, nil
+	}
+}
+
+// waitStatus reads the Co-Pilot's completion status for the current
+// request. In mailbox-hardened mode, stale ACK/NACK words of reposted
+// descriptors are skipped.
+func (c *SPECtx) waitStatus(loc, api string, ch *Channel, deadline sim.Time) (uint32, error) {
+	if !c.app.hardened() {
+		return c.sctx.ReadInMbox(c.P), nil
+	}
+	stop := c.app.chanStop(ch)
+	mh := c.app.mailboxHardened()
+	for {
+		v, err := c.sctx.ReadInMboxCtl(c.P, deadline, stop)
+		if err != nil {
+			return 0, c.app.opFault(loc, api, c.Self, ch, err)
+		}
+		if mh && isAckNack(v) {
+			continue // stale ACK/NACK of a reposted descriptor
+		}
+		return v, nil
+	}
+}
+
+// speSoftFail finishes a Try* operation that faulted: a timeout poisons
+// the channel (the mailbox protocol is mid-flight and its late completion
+// words must be suppressed), the blocked report is cleared, and the
+// fault is returned to the caller.
+func (c *SPECtx) speSoftFail(ch *Channel, cf *ChannelFault, blocked bool) error {
+	if blocked {
+		c.app.reportUnblock(c.Self)
+	}
+	if cf.Timeout {
+		c.app.failChannel(ch, fmt.Sprintf("%s at %s timed out in %s mid-protocol", cf.API, cf.Loc, c.Self))
+	}
+	return cf
+}
+
 // Write sends args on ch (PI_Write from an SPE process).
 func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
 	loc := callerLoc(1)
+	c.writeFrom(loc, "PI_Write", ch, 0, false, format, args...)
+}
+
+// TryWrite is Write bounded by a relative timeout (0 falls back to
+// Options.OpTimeout), returning a *ChannelFault instead of unwinding the
+// process. Because a timed-out mailbox protocol leaves the channel state
+// indeterminate, an SPE-side TryWrite timeout poisons the channel.
+func (c *SPECtx) TryWrite(ch *Channel, timeout sim.Time, format string, args ...any) error {
+	loc := callerLoc(1)
+	return c.writeFrom(loc, "PI_TryWrite", ch, timeout, true, format, args...)
+}
+
+func (c *SPECtx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft bool, format string, args ...any) error {
 	if ch == nil {
-		c.fail(loc, "PI_Write", "nil channel")
+		c.fail(loc, api, "nil channel")
 	}
 	if ch.From != c.Self {
-		c.fail(loc, "PI_Write", "%s is not the writer of %s", c.Self, ch)
+		c.fail(loc, api, "%s is not the writer of %s", c.Self, ch)
 	}
 	spec, err := fmtmsg.Parse(format)
 	if err != nil {
-		c.fail(loc, "PI_Write", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	wire, err := spec.Pack(args...)
 	if err != nil {
-		c.fail(loc, "PI_Write", "%v", err)
+		c.fail(loc, api, "%v", err)
+	}
+	useCtl := timeout > 0 || c.app.hardened()
+	if useCtl && ch.fault != nil {
+		cf := c.app.opFault(loc, api, c.Self, ch, ch.fault)
+		if soft {
+			return cf
+		}
+		c.app.raiseFault(c.Self, ch, cf, false)
 	}
 	packStart := c.P.Now()
+	deadline := sim.Time(0)
+	if useCtl {
+		deadline = c.app.opDeadline(packStart, timeout)
+		defer c.app.watchChannel(ch, c.P)()
+	}
 	c.P.Advance(c.app.par.SPEStubOverhead + c.app.par.PackTime(len(wire)))
 	xfer := c.app.newXfer()
 	c.app.spanPhase(xfer, trace.PhasePack, c.Self.String(), ch, len(wire), packStart, c.P.Now())
@@ -80,11 +226,11 @@ func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
 	if err != nil {
 		// The 256 KB discipline the paper stresses: the programmer still
 		// has to cope with limited SPE memory.
-		c.fail(loc, "PI_Write", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	win, err := ls.Window(lsAddr, len(wire))
 	if err != nil {
-		c.fail(loc, "PI_Write", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	copy(win, wire)
 	// With the SPE-deadlock extension, writes that genuinely wait for the
@@ -94,14 +240,51 @@ func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
 	blocking := c.app.opts.SPEDeadlock &&
 		(ch.typ == Type4 || hdrSize+len(wire) > c.app.par.EagerThreshold)
 	if blocking {
-		c.app.reportBlock(c.Self, ch.To, ch, deadlock.OpWrite)
+		c.app.reportBlock(c.Self, ch.To, ch, deadlock.OpWrite, loc)
 	}
 	postStart := c.P.Now()
 	c.app.spePosted(c.Self, xfer, postStart)
-	c.request(opWrite, ch, lsAddr, len(wire), spec.Signature())
+	if err := c.postDesc(loc, api, opWrite, ch, lsAddr, len(wire), spec.Signature(), deadline); err != nil {
+		cf := err.(*ChannelFault)
+		if soft {
+			rerr := c.speSoftFail(ch, cf, blocking)
+			if lerr := ls.Release(); lerr != nil {
+				c.fail(loc, api, "%v", lerr)
+			}
+			return rerr
+		}
+		c.app.raiseFault(c.Self, ch, cf, blocking)
+	}
 	postEnd := c.P.Now()
-	if status := c.sctx.ReadInMbox(c.P); status != speStatusOK {
-		c.fail(loc, "PI_Write", "transfer failed on %s (status %d)", ch, status)
+	status, serr := c.waitStatus(loc, api, ch, deadline)
+	if serr != nil {
+		cf := serr.(*ChannelFault)
+		if soft {
+			rerr := c.speSoftFail(ch, cf, blocking)
+			if lerr := ls.Release(); lerr != nil {
+				c.fail(loc, api, "%v", lerr)
+			}
+			return rerr
+		}
+		c.app.raiseFault(c.Self, ch, cf, blocking)
+	}
+	if status != speStatusOK {
+		if useCtl && status == speStatusFault {
+			src := error(ch.fault)
+			if ch.fault == nil {
+				src = fmt.Errorf("the co-pilot faulted the transfer (peer dead or channel poisoned)")
+			}
+			cf := c.app.opFault(loc, api, c.Self, ch, src)
+			if soft {
+				rerr := c.speSoftFail(ch, cf, blocking)
+				if lerr := ls.Release(); lerr != nil {
+					c.fail(loc, api, "%v", lerr)
+				}
+				return rerr
+			}
+			c.app.raiseFault(c.Self, ch, cf, blocking)
+		}
+		c.fail(loc, api, "transfer failed on %s (status %d)", ch, status)
 	}
 	if blocking {
 		c.app.reportUnblock(c.Self)
@@ -114,7 +297,10 @@ func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
 	c.app.meterBlocked(c.Self, blockMailbox, c.P.Now()-postStart)
 	c.app.meterOp(ch, len(wire), c.P.Now()-packStart)
 	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
-	ls.Release()
+	if err := ls.Release(); err != nil {
+		c.fail(loc, api, "%v", err)
+	}
+	return nil
 }
 
 // Read receives a message from ch into args (PI_Read from an SPE
@@ -122,47 +308,110 @@ func (c *SPECtx) Write(ch *Channel, format string, args ...any) {
 // store through the effective-address mapping; the stub then unpacks it.
 func (c *SPECtx) Read(ch *Channel, format string, args ...any) {
 	loc := callerLoc(1)
+	c.readFrom(loc, "PI_Read", ch, 0, false, format, args...)
+}
+
+// TryRead is Read bounded by a relative timeout (0 falls back to
+// Options.OpTimeout), returning a *ChannelFault instead of unwinding the
+// process. Like TryWrite, an SPE-side timeout poisons the channel.
+func (c *SPECtx) TryRead(ch *Channel, timeout sim.Time, format string, args ...any) error {
+	loc := callerLoc(1)
+	return c.readFrom(loc, "PI_TryRead", ch, timeout, true, format, args...)
+}
+
+func (c *SPECtx) readFrom(loc, api string, ch *Channel, timeout sim.Time, soft bool, format string, args ...any) error {
 	if ch == nil {
-		c.fail(loc, "PI_Read", "nil channel")
+		c.fail(loc, api, "nil channel")
 	}
 	if ch.To != c.Self {
-		c.fail(loc, "PI_Read", "%s is not the reader of %s", c.Self, ch)
+		c.fail(loc, api, "%s is not the reader of %s", c.Self, ch)
 	}
 	spec, err := fmtmsg.Parse(format)
 	if err != nil {
-		c.fail(loc, "PI_Read", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	expected, err := spec.WireSize(args...)
 	if err != nil {
-		c.fail(loc, "PI_Read", "%v", err)
+		c.fail(loc, api, "%v", err)
+	}
+	useCtl := timeout > 0 || c.app.hardened()
+	if useCtl && ch.fault != nil {
+		cf := c.app.opFault(loc, api, c.Self, ch, ch.fault)
+		if soft {
+			return cf
+		}
+		c.app.raiseFault(c.Self, ch, cf, false)
+	}
+	deadline := sim.Time(0)
+	if useCtl {
+		deadline = c.app.opDeadline(c.P.Now(), timeout)
+		defer c.app.watchChannel(ch, c.P)()
 	}
 	ls := c.sctx.SPE.LS
 	lsAddr, err := ls.Alloc("PI_Read buffer", expected, 16)
 	if err != nil {
-		c.fail(loc, "PI_Read", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
-	if c.app.opts.SPEDeadlock {
-		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead)
+	blocking := c.app.opts.SPEDeadlock
+	if blocking {
+		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead, loc)
 	}
 	postStart := c.P.Now()
 	c.app.spePosted(c.Self, 0, postStart) // reader: id arrives with the payload
-	c.request(opRead, ch, lsAddr, expected, spec.Signature())
-	postEnd := c.P.Now()
-	if status := c.sctx.ReadInMbox(c.P); status != speStatusOK {
-		c.fail(loc, "PI_Read", "transfer failed on %s (status %d)", ch, status)
+	if err := c.postDesc(loc, api, opRead, ch, lsAddr, expected, spec.Signature(), deadline); err != nil {
+		cf := err.(*ChannelFault)
+		if soft {
+			rerr := c.speSoftFail(ch, cf, blocking)
+			if lerr := ls.Release(); lerr != nil {
+				c.fail(loc, api, "%v", lerr)
+			}
+			return rerr
+		}
+		c.app.raiseFault(c.Self, ch, cf, blocking)
 	}
-	if c.app.opts.SPEDeadlock {
+	postEnd := c.P.Now()
+	status, serr := c.waitStatus(loc, api, ch, deadline)
+	if serr != nil {
+		cf := serr.(*ChannelFault)
+		if soft {
+			rerr := c.speSoftFail(ch, cf, blocking)
+			if lerr := ls.Release(); lerr != nil {
+				c.fail(loc, api, "%v", lerr)
+			}
+			return rerr
+		}
+		c.app.raiseFault(c.Self, ch, cf, blocking)
+	}
+	if status != speStatusOK {
+		if useCtl && status == speStatusFault {
+			src := error(ch.fault)
+			if ch.fault == nil {
+				src = fmt.Errorf("the co-pilot faulted the transfer (peer dead or channel poisoned)")
+			}
+			cf := c.app.opFault(loc, api, c.Self, ch, src)
+			if soft {
+				rerr := c.speSoftFail(ch, cf, blocking)
+				if lerr := ls.Release(); lerr != nil {
+					c.fail(loc, api, "%v", lerr)
+				}
+				return rerr
+			}
+			c.app.raiseFault(c.Self, ch, cf, blocking)
+		}
+		c.fail(loc, api, "transfer failed on %s (status %d)", ch, status)
+	}
+	if blocking {
 		c.app.reportUnblock(c.Self)
 	}
 	waitEnd := c.P.Now()
 	xfer := c.app.speTakeDone(c.Self)
 	win, err := ls.Window(lsAddr, expected)
 	if err != nil {
-		c.fail(loc, "PI_Read", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	c.P.Advance(c.app.par.SPEStubOverhead + c.app.par.PackTime(expected))
 	if err := spec.Unpack(win, args...); err != nil {
-		c.fail(loc, "PI_Read", "%v", err)
+		c.fail(loc, api, "%v", err)
 	}
 	self := c.Self.String()
 	c.app.spanPhase(xfer, trace.PhaseMailboxReq, self, ch, expected, postStart, postEnd)
@@ -171,7 +420,10 @@ func (c *SPECtx) Read(ch *Channel, format string, args ...any) {
 	c.app.meterBlocked(c.Self, blockMailbox, waitEnd-postStart)
 	c.app.meterOp(ch, expected, c.P.Now()-postStart)
 	c.app.record(c.P, trace.KindRead, c.Self, ch, expected, xfer)
-	ls.Release()
+	if err := ls.Release(); err != nil {
+		c.fail(loc, api, "%v", err)
+	}
+	return nil
 }
 
 // Log emits a trace line tagged with the SPE process and virtual time.

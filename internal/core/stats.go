@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"cellpilot/internal/fault"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/sim"
 )
@@ -65,6 +66,20 @@ type ProcTime struct {
 	MailboxWait  sim.Time
 }
 
+// FaultStats summarizes a hardened run: the faults the injector fired
+// and how the runtime reacted to them. Present in Stats only when
+// Options.Faults was set.
+type FaultStats struct {
+	// Counts carries the injector's fault and reaction counters.
+	fault.Counts
+	// Killed lists the processes fault injection removed ("name: reason"),
+	// in kill order.
+	Killed []string
+	// ChannelFaults lists every operation fault raised during the run
+	// (also available as App.ChannelFaults).
+	Faults []*ChannelFault
+}
+
 // Stats is an application-wide utilization report, available after Run.
 type Stats struct {
 	// VirtualTime is the run's final clock value.
@@ -82,6 +97,9 @@ type Stats struct {
 	ChannelTypes []ChannelTypeMetrics
 	ProcTimes    []ProcTime
 	Registry     *metrics.Registry
+	// Faults is the fault-injection summary; nil unless Options.Faults
+	// was set.
+	Faults *FaultStats
 }
 
 // Stats collects the utilization report. Call it after Run returns.
@@ -112,6 +130,16 @@ func (a *App) Stats() Stats {
 				Resident:  ls.Resident(),
 				HighWater: ls.HighWater(),
 			})
+		}
+	}
+	if inj := a.opts.Faults; inj != nil {
+		st.Faults = &FaultStats{
+			Counts: inj.Counts,
+			Killed: append([]string(nil), a.killed...),
+			Faults: append([]*ChannelFault(nil), a.faults...),
+		}
+		if m := a.Metrics; m != nil {
+			a.pushFaultMetrics(m.reg)
 		}
 	}
 	if m := a.Metrics; m != nil {
@@ -152,6 +180,39 @@ func (a *App) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// pushFaultMetrics publishes the injector's counters into the metrics
+// registry under fault/*, once per run, so they appear in dumps and
+// exports alongside the channel metrics.
+func (a *App) pushFaultMetrics(reg *metrics.Registry) {
+	if a.faultMetricsPushed {
+		return
+	}
+	a.faultMetricsPushed = true
+	c := a.opts.Faults.Counts
+	for _, kv := range []struct {
+		name string
+		v    int64
+	}{
+		{"fault/link_drops", c.LinkDrops},
+		{"fault/link_corrupts", c.LinkCorrupts},
+		{"fault/link_delays", c.LinkDelays},
+		{"fault/retransmits", c.Retransmits},
+		{"fault/dup_frames", c.DupFrames},
+		{"fault/ack_drops", c.AckDrops},
+		{"fault/give_ups", c.GiveUps},
+		{"fault/give_up_drops", c.GiveUpDrops},
+		{"fault/mailbox_drops", c.MailboxDrops},
+		{"fault/mailbox_stalls", c.MailboxStalls},
+		{"fault/mailbox_nacks", c.MailboxNacks},
+		{"fault/mailbox_reposts", c.MailboxReposts},
+		{"fault/op_timeouts", c.OpTimeouts},
+		{"fault/channel_faults", c.ChannelFaults},
+		{"fault/procs_killed", c.ProcsKilled},
+	} {
+		reg.Counter(kv.name).Add(kv.v)
+	}
 }
 
 // ConfigDump renders the configured architecture — the process and
@@ -201,6 +262,17 @@ func (s Stats) String() string {
 	for _, pt := range s.ProcTimes {
 		fmt.Fprintf(&b, "  %-28s total %v: compute %v, read-blocked %v, write-blocked %v, mailbox %v\n",
 			pt.Process, pt.Total, pt.Compute, pt.BlockedRead, pt.BlockedWrite, pt.MailboxWait)
+	}
+	if f := s.Faults; f != nil {
+		fmt.Fprintf(&b, "  faults: %d process(es) killed, %d channel(s) poisoned, %d op timeout(s)\n",
+			f.ProcsKilled, f.ChannelFaults, f.OpTimeouts)
+		fmt.Fprintf(&b, "  link: %d drops, %d corrupts, %d delays; %d retransmits, %d dup frames, %d lost acks, %d give-ups (%d late drops)\n",
+			f.LinkDrops, f.LinkCorrupts, f.LinkDelays, f.Retransmits, f.DupFrames, f.AckDrops, f.GiveUps, f.GiveUpDrops)
+		fmt.Fprintf(&b, "  mailbox: %d drops, %d stalls, %d nacks, %d reposts\n",
+			f.MailboxDrops, f.MailboxStalls, f.MailboxNacks, f.MailboxReposts)
+		for _, k := range f.Killed {
+			fmt.Fprintf(&b, "    killed %s\n", k)
+		}
 	}
 	return b.String()
 }

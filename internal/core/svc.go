@@ -24,6 +24,7 @@ type svcMsg struct {
 	peer *Process
 	ch   *Channel
 	op   deadlock.Op
+	loc  string // user call site of the blocked operation (may be empty)
 }
 
 // svcState is the deadlock-detection service (the paper's "-pisvc=d"): a
@@ -67,11 +68,21 @@ func (s *svcState) loop(p *sim.Proc) {
 		case svcBlock:
 			var cyc *deadlock.Cycle
 			if m.op == deadlock.OpRead {
-				cyc = s.det.BlockRead(m.proc.id, m.peer.id, m.ch.id)
+				cyc = s.det.BlockReadAt(m.proc.id, m.peer.id, m.ch.id, m.loc)
 			} else {
-				cyc = s.det.BlockWrite(m.proc.id, m.peer.id, m.ch.id)
+				cyc = s.det.BlockWriteAt(m.proc.id, m.peer.id, m.ch.id, m.loc)
 			}
 			if cyc != nil {
+				// With an operation timeout armed, a circular wait degrades
+				// instead of aborting: the member operations time out, and
+				// each timeout fault carries this cycle as its diagnostic
+				// (the wait graph keeps the cycle until then).
+				if s.app.opts.OpTimeout > 0 {
+					if inj := s.app.opts.Faults; inj != nil {
+						inj.Logf(s.app.K.Now(), "deadlock detected, degrading via timeouts: %v", cyc)
+					}
+					continue
+				}
 				s.app.K.Abort(cyc)
 				return
 			}
@@ -84,10 +95,10 @@ func (s *svcState) loop(p *sim.Proc) {
 }
 
 // reportBlock tells the deadlock service proc is blocked on ch waiting for
-// peer. No-op unless the service is enabled.
-func (a *App) reportBlock(proc, peer *Process, ch *Channel, op deadlock.Op) {
+// peer, at user call site loc. No-op unless the service is enabled.
+func (a *App) reportBlock(proc, peer *Process, ch *Channel, op deadlock.Op, loc string) {
 	if a.svc != nil {
-		a.svc.post(svcMsg{kind: svcBlock, proc: proc, peer: peer, ch: ch, op: op})
+		a.svc.post(svcMsg{kind: svcBlock, proc: proc, peer: peer, ch: ch, op: op, loc: loc})
 	}
 }
 

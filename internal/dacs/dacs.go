@@ -150,7 +150,10 @@ func (e *Element) SendTo(p *sim.Proc, dst *Element, data []byte) error {
 		p.Advance(par.DMASetup + par.MailboxWrite)
 	case e.Node.ID != dst.Node.ID:
 		// Cluster leg (DaCSH): across the interconnect.
-		arr := e.rt.Clu.Net.Send(p, e.Node.ID, dst.Node.ID, len(data))
+		arr, err := e.rt.Clu.Net.Send(p, e.Node.ID, dst.Node.ID, len(data))
+		if err != nil {
+			return err
+		}
 		p.AdvanceTo(arr)
 	default:
 		p.Advance(par.MemcpyTime(len(data)))

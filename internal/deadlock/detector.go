@@ -41,10 +41,13 @@ func (o Op) String() string {
 }
 
 // edge is one blocked process: it waits for peer to act on channel ch.
+// loc is the user call site of the blocked operation ("file.go:42", may be
+// empty) and rides along for diagnostics.
 type edge struct {
 	peer int
 	ch   int
 	op   Op
+	loc  string
 }
 
 // Detector maintains the wait-for graph plus per-channel message
@@ -76,11 +79,14 @@ type Cycle struct {
 	Procs []int
 	Chans []int
 	Ops   []Op
+	// Locs are the user call sites of the blocked operations, parallel to
+	// Procs; entries may be empty when a layer did not report one.
+	Locs  []string
 	names map[int]string
 }
 
 // Error implements error with the Pilot-style diagnostic naming every
-// process and channel in the cycle.
+// process and channel in the cycle, plus the blocked call site when known.
 func (c *Cycle) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pilot: deadlock detected: circular wait among %d processes:", len(c.Procs))
@@ -88,6 +94,9 @@ func (c *Cycle) Error() string {
 		next := c.Procs[(i+1)%len(c.Procs)]
 		fmt.Fprintf(&b, "\n  %s blocked in %s on channel %d waiting for %s",
 			c.name(p), c.Ops[i], c.Chans[i], c.name(next))
+		if i < len(c.Locs) && c.Locs[i] != "" {
+			fmt.Fprintf(&b, " (at %s)", c.Locs[i])
+		}
 	}
 	return b.String()
 }
@@ -115,6 +124,12 @@ func (d *Detector) Sent(ch int) {
 // BlockRead records that proc is blocked reading ch, whose writer is
 // peer. It reports the cycle it closes, if any.
 func (d *Detector) BlockRead(proc, peer, ch int) *Cycle {
+	return d.BlockReadAt(proc, peer, ch, "")
+}
+
+// BlockReadAt is BlockRead carrying the blocked operation's user call
+// site for diagnostics.
+func (d *Detector) BlockReadAt(proc, peer, ch int, loc string) *Cycle {
 	if d.pending[ch] > 0 {
 		// A message is already in flight: this read will complete.
 		d.pending[ch]--
@@ -126,33 +141,46 @@ func (d *Detector) BlockRead(proc, peer, ch int) *Cycle {
 		d.clear(w)
 		return nil
 	}
-	return d.block(proc, peer, ch, OpRead)
+	return d.block(proc, peer, ch, OpRead, loc)
 }
 
 // BlockWrite records that proc is blocked writing ch (a rendezvous-sized
 // or SPE-rendezvous send), whose reader is peer.
 func (d *Detector) BlockWrite(proc, peer, ch int) *Cycle {
+	return d.BlockWriteAt(proc, peer, ch, "")
+}
+
+// BlockWriteAt is BlockWrite carrying the blocked operation's user call
+// site for diagnostics.
+func (d *Detector) BlockWriteAt(proc, peer, ch int, loc string) *Cycle {
 	if r, ok := d.readers[ch]; ok {
 		// The reader is already waiting on this very channel: a match.
 		d.clear(r)
 		return nil
 	}
-	return d.block(proc, peer, ch, OpWrite)
+	return d.block(proc, peer, ch, OpWrite, loc)
 }
 
-func (d *Detector) block(proc, peer, ch int, op Op) *Cycle {
-	d.waits[proc] = edge{peer: peer, ch: ch, op: op}
+func (d *Detector) block(proc, peer, ch int, op Op, loc string) *Cycle {
+	d.waits[proc] = edge{peer: peer, ch: ch, op: op, loc: loc}
 	if op == OpRead {
 		d.readers[ch] = proc
 	} else {
 		d.writers[ch] = proc
 	}
 	// Walk from proc; if the walk returns to proc, that is a cycle.
+	return d.walkFrom(proc)
+}
+
+// walkFrom follows wait-for edges starting at proc and returns the cycle
+// through proc, if the walk closes back on it.
+func (d *Detector) walkFrom(proc int) *Cycle {
 	seen := map[int]bool{}
 	cur := proc
 	var procs []int
 	var chans []int
 	var ops []Op
+	var locs []string
 	for {
 		e, blocked := d.waits[cur]
 		if !blocked {
@@ -164,14 +192,33 @@ func (d *Detector) block(proc, peer, ch int, op Op) *Cycle {
 				// was reported when its own closing edge was added.
 				return nil
 			}
-			return &Cycle{Procs: procs, Chans: chans, Ops: ops, names: d.names}
+			return &Cycle{Procs: procs, Chans: chans, Ops: ops, Locs: locs, names: d.names}
 		}
 		seen[cur] = true
 		procs = append(procs, cur)
 		chans = append(chans, e.ch)
 		ops = append(ops, e.op)
+		locs = append(locs, e.loc)
 		cur = e.peer
 	}
+}
+
+// CycleThrough reports the circular wait containing proc in the current
+// graph, or nil if proc's wait chain ends at a runnable process. Timeout
+// diagnostics use it to distinguish "stuck in a cycle" from "merely slow
+// or faulted".
+func (d *Detector) CycleThrough(proc int) *Cycle {
+	if _, ok := d.waits[proc]; !ok {
+		return nil
+	}
+	return d.walkFrom(proc)
+}
+
+// WaitLoc reports the recorded call site of proc's blocked operation, if
+// proc holds a wait-for edge.
+func (d *Detector) WaitLoc(proc int) (string, bool) {
+	e, ok := d.waits[proc]
+	return e.loc, ok
 }
 
 // Unblock records that proc resumed. It is a no-op if the wait was

@@ -1,0 +1,92 @@
+package deadlock
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCycleThrough: a timed-out member of a circular wait is diagnosed as
+// in-cycle; a process merely waiting on a slow (but runnable) peer is not.
+func TestCycleThrough(t *testing.T) {
+	d := New(map[int]string{1: "alice", 2: "bob", 3: "carol"})
+	// alice <-> bob deadlock; carol waits on bob but is not part of it.
+	if c := d.BlockReadAt(1, 2, 10, "a.go:1"); c != nil {
+		t.Fatalf("premature cycle: %v", c)
+	}
+	if c := d.BlockReadAt(3, 2, 30, "c.go:3"); c != nil {
+		t.Fatalf("premature cycle: %v", c)
+	}
+	if c := d.BlockReadAt(2, 1, 20, "b.go:2"); c == nil {
+		t.Fatal("closing read did not report the cycle")
+	}
+	for _, id := range []int{1, 2} {
+		cyc := d.CycleThrough(id)
+		if cyc == nil {
+			t.Fatalf("CycleThrough(%d) = nil for a cycle member", id)
+		}
+		if len(cyc.Procs) != 2 {
+			t.Fatalf("CycleThrough(%d) walked %v", id, cyc.Procs)
+		}
+	}
+	// carol's chain ENDS in the cycle but she is not ON it: whatever the
+	// walk returns must not list her as a member.
+	if cyc := d.CycleThrough(3); cyc != nil {
+		for _, p := range cyc.Procs {
+			if p == 3 {
+				t.Fatalf("carol reported as a cycle member: %v", cyc.Procs)
+			}
+		}
+	}
+	if cyc := d.CycleThrough(99); cyc != nil {
+		t.Fatal("CycleThrough of an unblocked proc found a cycle")
+	}
+}
+
+// TestCycleThroughClearsWithUnblock: once a member resumes, the cycle
+// dissolves for diagnostics too.
+func TestCycleThroughClearsWithUnblock(t *testing.T) {
+	d := New(nil)
+	d.BlockRead(1, 2, 10)
+	if c := d.BlockRead(2, 1, 20); c == nil {
+		t.Fatal("no cycle")
+	}
+	d.Unblock(1)
+	if c := d.CycleThrough(2); c != nil {
+		t.Fatalf("stale cycle survives an unblock: %v", c.Procs)
+	}
+}
+
+// TestWaitLoc: the recorded call site rides the wait-for edge and clears
+// with it.
+func TestWaitLoc(t *testing.T) {
+	d := New(nil)
+	if _, ok := d.WaitLoc(1); ok {
+		t.Fatal("WaitLoc before any block")
+	}
+	d.BlockWriteAt(1, 2, 10, "app.go:42")
+	loc, ok := d.WaitLoc(1)
+	if !ok || loc != "app.go:42" {
+		t.Fatalf("WaitLoc = %q, %v", loc, ok)
+	}
+	d.Unblock(1)
+	if _, ok := d.WaitLoc(1); ok {
+		t.Fatal("WaitLoc survives Unblock")
+	}
+}
+
+// TestCycleErrorLocs: the cycle diagnostic names each member's blocked
+// call site.
+func TestCycleErrorLocs(t *testing.T) {
+	d := New(map[int]string{1: "alice", 2: "bob"})
+	d.BlockReadAt(1, 2, 10, "alice.go:5")
+	c := d.BlockReadAt(2, 1, 20, "bob.go:9")
+	if c == nil {
+		t.Fatal("no cycle")
+	}
+	msg := c.Error()
+	for _, want := range []string{"alice", "bob", "alice.go:5", "bob.go:9", "circular wait"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("cycle diagnostic lacks %q:\n%s", want, msg)
+		}
+	}
+}

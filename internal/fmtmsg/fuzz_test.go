@@ -1,0 +1,58 @@
+package fmtmsg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the format parser's robustness contract: any input —
+// malformed counts, truncated conversions, garbage bytes — either parses
+// into a well-formed Spec or returns an error. It must never panic, and
+// an accepted Spec must survive its derived operations (Signature,
+// MinWireSize, String) without blowing up.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"%d", "%100d", "%16lf", "%*f %b", "%2hd %3lu", "%1Lf",
+		"",                        // no conversions
+		"%",                       // truncated
+		"%0d",                     // zero count
+		"%-5d",                    // negative count
+		"%999999999999999999999d", // count overflow
+		"%q",                      // unknown conversion
+		"%100",                    // count without type
+		"plain text",              // no % at all
+		"%d extra",                // trailing garbage
+		"% d", "%\x00d", "%*", "%l", "%h", "%L",
+		"%3b%4c%5u", "  %d  ", "\t%f\t",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, format string) {
+		spec, err := Parse(format)
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("Parse(%q) returned both a spec and an error", format)
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatalf("Parse(%q) returned nil, nil", format)
+		}
+		if len(spec.Items) == 0 {
+			t.Fatalf("Parse(%q) accepted a spec with no conversions", format)
+		}
+		for i, it := range spec.Items {
+			if !it.Star && it.Count <= 0 {
+				t.Fatalf("Parse(%q) item %d has non-positive count %d", format, i, it.Count)
+			}
+		}
+		// Derived operations on an accepted spec must not panic either.
+		_ = spec.Signature()
+		if n := spec.MinWireSize(); n < 0 {
+			t.Fatalf("Parse(%q): negative MinWireSize %d", format, n)
+		}
+		if s := spec.String(); !strings.Contains(s, "%") {
+			t.Fatalf("Parse(%q): String() lost the conversions: %q", format, s)
+		}
+	})
+}

@@ -33,20 +33,43 @@ func New(k *sim.Kernel, par *cellbe.Params, nNodes int) *Network {
 	return n
 }
 
-// Send models node from transmitting bytes to node to. It blocks p for NIC
-// queueing and serialization and returns the arrival time at the receiver.
-// Sending to the sender's own node is a programming error here; use the
-// local MPI path instead.
-func (n *Network) Send(p *sim.Proc, from, to, bytes int) (arrival sim.Time) {
+// check validates a node pair. Sending to the sender's own node is a
+// programming error here (use the local MPI path), as is an out-of-range
+// node id; both used to panic, but are now reported as errors so the
+// protocol layers can route them through the application's abort path
+// with a Pilot-style diagnostic instead of crashing the host process.
+func (n *Network) check(from, to int) error {
 	if from == to {
-		panic(fmt.Sprintf("interconnect: Send from node %d to itself", from))
+		return fmt.Errorf("interconnect: send from node %d to itself (use the local path)", from)
 	}
 	if from < 0 || from >= len(n.tx) || to < 0 || to >= len(n.tx) {
-		panic(fmt.Sprintf("interconnect: Send between unknown nodes %d->%d", from, to))
+		return fmt.Errorf("interconnect: send between unknown nodes %d->%d (cluster has %d)", from, to, len(n.tx))
+	}
+	return nil
+}
+
+// Send models node from transmitting bytes to node to. It blocks p for NIC
+// queueing and serialization and returns the arrival time at the receiver.
+func (n *Network) Send(p *sim.Proc, from, to, bytes int) (arrival sim.Time, err error) {
+	if err := n.check(from, to); err != nil {
+		return 0, err
 	}
 	n.messages++
 	n.bytes += int64(bytes)
-	return n.tx[from].Send(p, bytes)
+	return n.tx[from].Send(p, bytes), nil
+}
+
+// Reserve is Send for scheduler context: it books NIC occupancy and
+// returns the arrival time without blocking any proc. The MPI reliability
+// layer retransmits through it — a timer has no proc to charge, but the
+// resent bytes still occupy the wire.
+func (n *Network) Reserve(from, to, bytes int) (arrival sim.Time, err error) {
+	if err := n.check(from, to); err != nil {
+		return 0, err
+	}
+	n.messages++
+	n.bytes += int64(bytes)
+	return n.tx[from].Reserve(bytes), nil
 }
 
 // OneWayTime predicts the unloaded one-way time for a message of the given

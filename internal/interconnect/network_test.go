@@ -27,39 +27,38 @@ func TestOneWayTimeComposition(t *testing.T) {
 	}
 }
 
-func TestSelfSendPanics(t *testing.T) {
+func TestSelfSendErrors(t *testing.T) {
 	k, n, _ := newNet(t, 2)
 	k.Spawn("bad", func(p *sim.Proc) {
-		defer func() {
-			if recover() == nil {
-				p.Fatalf("self-send did not panic")
-			}
-			panic(struct{ s string }{"rethrow-as-clean-exit"})
-		}()
-		n.Send(p, 0, 0, 10)
+		if _, err := n.Send(p, 0, 0, 10); err == nil {
+			p.Fatalf("self-send did not error")
+		}
 	})
-	_ = k.Run() // aborts via the rethrown panic; we only care Send panicked
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
 }
 
-func TestUnknownNodePanics(t *testing.T) {
+func TestUnknownNodeErrors(t *testing.T) {
 	k, n, _ := newNet(t, 2)
 	k.Spawn("bad", func(p *sim.Proc) {
-		defer func() {
-			if recover() == nil {
-				p.Fatalf("unknown-node send did not panic")
-			}
-			panic(struct{ s string }{"clean"})
-		}()
-		n.Send(p, 0, 5, 10)
+		if _, err := n.Send(p, 0, 5, 10); err == nil {
+			p.Fatalf("unknown-node send did not error")
+		}
+		if _, err := n.Reserve(5, 0, 10); err == nil {
+			p.Fatalf("unknown-node reserve did not error")
+		}
 	})
-	_ = k.Run()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDistinctSendersDoNotQueueOnEachOther(t *testing.T) {
 	k, n, _ := newNet(t, 3)
 	var a1, a2 sim.Time
-	k.Spawn("s0", func(p *sim.Proc) { a1 = n.Send(p, 0, 2, 100000) })
-	k.Spawn("s1", func(p *sim.Proc) { a2 = n.Send(p, 1, 2, 100000) })
+	k.Spawn("s0", func(p *sim.Proc) { a1, _ = n.Send(p, 0, 2, 100000) })
+	k.Spawn("s1", func(p *sim.Proc) { a2, _ = n.Send(p, 1, 2, 100000) })
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}

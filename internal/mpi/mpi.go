@@ -15,6 +15,7 @@ import (
 
 	"cellpilot/internal/cellbe"
 	"cellpilot/internal/cluster"
+	"cellpilot/internal/fault"
 	"cellpilot/internal/sim"
 )
 
@@ -38,6 +39,13 @@ type World struct {
 	Clu   *cluster.Cluster
 	Par   *cellbe.Params
 	ranks []*Rank
+
+	// Faults, when non-nil and carrying link policies, switches eager
+	// remote sends on faulty links to the stop-and-wait reliability layer
+	// (reliable.go). Nil — or an injector with no link policies — leaves
+	// every path bit-identical to the unhardened build.
+	Faults *fault.Injector
+	rel    map[relKey]*relState
 }
 
 // NewWorld creates a world with one rank per placement, in rank order.

@@ -20,6 +20,9 @@ type envelope struct {
 	srcNode    int
 	dstNode    int
 	xfer       int64 // observability transfer id (TagNextXfer), 0 = untagged
+	// cancelled marks a rendezvous announcement whose sender abandoned the
+	// wait (SendCtl deadline/stop); deliver discards it.
+	cancelled bool
 }
 
 // recvReq is a posted receive awaiting a matching envelope.
@@ -32,6 +35,9 @@ type recvReq struct {
 	done     bool
 	status   Status
 	out      []byte
+	// abandoned marks a receive whose ctl fired (RecvCtl deadline/stop); a
+	// data phase already in flight completes into the void.
+	abandoned bool
 	// onDone, when set, also receives the completion (nonblocking Irecv).
 	onDone func(out []byte, st Status)
 }
@@ -84,7 +90,15 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
 			p.Advance(w.localCopyTime(size)) // copy into the shm mailbox
 			arrival = w.K.Now() + w.Par.LocalMPILatency
 		} else {
-			arrival = w.Clu.Net.Send(p, r.node.ID, d.node.ID, size)
+			if w.relNeeded(r, d) {
+				w.relSend(p, r, d, env)
+				return
+			}
+			var nerr error
+			arrival, nerr = w.Clu.Net.Send(p, r.node.ID, d.node.ID, size)
+			if nerr != nil {
+				p.Fatalf("mpi: rank %d send to rank %d: %v", r.id, dst, nerr)
+			}
 		}
 		w.K.After(arrival-w.K.Now(), func() { d.deliver(env) })
 		return
@@ -106,6 +120,9 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
 
 // deliver runs in scheduler context when an envelope reaches the receiver.
 func (r *Rank) deliver(env *envelope) {
+	if env.cancelled {
+		return
+	}
 	if r.arrival != nil {
 		r.arrival()
 	}
@@ -143,6 +160,9 @@ func (r *Rank) complete(env *envelope, req *recvReq) {
 		return
 	}
 	finish := func(payload []byte) {
+		if req.abandoned {
+			return
+		}
 		n := 0
 		if req.segs != nil {
 			for _, seg := range req.segs {

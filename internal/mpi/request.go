@@ -47,7 +47,16 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte) *Request {
 			p.Advance(w.localCopyTime(size))
 			arrival = w.K.Now() + w.Par.LocalMPILatency
 		} else {
-			arrival = w.Clu.Net.Send(p, r.node.ID, d.node.ID, size)
+			if w.relNeeded(r, d) {
+				w.relSend(p, r, d, env)
+				req.done = true // buffered with the reliability layer
+				return req
+			}
+			var nerr error
+			arrival, nerr = w.Clu.Net.Send(p, r.node.ID, d.node.ID, size)
+			if nerr != nil {
+				p.Fatalf("mpi: rank %d isend to rank %d: %v", r.id, dst, nerr)
+			}
 		}
 		w.K.After(arrival-w.K.Now(), func() { d.deliver(env) })
 		req.done = true // buffered: the send is locally complete

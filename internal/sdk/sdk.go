@@ -118,9 +118,23 @@ func (c *Context) Finished() bool { return c.finished }
 // stalls while the single-entry mailbox is full.
 func (c *Context) WriteOutMbox(p *sim.Proc, v uint32) { c.SPE.OutMbox.Write(p, v) }
 
+// WriteOutMboxCtl is WriteOutMbox bounded by an absolute deadline (0 =
+// none) and an optional stop predicate, so a stub whose Co-Pilot died is
+// not parked forever against a full mailbox.
+func (c *Context) WriteOutMboxCtl(p *sim.Proc, v uint32, deadline sim.Time, stop func() error) error {
+	return c.SPE.OutMbox.WriteCtl(p, v, deadline, stop)
+}
+
 // ReadInMbox reads the PPE→SPE mailbox (spu_read_in_mbox), stalling while
 // empty.
 func (c *Context) ReadInMbox(p *sim.Proc) uint32 { return c.SPE.InMbox.Read(p) }
+
+// ReadInMboxCtl is ReadInMbox bounded by an absolute deadline (0 = none)
+// and an optional stop predicate; the hardened SPE stub uses it to bound
+// its wait for the Co-Pilot's acknowledgement.
+func (c *Context) ReadInMboxCtl(p *sim.Proc, deadline sim.Time, stop func() error) (uint32, error) {
+	return c.SPE.InMbox.ReadCtl(p, deadline, stop)
+}
 
 // MFCPut issues a DMA from local store to an effective address (mfc_put
 // followed by tag bookkeeping).
@@ -160,6 +174,14 @@ func (c *Context) ReadOutMbox(p *sim.Proc) uint32 { return c.SPE.OutMbox.Read(p)
 // TryReadOutMbox polls the SPE→PPE mailbox (spe_out_mbox_status +
 // conditional read) without stalling.
 func (c *Context) TryReadOutMbox(p *sim.Proc) (uint32, bool) { return c.SPE.OutMbox.TryRead(p) }
+
+// ReadOutMboxTimeout is ReadOutMbox bounded by a relative timeout; ok is
+// false when no word arrived in time. The hardened Co-Pilot uses it to
+// bound descriptor reads so a dropped mailbox word cannot wedge the
+// service loop.
+func (c *Context) ReadOutMboxTimeout(p *sim.Proc, d sim.Time) (uint32, bool) {
+	return c.SPE.OutMbox.ReadTimeout(p, d)
+}
 
 // LSBase reports the effective address of the SPE's memory-mapped local
 // store (spe_ls_area_get) — the mechanism Co-Pilot uses to address SPE

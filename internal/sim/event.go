@@ -10,6 +10,10 @@ type event struct {
 	p     *Proc  // proc to wake, or nil
 	epoch uint64 // p's wake epoch at scheduling; stale events are skipped
 	fn    func() // callback to run in the scheduler, or nil
+	// cancelled events are discarded at the top of the heap without
+	// advancing the clock — a cancelled timeout must not extend a run's
+	// final virtual time.
+	cancelled bool
 }
 
 // eventHeap is a min-heap ordered by (at, seq).
@@ -54,4 +58,28 @@ func (k *Kernel) schedule(at Time, p *Proc, fn func()) *event {
 // called from scheduler context or before Run; procs should use Advance.
 func (k *Kernel) After(d Time, fn func()) {
 	k.schedule(k.now+d, nil, fn)
+}
+
+// Timer is a cancellable scheduled callback. Timeout/retransmit machinery
+// needs cancellation: an armed-but-never-fired deadline must leave no
+// trace in the virtual timeline once the guarded operation completes.
+type Timer struct {
+	ev *event
+}
+
+// AfterTimer is After returning a handle that can cancel the callback.
+func (k *Kernel) AfterTimer(d Time, fn func()) *Timer {
+	return &Timer{ev: k.schedule(k.now+d, nil, fn)}
+}
+
+// Cancel discards the timer. The event stays in the heap but is purged
+// without running or advancing the clock. Safe to call more than once and
+// after the timer fired.
+func (t *Timer) Cancel() {
+	if t == nil || t.ev == nil {
+		return
+	}
+	t.ev.cancelled = true
+	t.ev.fn = nil
+	t.ev = nil
 }

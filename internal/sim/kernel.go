@@ -126,6 +126,12 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		panic("sim: RunUntil called from proc context")
 	}
 	for len(k.pq) > 0 && !k.shutdown {
+		if k.pq[0].cancelled {
+			// Purged before the deadline check and before the clock moves:
+			// a cancelled timer must not stretch the run's final time.
+			heap.Pop(&k.pq)
+			continue
+		}
 		if k.pq[0].at > deadline {
 			k.now = deadline
 			return nil

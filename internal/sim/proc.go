@@ -31,10 +31,17 @@ type Proc struct {
 	// they were scheduled under so stale wakes (the proc was resumed by
 	// another source meanwhile) are discarded.
 	epoch uint64
+	// killed marks a proc condemned by fault injection: the next kernel
+	// primitive it touches unwinds its stack (deferred cleanup still runs).
+	killed bool
 }
 
 // shutdownSentinel unwinds a proc's stack during kernel shutdown.
 type shutdownSentinel struct{}
+
+// killSentinel unwinds one killed proc's stack; unlike shutdownSentinel it
+// does not abort the simulation — the other procs keep running.
+type killSentinel struct{}
 
 func (p *Proc) run(fn func(p *Proc)) {
 	<-p.wake // first activation, scheduled by Spawn
@@ -42,7 +49,9 @@ func (p *Proc) run(fn func(p *Proc)) {
 		p.state = procDone
 		p.k.live--
 		if r := recover(); r != nil {
-			if _, ok := r.(shutdownSentinel); !ok {
+			_, isShutdown := r.(shutdownSentinel)
+			_, isKill := r.(killSentinel)
+			if !isShutdown && !isKill {
 				// Real panic in simulated code: abort the simulation and
 				// surface the panic (with stack) through Run's error.
 				p.k.Abort(fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack()))
@@ -50,7 +59,7 @@ func (p *Proc) run(fn func(p *Proc)) {
 		}
 		p.k.ctl <- struct{}{}
 	}()
-	if p.k.shutdown {
+	if p.k.shutdown || p.killed {
 		return
 	}
 	p.state = procRunning
@@ -99,6 +108,9 @@ func (p *Proc) park(reason string) {
 	if p.k.shutdown {
 		panic(shutdownSentinel{})
 	}
+	if p.killed {
+		panic(killSentinel{})
+	}
 }
 
 // Park blocks the proc until another component calls Kernel.Ready on it.
@@ -127,6 +139,9 @@ func (p *Proc) Advance(d Time) {
 		if p.k.shutdown {
 			panic(shutdownSentinel{})
 		}
+		if p.killed {
+			panic(killSentinel{})
+		}
 	}
 }
 
@@ -148,3 +163,27 @@ func (p *Proc) Fatalf(format string, args ...any) {
 	p.k.Abort(fmt.Errorf(format, args...))
 	panic(shutdownSentinel{})
 }
+
+// Kill condemns the proc: if parked it is woken immediately, and the next
+// kernel primitive it touches unwinds its stack (running its deferred
+// cleanup) without aborting the simulation. Fault injection uses this to
+// crash one simulated process while the rest of the application keeps
+// going. Safe from scheduler context; killing a finished proc is a no-op.
+func (p *Proc) Kill() {
+	if p.state == procDone || p.killed {
+		return
+	}
+	p.killed = true
+	p.k.ReadyIfParked(p)
+}
+
+// Killed reports whether the proc was condemned by Kill.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Done reports whether the proc has finished (normally or by unwinding).
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// Gone reports whether the proc can no longer consume wakeups or values:
+// finished, or killed and about to unwind. Queues use it to skip dead
+// waiters.
+func (p *Proc) Gone() bool { return p.state == procDone || p.killed }

@@ -1,6 +1,13 @@
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTimeout is returned by deadline-bounded primitives (Queue.GetCtl and
+// the layers built on it) when the deadline passes first.
+var ErrTimeout = errors.New("sim: operation timed out")
 
 // Queue is a FIFO message queue in virtual time. Capacity 0 gives
 // rendezvous semantics (a Put completes only when matched by a Get);
@@ -52,9 +59,12 @@ func (q *Queue[T]) Put(p *Proc, v T) {
 // TryPut enqueues v without blocking; it reports false if the queue is full
 // and no receiver is waiting.
 func (q *Queue[T]) TryPut(v T) bool {
-	if len(q.gets) > 0 {
+	for len(q.gets) > 0 {
 		g := q.gets[0]
 		q.gets = q.gets[1:]
+		if g.p.Gone() {
+			continue // killed mid-wait; never hand it a value
+		}
 		g.v, g.rdy = v, true
 		q.k.ReadyIfParked(g.p)
 		return true
@@ -88,9 +98,12 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 		q.refill()
 		return v, true
 	}
-	if len(q.puts) > 0 { // rendezvous, or cap exceeded by blocked putters
+	for len(q.puts) > 0 { // rendezvous, or cap exceeded by blocked putters
 		w := q.puts[0]
 		q.puts = q.puts[1:]
+		if w.p.Gone() {
+			continue // a killed putter's value dies with it
+		}
 		w.served = true
 		q.k.ReadyIfParked(w.p)
 		return w.v, true
@@ -103,10 +116,118 @@ func (q *Queue[T]) refill() {
 	for len(q.puts) > 0 && len(q.buf) < q.cap {
 		w := q.puts[0]
 		q.puts = q.puts[1:]
+		if w.p.Gone() {
+			continue
+		}
 		q.buf = append(q.buf, w.v)
 		w.served = true
 		q.k.ReadyIfParked(w.p)
 	}
+}
+
+// GetCtl is Get bounded by an optional virtual deadline (0 = none) and an
+// optional stop check re-evaluated on every wake: a non-nil error from stop
+// abandons the wait and is returned verbatim. With deadline 0 and stop nil
+// it behaves exactly like Get — the same parks at the same instants — so
+// hardened callers pay nothing when no fault machinery is armed.
+func (q *Queue[T]) GetCtl(p *Proc, deadline Time, stop func() error) (T, error) {
+	var zero T
+	check := func() error {
+		if stop != nil {
+			if err := stop(); err != nil {
+				return err
+			}
+		}
+		if deadline > 0 && p.k.now >= deadline {
+			return ErrTimeout
+		}
+		return nil
+	}
+	if err := check(); err != nil {
+		return zero, err
+	}
+	if v, ok := q.TryGet(); ok {
+		return v, nil
+	}
+	w := &qwaiter[T]{p: p}
+	q.gets = append(q.gets, w)
+	var tm *Timer
+	if deadline > 0 {
+		tm = p.k.AfterTimer(deadline-p.k.now, func() { p.k.ReadyIfParked(p) })
+	}
+	for !w.rdy {
+		p.park(fmt.Sprintf("get on queue %s", q.name))
+		if w.rdy {
+			break
+		}
+		if err := check(); err != nil {
+			for i, g := range q.gets {
+				if g == w {
+					q.gets = append(q.gets[:i], q.gets[i+1:]...)
+					break
+				}
+			}
+			tm.Cancel()
+			return zero, err
+		}
+	}
+	tm.Cancel()
+	return w.v, nil
+}
+
+// GetTimeout is GetCtl with only a relative timeout; ok reports whether a
+// value arrived in time.
+func (q *Queue[T]) GetTimeout(p *Proc, d Time) (T, bool) {
+	v, err := q.GetCtl(p, p.k.now+d, nil)
+	return v, err == nil
+}
+
+// PutCtl is Put bounded by an optional virtual deadline (0 = none) and an
+// optional stop check, mirroring GetCtl. On abandonment the value is
+// withdrawn (never delivered). With deadline 0 and stop nil it parks at
+// exactly the same instants as Put.
+func (q *Queue[T]) PutCtl(p *Proc, v T, deadline Time, stop func() error) error {
+	check := func() error {
+		if stop != nil {
+			if err := stop(); err != nil {
+				return err
+			}
+		}
+		if deadline > 0 && p.k.now >= deadline {
+			return ErrTimeout
+		}
+		return nil
+	}
+	if err := check(); err != nil {
+		return err
+	}
+	if q.TryPut(v) {
+		return nil
+	}
+	w := &qwaiter[T]{p: p, v: v}
+	q.puts = append(q.puts, w)
+	var tm *Timer
+	if deadline > 0 {
+		tm = p.k.AfterTimer(deadline-p.k.now, func() { p.k.ReadyIfParked(p) })
+	}
+	for !w.served {
+		p.park(fmt.Sprintf("put on queue %s", q.name))
+		if w.served {
+			break
+		}
+		if err := check(); err != nil {
+			for i, u := range q.puts {
+				if u == w {
+					q.puts = append(q.puts[:i], q.puts[i+1:]...)
+					break
+				}
+			}
+			tm.Cancel()
+			return err
+		}
+	}
+	tm.Cancel()
+	return nil
 }
 
 // Semaphore is a counting semaphore with FIFO wakeup order.
