@@ -31,6 +31,29 @@ ci-chaos:
 	$(GO) test -run '^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/fmtmsg
 .PHONY: ci-chaos
 
-# Deeper sweep (slower): tier-1 plus the race detector and the chaos gate.
-ci-full: ci race ci-chaos
+# Observability gate: profiler, flight recorder, sampling, congestion
+# telemetry, metrics endpoint, and the zero-virtual-cost guarantee —
+# plus a profile-experiment smoke run exercising both export formats.
+ci-obs:
+	$(GO) test -run 'Observability|Flight|Sampling|Chrome|Telemetry|Attach' ./internal/core/ ./internal/trace/
+	$(GO) test ./internal/profile/ ./internal/metrics/
+	$(GO) run ./cmd/cellpilot-bench -exp profile -reps 5 -trace-type 2 \
+		-folded /tmp/cellpilot-ci.folded -pprof /tmp/cellpilot-ci.pb.gz >/dev/null
+	@rm -f /tmp/cellpilot-ci.folded /tmp/cellpilot-ci.pb.gz
+.PHONY: ci-obs
+
+# Machine-readable benchmark results (BENCH_<exp>.json) under results/.
+bench-json:
+	@mkdir -p results
+	$(GO) run ./cmd/cellpilot-bench -exp pingpong -out results
+.PHONY: bench-json
+
+# Deeper sweep (slower): tier-1 plus the race detector, the chaos and
+# observability gates, and staticcheck when the host has it installed.
+ci-full: ci race ci-chaos ci-obs
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 .PHONY: ci-full

@@ -49,6 +49,8 @@ import (
 	"cellpilot/internal/core"
 	"cellpilot/internal/fault"
 	"cellpilot/internal/fmtmsg"
+	"cellpilot/internal/metrics"
+	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
 )
@@ -158,6 +160,21 @@ type (
 	ChannelTypeMetrics = core.ChannelTypeMetrics
 	// ProcTime is one process's compute/blocked time split in Stats.
 	ProcTime = core.ProcTime
+	// LinkUtil is one interconnect link's occupancy/saturation in Stats.
+	LinkUtil = core.LinkUtil
+	// Profiler attributes every process's virtual lifetime into exclusive
+	// buckets (compute, pack, mailbox, Co-Pilot, MPI, fault backoff);
+	// attach one via App.Profile, read folded stacks or pprof after Run.
+	Profiler = profile.Profiler
+	// Flight is the always-on bounded ring buffer of recent phase events
+	// (App.Flight); its tail rides on fault diagnostics automatically.
+	Flight = trace.Flight
+	// MetricsRegistry is the named counter/gauge/histogram store behind a
+	// Meter (Meter.Registry, Stats.Registry).
+	MetricsRegistry = metrics.Registry
+	// MetricsPublisher serves registry snapshots over HTTP (OpenMetrics
+	// text at /metrics, JSON at /metrics.json) without racing the run.
+	MetricsPublisher = metrics.Publisher
 )
 
 // Robustness types (fault injection, timeouts, graceful degradation).
@@ -208,6 +225,14 @@ func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit
 
 // NewMeter creates an empty metrics aggregator for App.Metrics.
 func NewMeter() *Meter { return core.NewMeter() }
+
+// NewProfiler creates an empty virtual-time profiler for App.Profile.
+func NewProfiler() *Profiler { return profile.New() }
+
+// NewMetricsPublisher creates a publisher for serving metric snapshots
+// over HTTP; wire its Handler into an http.Server and call Publish with a
+// registry whenever fresh values should become visible.
+func NewMetricsPublisher() *MetricsPublisher { return metrics.NewPublisher() }
 
 // NewCluster builds a simulated hybrid cluster.
 func NewCluster(spec ClusterSpec) (*Cluster, error) { return cluster.New(spec) }

@@ -9,34 +9,72 @@
 //	cellpilot-bench -exp ablations  # A1-A3 design-choice ablations
 //	cellpilot-bench -exp phases     # per-phase latency breakdown (spans)
 //	cellpilot-bench -exp chaos      # seeded fault-injection sweep (robustness)
+//	cellpilot-bench -exp pingpong   # metered five-type grid (live telemetry)
+//	cellpilot-bench -exp profile    # virtual-time profiler breakdown
 //	cellpilot-bench -exp all        # everything
+//
+// With -serve ADDR the process exposes OpenMetrics text at /metrics and a
+// JSON snapshot at /metrics.json over plain HTTP while the experiments run
+// (the pingpong experiment publishes between batches, so a mid-run scrape
+// watches the counters grow), and keeps serving after they finish.
+//
+// With -out DIR the pingpong experiment additionally writes a
+// machine-readable BENCH_pingpong.json (ops, bytes, latency p50/p99 and
+// bandwidth per channel type).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"cellpilot/internal/core"
+	"cellpilot/internal/metrics"
+	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
 	"cellpilot/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|phases|chaos|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|phases|chaos|pingpong|profile|all")
 	seed := flag.Int64("seed", 1, "chaos: base RNG seed for the fault schedule")
 	chaosRuns := flag.Int("chaos-runs", 5, "chaos: number of seeded runs per scenario")
 	reps := flag.Int("reps", 1000, "PingPong repetitions (paper: 1000)")
 	repo := flag.String("repo", ".", "repository root (for the loc experiment)")
 	chrome := flag.String("chrome", "", "phases: write Chrome trace JSON for -trace-type's run to this file")
 	metricsOut := flag.String("metrics", "", "phases: write the metric registry JSON for -trace-type's run to this file")
-	traceType := flag.Int("trace-type", 5, "phases: channel type whose run the exporter flags capture")
+	traceType := flag.Int("trace-type", 5, "phases/profile: channel type whose run the exporter flags capture")
+	serve := flag.String("serve", "", "serve OpenMetrics (/metrics) and JSON (/metrics.json) on this address during and after the run")
+	outDir := flag.String("out", "", "directory for machine-readable BENCH_<exp>.json results")
+	folded := flag.String("folded", "", "profile: write folded-stack text for -trace-type's run to this file")
+	pprofOut := flag.String("pprof", "", "profile: write a pprof profile for -trace-type's run to this file")
 	flag.Parse()
+
+	var pub *metrics.Publisher
+	serving := false
+	if *serve != "" {
+		pub = metrics.NewPublisher()
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := http.Serve(ln, pub.Handler()); err != nil {
+				log.Print(err)
+			}
+		}()
+		serving = true
+		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	var rows []workload.Table2Row
@@ -82,6 +120,133 @@ func main() {
 	}
 	if want("chaos") {
 		runChaos(*seed, *chaosRuns)
+	}
+	if want("pingpong") {
+		runPingPongGrid(*reps, pub, *outDir)
+	}
+	if want("profile") {
+		runProfile(*reps/10, *traceType, *folded, *pprofOut)
+	}
+	if serving {
+		fmt.Println("experiments done; still serving metrics (interrupt to exit)")
+		select {}
+	}
+}
+
+// runPingPongGrid runs the Table II pingpong grid (1600B payload, all five
+// channel types) with one shared meter, publishing a registry snapshot to
+// the live endpoint between batches so a concurrent scrape watches the
+// counters grow, and optionally emits BENCH_pingpong.json.
+func runPingPongGrid(reps int, pub *metrics.Publisher, outDir string) {
+	if reps < 10 {
+		reps = 10
+	}
+	const batches = 10
+	meter := core.NewMeter()
+	publish := func() {
+		if pub != nil {
+			pub.Publish(meter.Registry())
+		}
+	}
+	publish()
+	fmt.Println("metered pingpong grid (1600B payload, CellPilot, all five channel types)")
+	type typeResult struct {
+		Type         string  `json:"type"`
+		Ops          int64   `json:"ops"`
+		Bytes        int64   `json:"bytes"`
+		OneWayUs     float64 `json:"one_way_us"`
+		LatencyP50Us float64 `json:"latency_p50_us"`
+		LatencyP99Us float64 `json:"latency_p99_us"`
+		BandwidthP50 float64 `json:"bandwidth_mbps_p50"`
+	}
+	var results []typeResult
+	for typ := 1; typ <= 5; typ++ {
+		var oneWay sim.Time
+		ran := 0
+		for b := 0; b < batches; b++ {
+			n := reps / batches
+			if n < 1 {
+				n = 1
+			}
+			res, err := workload.PingPong(workload.PingPongConfig{
+				Type: typ, Bytes: 1600, Method: workload.MethodCellPilot, Reps: n,
+				Metrics: meter,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			oneWay += res.OneWay
+			ran++
+			publish()
+		}
+		oneWay /= sim.Time(ran)
+		prefix := fmt.Sprintf("chan/type%d", typ)
+		reg := meter.Registry()
+		lat := reg.LookupHistogram(prefix + "/latency_us")
+		bw := reg.LookupHistogram(prefix + "/bandwidth_mbps")
+		tr := typeResult{
+			Type:     fmt.Sprintf("type%d", typ),
+			Ops:      reg.Counter(prefix + "/ops").Value(),
+			Bytes:    reg.Counter(prefix + "/payload_bytes_total").Value(),
+			OneWayUs: oneWay.Micros(),
+		}
+		if lat != nil {
+			tr.LatencyP50Us, tr.LatencyP99Us = lat.Quantile(0.5), lat.Quantile(0.99)
+		}
+		if bw != nil && bw.Count() > 0 {
+			tr.BandwidthP50 = bw.Quantile(0.5)
+		}
+		results = append(results, tr)
+		fmt.Printf("type%d  one-way %8.1fus  ops=%-6d bytes=%-9d latency p50=%.1fus p99=%.1fus bw p50=%.1fMB/s\n",
+			typ, tr.OneWayUs, tr.Ops, tr.Bytes, tr.LatencyP50Us, tr.LatencyP99Us, tr.BandwidthP50)
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, "BENCH_pingpong.json")
+		data, err := json.MarshalIndent(struct {
+			Experiment   string       `json:"experiment"`
+			Reps         int          `json:"reps"`
+			PayloadBytes int          `json:"payload_bytes"`
+			ChannelTypes []typeResult `json:"channel_types"`
+		}{"pingpong", reps, 1600, results}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("results written to %s\n", path)
+	}
+}
+
+// runProfile reruns the pingpong grid with the virtual-time profiler
+// attached and prints each type's exclusive-bucket attribution — where
+// every process's virtual lifetime went (compute, pack, mailbox, Co-Pilot
+// service, MPI, copy/relay). The -folded and -pprof flags export the
+// -trace-type run for flamegraph and pprof tooling.
+func runProfile(reps, traceType int, foldedPath, pprofPath string) {
+	if reps < 10 {
+		reps = 10
+	}
+	fmt.Println("virtual-time attribution per process (1600B payload, CellPilot)")
+	for typ := 1; typ <= 5; typ++ {
+		prof := profile.New()
+		if _, err := workload.PingPong(workload.PingPongConfig{
+			Type: typ, Bytes: 1600, Method: workload.MethodCellPilot, Reps: reps,
+			Profile: prof,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- type%d ---\n%s", typ, prof.Report())
+		if typ == traceType {
+			if foldedPath != "" {
+				writeFile(foldedPath, prof.FoldedStacks)
+				fmt.Printf("  folded stacks for type%d written to %s\n", typ, foldedPath)
+			}
+			if pprofPath != "" {
+				writeFile(pprofPath, prof.WritePprof)
+				fmt.Printf("  pprof profile for type%d written to %s\n", typ, pprofPath)
+			}
+		}
 	}
 }
 

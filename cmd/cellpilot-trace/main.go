@@ -9,6 +9,7 @@
 //	cellpilot-trace -chrome out.json    # Chrome trace_event JSON (Perfetto)
 //	cellpilot-trace -json out.jsonl     # event timeline as JSON lines
 //	cellpilot-trace -metrics out.json   # metric registry as JSON
+//	cellpilot-trace -top                # utilization: procs, channels, links
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 	jsonl := flag.String("json", "", "write the event timeline as JSON lines to this file (\"-\" = stdout)")
 	metricsOut := flag.String("metrics", "", "write the metric registry as JSON to this file (\"-\" = stdout)")
 	spans := flag.Int("spans", 10, "transfer spans to print")
+	top := flag.Bool("top", false, "print the per-process / per-channel-type utilization table")
 	flag.Parse()
 
 	clu, err := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 2})
@@ -182,5 +184,55 @@ func main() {
 	fmt.Println()
 	fmt.Print(rec.Summary())
 	fmt.Println()
-	fmt.Print(app.Stats())
+	st := app.Stats()
+	fmt.Print(st)
+	if *top {
+		fmt.Println()
+		printTop(st)
+	}
+}
+
+// printTop renders the utilization view: where each process's virtual
+// lifetime went, how loaded each channel type, Co-Pilot and interconnect
+// link ran.
+func printTop(st cellpilot.Stats) {
+	pct := func(part, total cellpilot.Time) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return 100 * float64(part) / float64(total)
+	}
+	fmt.Println("top: per-process virtual-time utilization")
+	fmt.Printf("  %-28s %12s %8s %8s %8s %8s\n", "process", "lifetime", "compute", "read", "write", "mbox")
+	for _, pt := range st.ProcTimes {
+		fmt.Printf("  %-28s %12s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			pt.Process, pt.Total,
+			pct(pt.Compute, pt.Total), pct(pt.BlockedRead, pt.Total),
+			pct(pt.BlockedWrite, pt.Total), pct(pt.MailboxWait, pt.Total))
+	}
+	fmt.Println("top: per-channel-type load")
+	fmt.Printf("  %-6s %8s %10s %12s %12s %14s %8s\n",
+		"type", "ops", "bytes", "p50 lat", "p99 lat", "p50 bw", "backlog")
+	for _, ct := range st.ChannelTypes {
+		bw := "-"
+		if ct.BandwidthMBps != nil && ct.BandwidthMBps.Count() > 0 {
+			bw = fmt.Sprintf("%.1fMB/s", ct.BandwidthMBps.Quantile(0.5))
+		}
+		fmt.Printf("  %-6s %8d %10d %10.1fus %10.1fus %14s %8d\n",
+			ct.Type, ct.Ops, ct.Bytes,
+			ct.LatencyUs.Quantile(0.5), ct.LatencyUs.Quantile(0.99), bw, ct.BacklogHighWater)
+	}
+	fmt.Println("top: co-pilot service loops")
+	for _, cp := range st.CoPilots {
+		fmt.Printf("  copilot@node%-2d busy %12s  %5.1f%% utilized  (%d reqs)\n",
+			cp.Node, cp.Busy, 100*cp.Utilization, cp.WriteReqs+cp.ReadReqs)
+	}
+	fmt.Println("top: interconnect links")
+	for _, lu := range st.Links {
+		fmt.Printf("  %-6s busy %12s  %5.1f%% saturated\n", lu.Name, lu.Busy, 100*lu.Utilization)
+	}
+	fmt.Println("top: SPE mailbox high-water marks")
+	for _, spe := range st.SPEs {
+		fmt.Printf("  %-28s in=%d/4 out=%d/1\n", spe.Process, spe.InMboxHighWater, spe.OutMboxHighWater)
+	}
 }

@@ -96,3 +96,10 @@ func (m *Mailbox) ReadTimeout(p *sim.Proc, d sim.Time) (uint32, bool) {
 
 // Count reports the entries currently queued (spe_out_mbox_status).
 func (m *Mailbox) Count() int { return m.q.Len() }
+
+// Capacity reports the mailbox entry capacity.
+func (m *Mailbox) Capacity() int { return m.q.Cap() }
+
+// HighWater reports the largest occupancy the mailbox ever reached — the
+// congestion watermark surfaced by the telemetry layer.
+func (m *Mailbox) HighWater() int { return m.q.HighWater() }

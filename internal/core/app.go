@@ -12,6 +12,7 @@ import (
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/fault"
 	"cellpilot/internal/mpi"
+	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
 )
@@ -108,17 +109,34 @@ type App struct {
 	spePosts map[int]spePost
 	speDone  map[int]int64
 
+	// obs is the sink set snapshotted from the public fields when Run
+	// starts; recording goes through it, so late attachment is inert.
+	obs obsSinks
+	// flight is the always-on bounded ring of recent phase events; its
+	// tail is stitched into fault diagnostics.
+	flight *trace.Flight
+	// backoff accumulates per-process fault-repost time pending profiler
+	// attribution (see noteBackoff).
+	backoff map[string]sim.Time
+
 	// Logf, when set, receives trace lines from Ctx.Log and SPECtx.Log
 	// prefixed with virtual time and process identity.
 	Logf func(format string, args ...any)
 	// Trace, when set, records every completed channel operation and the
 	// phases inside it (at zero virtual-time cost, so traced runs keep
-	// calibrated timings).
+	// calibrated timings). Attach before Run (or via SetTrace, which
+	// reports misuse): Run snapshots the sinks, so a later write to this
+	// field records nothing.
 	Trace *trace.Recorder
 	// Metrics, when set, aggregates per-channel-type histograms, Co-Pilot
 	// queue statistics and per-process blocked-time attribution, surfaced
-	// through Stats. Also free of virtual-time cost.
+	// through Stats. Also free of virtual-time cost. Attach before Run.
 	Metrics *Meter
+	// Profile, when set, folds every process's virtual timeline into
+	// exclusive attribution buckets (internal/profile) exportable as
+	// folded stacks or pprof. Also free of virtual-time cost. Attach
+	// before Run.
+	Profile *profile.Profiler
 }
 
 // NewApp starts the configuration phase on a cluster. The PI_MAIN process
@@ -134,6 +152,7 @@ func NewApp(c *cluster.Cluster, opts Options) *App {
 		copilotRank: map[copilotKey]int{},
 		spePosts:    map[int]spePost{},
 		speDone:     map[int]int64{},
+		flight:      trace.NewFlight(0),
 	}
 	if opts.SPEDeadlock && !opts.DeadlockDetection {
 		panic(usageError(callerLoc(1), "NewApp", "SPEDeadlock requires DeadlockDetection"))
@@ -158,6 +177,50 @@ func (a *App) placeRegular(procID int) int {
 
 // Main returns the PI_MAIN process.
 func (a *App) Main() *Process { return a.procs[0] }
+
+// Flight returns the always-on flight recorder: the bounded ring of the
+// run's most recent transfer-phase events.
+func (a *App) Flight() *trace.Flight { return a.flight }
+
+// attachErr shapes the configuration error the checked sink setters
+// return when Run has already started.
+func (a *App) attachErr(api string) error {
+	if a.phase == phaseConfig {
+		return nil
+	}
+	return fmt.Errorf("pilot: %s: observability sinks must be attached in the configuration phase, before Run starts (attaching later would race with recording)", api)
+}
+
+// SetTrace attaches the span recorder, rejecting the attachment with a
+// configuration error once Run has started (a late attach through the
+// public field is inert; through here it is diagnosed).
+func (a *App) SetTrace(rec *trace.Recorder) error {
+	if err := a.attachErr("SetTrace"); err != nil {
+		return err
+	}
+	a.Trace = rec
+	return nil
+}
+
+// SetMetrics attaches the meter, with the same configuration-phase check
+// as SetTrace.
+func (a *App) SetMetrics(m *Meter) error {
+	if err := a.attachErr("SetMetrics"); err != nil {
+		return err
+	}
+	a.Metrics = m
+	return nil
+}
+
+// SetProfile attaches the virtual-time profiler, with the same
+// configuration-phase check as SetTrace.
+func (a *App) SetProfile(p *profile.Profiler) error {
+	if err := a.attachErr("SetProfile"); err != nil {
+		return err
+	}
+	a.Profile = p
+	return nil
+}
 
 // Processes returns all processes in creation order.
 func (a *App) Processes() []*Process { return a.procs }
@@ -305,6 +368,10 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 		return fmt.Errorf("pilot: Run called twice")
 	}
 	a.phase = phaseExec
+	// Freeze the observability sinks: everything recorded during the run
+	// goes through this snapshot, so writing the public fields after this
+	// point cannot race with recording (see SetTrace et al.).
+	a.obs = obsSinks{trace: a.Trace, meter: a.Metrics, prof: a.Profile, flight: a.flight}
 
 	// Rank layout: regular processes first (PI_MAIN = 0), then Co-Pilots,
 	// then the deadlock service.
@@ -348,7 +415,12 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 		rank := a.copilotRank[key]
 		cp := newCopilot(a, key, world.Rank(rank))
 		a.copilots[key] = cp
-		cp.proc = a.K.Spawn(world.Rank(rank).Label(), cp.loop)
+		label := world.Rank(rank).Label()
+		cp.proc = a.K.Spawn(label, func(sp *sim.Proc) {
+			a.obs.prof.ProcStart(label, sp.Now())
+			defer func() { a.obs.prof.ProcEnd(label, sp.Now()) }()
+			cp.loop(sp)
+		})
 	}
 	// Deadlock service.
 	if svcRank >= 0 {
@@ -384,6 +456,9 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 
 	err = a.K.Run()
 	a.phase = phaseDone
+	// Close still-open profiler lifetimes (killed procs, service loops
+	// that never observed shutdown) at the final virtual clock.
+	a.obs.prof.Finish(a.K.Now())
 	if err == nil {
 		err = a.faultSummary()
 	}
@@ -453,9 +528,13 @@ func (a *App) logf(p *sim.Proc, proc *Process, format string, args ...any) {
 	}
 }
 
-// record feeds the optional trace recorder.
+// record feeds the optional trace recorder and the meter's per-channel
+// backlog watermark.
 func (a *App) record(p *sim.Proc, kind trace.Kind, proc *Process, ch *Channel, bytes int, xfer int64) {
-	if a.Trace != nil {
-		a.Trace.Record(trace.Event{At: p.Now(), Kind: kind, Proc: proc.String(), Channel: ch.id, Bytes: bytes, Xfer: xfer})
+	if m := a.obs.meter; m != nil {
+		m.noteBacklog(ch.id, kind)
+	}
+	if a.obs.trace != nil {
+		a.obs.trace.Record(trace.Event{At: p.Now(), Kind: kind, Proc: proc.String(), Channel: ch.id, Bytes: bytes, Xfer: xfer})
 	}
 }

@@ -29,6 +29,10 @@ type copilot struct {
 	pendWrites []*speReq
 	pendReads  []*speReq
 	stats      CoPilotStats
+	// busy is the cumulative virtual time the service loop spent doing work
+	// (stepping requests), as opposed to parked on the event queue. Divided
+	// by elapsed virtual time it is the Co-Pilot's utilization.
+	busy sim.Time
 }
 
 type speBinding struct {
@@ -86,7 +90,10 @@ func (cp *copilot) loop(p *sim.Proc) {
 				tick := (p.Now() + poll - 1) / poll * poll
 				p.AdvanceTo(tick)
 			}
-			if !cp.step(p) {
+			t0 := p.Now()
+			advanced := cp.step(p)
+			cp.busy += p.Now() - t0
+			if !advanced {
 				break
 			}
 		}

@@ -47,13 +47,31 @@ type ChannelFault struct {
 	// the service knew (merely slow, faulted peer, detection off).
 	InCycle     bool
 	CycleDetail string
+	// Tail is the flight recorder's view of the phase events that led up
+	// to the fault (most recent last), attached automatically when the
+	// fault is raised.
+	Tail []string
 }
+
+// faultTailDepth is how many flight-recorder lines ride on a single
+// ChannelFault; faultSummaryTailDepth is the (longer) tail attached to
+// the run-level FaultSummary.
+const (
+	faultTailDepth        = 16
+	faultSummaryTailDepth = 32
+)
 
 // Error implements error in the Pilot diagnostic style.
 func (f *ChannelFault) Error() string {
 	s := fmt.Sprintf("pilot: %s: %s: channel fault on %s: %s", f.Loc, f.API, f.Channel, f.Reason)
 	if f.CycleDetail != "" {
 		s += "\n  " + f.CycleDetail
+	}
+	if len(f.Tail) > 0 {
+		s += fmt.Sprintf("\n  last %d phase event(s) before the fault:", len(f.Tail))
+		for _, line := range f.Tail {
+			s += "\n    " + line
+		}
 	}
 	return s
 }
@@ -66,6 +84,9 @@ type FaultSummary struct {
 	Faults []*ChannelFault
 	// Killed lists the processes (and Co-Pilots) terminated by injection.
 	Killed []string
+	// FlightTail is the flight recorder's tail at the end of the run: the
+	// last phase events across all channels, for post-mortem context.
+	FlightTail []string
 }
 
 // Error implements error.
@@ -78,6 +99,12 @@ func (s *FaultSummary) Error() string {
 	}
 	for _, f := range s.Faults {
 		fmt.Fprintf(&b, "\n  fault: %v", f)
+	}
+	if len(s.FlightTail) > 0 {
+		fmt.Fprintf(&b, "\n  flight recorder tail (%d event(s)):", len(s.FlightTail))
+		for _, line := range s.FlightTail {
+			fmt.Fprintf(&b, "\n    %s", line)
+		}
 	}
 	return b.String()
 }
@@ -173,6 +200,7 @@ func (a *App) opFault(loc, api string, proc *Process, ch *Channel, err error) *C
 	if errors.As(err, &base) {
 		cp := *base
 		cp.Loc, cp.API = loc, api
+		cp.Tail = a.flight.TailLines(faultTailDepth)
 		return &cp
 	}
 	if errors.Is(err, sim.ErrTimeout) || errors.Is(err, mpi.ErrDeadline) {
@@ -185,9 +213,13 @@ func (a *App) opFault(loc, api string, proc *Process, ch *Channel, err error) *C
 			Loc: loc, API: api, Channel: ch.String(), ChannelID: ch.id,
 			Reason: "operation timed out", Timeout: true,
 			InCycle: inCycle, CycleDetail: detail,
+			Tail: a.flight.TailLines(faultTailDepth),
 		}
 	}
-	return &ChannelFault{Loc: loc, API: api, Channel: ch.String(), ChannelID: ch.id, Reason: err.Error()}
+	return &ChannelFault{
+		Loc: loc, API: api, Channel: ch.String(), ChannelID: ch.id,
+		Reason: err.Error(), Tail: a.flight.TailLines(faultTailDepth),
+	}
 }
 
 // timeoutDetail asks the deadlock service what it knows about the timed
@@ -345,8 +377,9 @@ func (a *App) faultSummary() error {
 		return nil
 	}
 	return &FaultSummary{
-		Faults: append([]*ChannelFault(nil), a.faults...),
-		Killed: append([]string(nil), a.killed...),
+		Faults:     append([]*ChannelFault(nil), a.faults...),
+		Killed:     append([]string(nil), a.killed...),
+		FlightTail: a.flight.TailLines(faultSummaryTailDepth),
 	}
 }
 

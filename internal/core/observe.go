@@ -2,6 +2,7 @@ package core
 
 import (
 	"cellpilot/internal/metrics"
+	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
 )
@@ -41,19 +42,45 @@ var (
 
 // Meter aggregates run-wide communication metrics: per-channel-type
 // operation latency, payload size and achieved bandwidth histograms,
-// Co-Pilot service-queue wait and depth, and per-process blocked-time
-// attribution. Attach one via App.Metrics before Run; read the results
-// from App.Stats after. Like the trace recorder, a Meter observes at zero
-// virtual-time cost.
+// Co-Pilot service-queue wait and depth, per-channel in-flight backlog
+// watermarks, and per-process blocked-time attribution. Attach one via
+// App.Metrics before Run; read the results from App.Stats after. Like
+// the trace recorder, a Meter observes at zero virtual-time cost.
 type Meter struct {
 	reg   *metrics.Registry
 	procs map[int]*procAcc // by process id
+
+	// In-flight operation backlog per channel id: writes completed but not
+	// yet matched by a completed read. The high-water mark is the channel's
+	// congestion watermark.
+	backlog     map[int]int
+	backlogHigh map[int]int
 }
 
 // NewMeter creates an empty meter.
 func NewMeter() *Meter {
-	return &Meter{reg: metrics.NewRegistry(), procs: map[int]*procAcc{}}
+	return &Meter{
+		reg: metrics.NewRegistry(), procs: map[int]*procAcc{},
+		backlog: map[int]int{}, backlogHigh: map[int]int{},
+	}
 }
+
+// noteBacklog tracks a channel's in-flight operation backlog: a completed
+// write raises it, a completed read drains it.
+func (m *Meter) noteBacklog(chID int, kind trace.Kind) {
+	switch kind {
+	case trace.KindWrite:
+		m.backlog[chID]++
+		if m.backlog[chID] > m.backlogHigh[chID] {
+			m.backlogHigh[chID] = m.backlog[chID]
+		}
+	case trace.KindRead:
+		m.backlog[chID]--
+	}
+}
+
+// BacklogHighWater reports a channel's in-flight backlog watermark.
+func (m *Meter) BacklogHighWater(chID int) int { return m.backlogHigh[chID] }
 
 // Registry exposes the raw metric registry (for dumps and exports).
 func (m *Meter) Registry() *metrics.Registry { return m.reg }
@@ -67,35 +94,101 @@ func (m *Meter) acc(p *Process) *procAcc {
 	return a
 }
 
-// observing reports whether any observability sink is attached.
-func (a *App) observing() bool { return a.Trace != nil || a.Metrics != nil }
+// obsSinks is the set of observability sinks a Run records into. It is
+// snapshotted from the public fields when Run starts, so attaching a
+// recorder or meter after the simulation began is inert (the checked
+// SetTrace/SetMetrics/SetProfile methods additionally report the misuse
+// as a configuration error) instead of racing with recording.
+type obsSinks struct {
+	trace  *trace.Recorder
+	meter  *Meter
+	prof   *profile.Profiler
+	flight *trace.Flight
+}
 
 // newXfer allocates the next transfer id (ids are 1-based; 0 means
-// "untagged"). Allocation happens only under observation so that
-// instrumented and uninstrumented runs differ in nothing but bookkeeping.
+// "untagged"). With the always-on flight recorder every transfer is
+// tagged; the id is pure host-side bookkeeping riding out-of-band, so the
+// virtual timeline is unaffected.
 func (a *App) newXfer() int64 {
-	if !a.observing() {
-		return 0
-	}
 	a.lastXfer++
 	return a.lastXfer
 }
 
-// spanPhase records one transfer phase against the trace recorder.
+// spanPhase dispatches one transfer phase to every attached sink: the
+// always-on flight recorder, the optional span recorder, and the optional
+// virtual-time profiler.
 func (a *App) spanPhase(xfer int64, phase trace.PhaseKind, proc string, ch *Channel, bytes int, start, end sim.Time) {
-	if a.Trace == nil || xfer == 0 {
+	if xfer == 0 {
 		return
 	}
-	a.Trace.RecordPhase(trace.PhaseEvent{
+	pe := trace.PhaseEvent{
 		Xfer: xfer, Phase: phase, Proc: proc,
 		Channel: ch.id, ChanType: int(ch.typ), Bytes: bytes,
 		Start: start, End: end,
-	})
+	}
+	a.obs.flight.Record(pe)
+	if a.obs.trace != nil {
+		a.obs.trace.RecordPhase(pe)
+	}
+	if a.obs.prof != nil {
+		a.profAttribute(pe)
+	}
+}
+
+// profAttribute folds one phase into the profiler's exclusive buckets.
+// PhaseCoPilotWait is deliberately excluded: it spans the requester's
+// posting and waiting interval (already attributed on the SPE side), not
+// Co-Pilot execution. A PhaseMailboxReq that contains fault-protocol
+// reposts is split: the repost portion (noted by the stub via
+// noteBackoff) lands in fault-backoff, the remainder in mbox-req.
+func (a *App) profAttribute(pe trace.PhaseEvent) {
+	prof := a.obs.prof
+	d := pe.End - pe.Start
+	switch pe.Phase {
+	case trace.PhasePack:
+		prof.Attribute(pe.Proc, profile.BucketPack, d)
+	case trace.PhaseMailboxReq:
+		if back := a.backoff[pe.Proc]; back > 0 {
+			delete(a.backoff, pe.Proc)
+			if back > d {
+				back = d
+			}
+			prof.Attribute(pe.Proc, profile.BucketFaultBackoff, back)
+			d -= back
+		}
+		prof.Attribute(pe.Proc, profile.BucketMboxReq, d)
+	case trace.PhaseMailboxWait:
+		prof.Attribute(pe.Proc, profile.BucketMboxWait, d)
+	case trace.PhaseCoPilotService:
+		prof.Attribute(pe.Proc, profile.BucketCoPilotService, d)
+	case trace.PhaseCopy:
+		prof.Attribute(pe.Proc, profile.BucketCopy, d)
+	case trace.PhaseRelay:
+		prof.Attribute(pe.Proc, profile.BucketRelay, d)
+	case trace.PhaseMPISend:
+		prof.Attribute(pe.Proc, profile.BucketMPISend, d)
+	case trace.PhaseMPIWait:
+		prof.Attribute(pe.Proc, profile.BucketMPIWait, d)
+	}
+}
+
+// noteBackoff records that proc spent d of its current mailbox request in
+// the fault-protocol repost loop, so the profiler can attribute it to
+// fault-backoff instead of mbox-req.
+func (a *App) noteBackoff(proc string, d sim.Time) {
+	if a.obs.prof == nil || d <= 0 {
+		return
+	}
+	if a.backoff == nil {
+		a.backoff = map[string]sim.Time{}
+	}
+	a.backoff[proc] += d
 }
 
 // meterOp records one completed channel operation (read or write side).
 func (a *App) meterOp(ch *Channel, bytes int, dur sim.Time) {
-	m := a.Metrics
+	m := a.obs.meter
 	if m == nil {
 		return
 	}
@@ -115,7 +208,7 @@ func (a *App) meterOp(ch *Channel, bytes int, dur sim.Time) {
 // transfer + polling quantization + service-queue wait), and the queue
 // depth found at decode time.
 func (a *App) meterCopilotReq(label string, wait sim.Time, depth int) {
-	m := a.Metrics
+	m := a.obs.meter
 	if m == nil {
 		return
 	}
@@ -127,28 +220,29 @@ func (a *App) meterCopilotReq(label string, wait sim.Time, depth int) {
 
 // meterBlocked attributes d of proc p's virtual time to a blocked state.
 func (a *App) meterBlocked(p *Process, k blockKind, d sim.Time) {
-	if a.Metrics == nil || d <= 0 {
+	if a.obs.meter == nil || d <= 0 {
 		return
 	}
-	a.Metrics.acc(p).blocked[k] += d
+	a.obs.meter.acc(p).blocked[k] += d
 }
 
-// meterProcStart marks the process alive from virtual time at.
+// meterProcStart marks the process alive from virtual time at (meter and
+// profiler sinks).
 func (a *App) meterProcStart(p *Process, at sim.Time) {
-	if a.Metrics == nil {
-		return
+	if m := a.obs.meter; m != nil {
+		m.acc(p).start = at
 	}
-	a.Metrics.acc(p).start = at
+	a.obs.prof.ProcStart(p.String(), at)
 }
 
 // meterProcEnd marks the process finished at virtual time at.
 func (a *App) meterProcEnd(p *Process, at sim.Time) {
-	if a.Metrics == nil {
-		return
+	if m := a.obs.meter; m != nil {
+		acc := m.acc(p)
+		acc.end = at
+		acc.ended = true
 	}
-	acc := a.Metrics.acc(p)
-	acc.end = at
-	acc.ended = true
+	a.obs.prof.ProcEnd(p.String(), at)
 }
 
 // spePost is the side-band record of an SPE's in-flight mailbox request.
@@ -163,9 +257,6 @@ type spePost struct {
 // spePosted records that p began posting a request descriptor at `at`.
 // Called by the SPE stub immediately before the first mailbox word.
 func (a *App) spePosted(p *Process, xfer int64, at sim.Time) {
-	if !a.observing() {
-		return
-	}
 	a.spePosts[p.id] = spePost{xfer: xfer, postedAt: at}
 }
 
@@ -179,9 +270,6 @@ func (a *App) speTakePost(p *Process) spePost {
 // speSetDone hands the transfer id of a completed request back to the SPE
 // stub (a reader learns its transfer's id only when the payload arrives).
 func (a *App) speSetDone(p *Process, xfer int64) {
-	if !a.observing() {
-		return
-	}
 	a.speDone[p.id] = xfer
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cellpilot/internal/fault"
+	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
 )
@@ -17,17 +18,25 @@ import (
 // observability sinks attached, and returns the final virtual time.
 func runFiveTypes(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter) (*App, sim.Time) {
 	t.Helper()
-	return runFiveTypesOpts(t, rounds, rec, meter, Options{})
+	return runFiveTypesFull(t, rounds, rec, meter, nil, Options{})
 }
 
 // runFiveTypesOpts is runFiveTypes with explicit Options (used to prove
 // the hardened code paths are virtually free when no fault fires).
 func runFiveTypesOpts(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, opts Options) (*App, sim.Time) {
 	t.Helper()
+	return runFiveTypesFull(t, rounds, rec, meter, nil, opts)
+}
+
+// runFiveTypesFull is the most general variant: every observability sink
+// plus explicit Options.
+func runFiveTypesFull(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, prof *profile.Profiler, opts Options) (*App, sim.Time) {
+	t.Helper()
 	c := newTestCluster(t)
 	a := NewApp(c, opts)
 	a.Trace = rec
 	a.Metrics = meter
+	a.Profile = prof
 
 	var t1d, t1u, t2d, t2u, t3d, t3u, t4ab, t4ba, t5ab, t5ba *Channel
 	mkEcho := func(down, up **Channel) *SPEProgram {
@@ -102,16 +111,46 @@ func runFiveTypesOpts(t *testing.T, rounds int, rec *trace.Recorder, meter *Mete
 // E-OBS1: attaching the recorder, the meter, or both leaves the virtual
 // timeline bit-for-bit identical — the tentpole's zero-cost guarantee.
 func TestObservabilityZeroCost(t *testing.T) {
-	_, bare := runFiveTypes(t, 2, nil, nil)
+	bareApp, bare := runFiveTypes(t, 2, nil, nil)
 	recA := trace.NewRecorder(0)
 	_, withRec := runFiveTypes(t, 2, recA, nil)
 	_, withMeter := runFiveTypes(t, 2, nil, NewMeter())
 	recB := trace.NewRecorder(0)
 	_, withBoth := runFiveTypes(t, 2, recB, NewMeter())
+	profA := profile.New()
+	_, withProf := runFiveTypesFull(t, 2, nil, nil, profA, Options{})
+	profB := profile.New()
+	allApp, withAll := runFiveTypesFull(t, 2, trace.NewRecorder(0), NewMeter(), profB, Options{})
 
 	if bare != withRec || bare != withMeter || bare != withBoth {
 		t.Fatalf("virtual time diverged: bare=%v rec=%v meter=%v both=%v",
 			bare, withRec, withMeter, withBoth)
+	}
+	if bare != withProf || bare != withAll {
+		t.Fatalf("virtual time diverged with profiler: bare=%v prof=%v all=%v",
+			bare, withProf, withAll)
+	}
+	// The profiler attributed non-compute time for every process and both
+	// identically-configured profiled runs agree bucket-for-bucket.
+	if len(profA.Procs()) == 0 {
+		t.Fatal("profiler saw no processes")
+	}
+	var fa, fb bytes.Buffer
+	if err := profA.FoldedStacks(&fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := profB.FoldedStacks(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if fa.String() != fb.String() {
+		t.Fatalf("profiled runs diverged:\n%s\nvs\n%s", fa.String(), fb.String())
+	}
+	// The always-on flight recorder captured phase events in every run —
+	// including the bare one — without perturbing it.
+	for _, a := range []*App{bareApp, allApp} {
+		if a.Flight().Total() == 0 {
+			t.Fatal("flight recorder recorded nothing")
+		}
 	}
 	// An armed but empty fault plan routes every operation through the
 	// hardened control paths (deadline-capable parks, sequence-free
@@ -336,5 +375,187 @@ func TestConfigDumpListsConfiguration(t *testing.T) {
 	}
 	if err := a.Run(func(ctx *Ctx) { ctx.Write(ch, "%d", int32(7)) }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// E-OBS7: the flight recorder's tail rides on fault diagnostics — a
+// degraded run's FaultSummary carries the phase events that led up to the
+// failure, and each operation fault carries its own tail.
+func TestFaultDiagnosticsCarryFlightTail(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 1, Events: []fault.Event{
+		{At: 300 * time100us, Kind: fault.KillSPE, Proc: "echo#0"},
+	}})
+	c := newTestCluster(t)
+	a := NewApp(c, Options{Faults: inj, OpTimeout: 50 * sim.Millisecond})
+	var down, up *Channel
+	victim := a.CreateSPE(&SPEProgram{Name: "echo", Body: func(ctx *SPECtx) {
+		buf := make([]int32, 16)
+		for r := 0; r < 1000; r++ {
+			ctx.Read(down, "%16d", buf)
+			ctx.Write(up, "%16d", buf)
+		}
+	}}, a.Main(), 0)
+	down = a.CreateChannel(a.Main(), victim)
+	up = a.CreateChannel(victim, a.Main())
+
+	err := a.Run(func(ctx *Ctx) {
+		ctx.RunSPE(victim, 0, nil)
+		buf := make([]int32, 16)
+		for r := 0; r < 1000; r++ {
+			ctx.Write(down, "%16d", buf)
+			ctx.Read(up, "%16d", buf)
+		}
+	})
+	if err == nil {
+		t.Fatal("killed-SPE run returned nil")
+	}
+	sum, ok := err.(*FaultSummary)
+	if !ok {
+		t.Fatalf("Run error %T is not a *FaultSummary: %v", err, err)
+	}
+	if len(sum.FlightTail) == 0 {
+		t.Fatal("FaultSummary.FlightTail is empty")
+	}
+	if !strings.Contains(err.Error(), "flight recorder tail") {
+		t.Errorf("summary text lacks the flight tail:\n%v", err)
+	}
+	tailFaults := 0
+	for _, cf := range sum.Faults {
+		if len(cf.Tail) > 0 {
+			tailFaults++
+			if !strings.Contains(cf.Error(), "phase event(s) before the fault") {
+				t.Errorf("fault text lacks its tail:\n%v", cf)
+			}
+		}
+	}
+	if tailFaults == 0 {
+		t.Fatalf("no operation fault carried a flight tail: %v", sum.Faults)
+	}
+}
+
+const time100us = 100 * sim.Microsecond
+
+// E-OBS8: attaching observability sinks after Run has started is a
+// configuration error, and late writes to the public fields are inert —
+// Run records through the snapshot taken when it started.
+func TestAttachAfterRunRejected(t *testing.T) {
+	c := newTestCluster(t)
+	a := NewApp(c, Options{})
+	// In the configuration phase the checked setters succeed.
+	rec := trace.NewRecorder(0)
+	if err := a.SetTrace(rec); err != nil {
+		t.Fatalf("SetTrace in config phase: %v", err)
+	}
+	if err := a.SetTrace(nil); err != nil {
+		t.Fatalf("SetTrace(nil) in config phase: %v", err)
+	}
+	var ch *Channel
+	peer := a.CreateProcessOn(1, "peer", func(ctx *Ctx, _ int, _ any) {
+		var v int32
+		ctx.Read(ch, "%d", &v)
+		// Execution phase: every checked setter must refuse.
+		if err := a.SetTrace(trace.NewRecorder(0)); err == nil {
+			t.Error("SetTrace during Run succeeded")
+		}
+		if err := a.SetMetrics(NewMeter()); err == nil {
+			t.Error("SetMetrics during Run succeeded")
+		}
+		if err := a.SetProfile(profile.New()); err == nil {
+			t.Error("SetProfile during Run succeeded")
+		}
+	}, 0, nil)
+	ch = a.CreateChannel(a.Main(), peer)
+
+	lateRec := trace.NewRecorder(0)
+	lateMeter := NewMeter()
+	err := a.Run(func(ctx *Ctx) {
+		// Late direct field writes are inert: the run records through the
+		// snapshot bound at Run entry (nil sinks here).
+		a.Trace = lateRec
+		a.Metrics = lateMeter
+		ctx.Write(ch, "%d", int32(7))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lateRec.Events()); got != 0 {
+		t.Errorf("late-attached recorder captured %d events, want 0", got)
+	}
+	if got := len(lateMeter.Registry().CounterNames()); got != 0 {
+		t.Errorf("late-attached meter has counters %v, want none", lateMeter.Registry().CounterNames())
+	}
+	// After Run the setters still refuse (the run is over; attach to a new
+	// App instead).
+	if err := a.SetMetrics(NewMeter()); err == nil {
+		t.Error("SetMetrics after Run succeeded")
+	}
+}
+
+// E-OBS9: congestion telemetry — queue-depth watermarks, Co-Pilot
+// utilization and link saturation — lands in Stats and, as gauges, in the
+// metric registry.
+func TestCongestionTelemetry(t *testing.T) {
+	meter := NewMeter()
+	a, vt := runFiveTypes(t, 3, nil, meter)
+	st := a.Stats()
+	if vt <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	busy := 0
+	for _, cp := range st.CoPilots {
+		if cp.Busy > 0 {
+			busy++
+			if cp.Utilization <= 0 || cp.Utilization > 1 {
+				t.Errorf("copilot@node%d utilization %v out of (0,1]", cp.Node, cp.Utilization)
+			}
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no Co-Pilot accumulated busy time")
+	}
+	if len(st.Links) == 0 {
+		t.Fatal("no link stats")
+	}
+	saturated := 0
+	for _, lu := range st.Links {
+		if lu.Busy > 0 {
+			saturated++
+		}
+	}
+	if saturated == 0 {
+		t.Fatal("no link accumulated busy time despite remote transfers")
+	}
+	outHigh := 0
+	for _, spe := range st.SPEs {
+		if spe.OutMboxHighWater > 0 {
+			outHigh++
+		}
+	}
+	if outHigh == 0 {
+		t.Fatal("no SPE outbound mailbox ever held a word")
+	}
+	types := map[ChannelType]bool{}
+	for _, ct := range st.ChannelTypes {
+		types[ct.Type] = true
+	}
+	for typ := Type1; typ <= Type5; typ++ {
+		if !types[typ] {
+			t.Errorf("no metrics for channel %v", typ)
+		}
+	}
+	// The same telemetry is published as gauges.
+	gauges := st.Registry.GaugeNames()
+	wantPrefixes := []string{"copilot/", "link/", "spe/"}
+	for _, p := range wantPrefixes {
+		found := false
+		for _, g := range gauges {
+			if strings.HasPrefix(g, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s* gauge published; gauges: %v", p, gauges)
+		}
 	}
 }

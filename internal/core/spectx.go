@@ -89,7 +89,18 @@ func (c *SPECtx) postDesc(loc, api string, op speOpcode, ch *Channel, lsAddr uin
 	seq := c.Self.mboxSeq & speSeqMask
 	c.Self.mboxSeq++
 	inj := c.app.opts.Faults
+	// Time spent from the first repost onward is fault-protocol backoff,
+	// not nominal posting cost; the profiler attributes it separately.
+	repostFrom := sim.Time(-1)
+	defer func() {
+		if repostFrom >= 0 {
+			c.app.noteBackoff(c.Self.String(), c.P.Now()-repostFrom)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
+		if attempt == 1 {
+			repostFrom = c.P.Now()
+		}
 		if attempt > 0 {
 			inj.Counts.MailboxReposts++
 			inj.Logf(c.P.Now(), "%s reposts descriptor seq=%d on %s (attempt %d)", c.Self, seq, ch, attempt+1)

@@ -22,14 +22,36 @@ type CoPilotStats struct {
 	Type4Copies int
 	// Type4Bytes is the payload those copies moved.
 	Type4Bytes int64
+	// Busy is the virtual time the service loop spent stepping requests
+	// (vs parked waiting for work); Utilization is Busy over the run's
+	// virtual time, the Co-Pilot's service-loop saturation.
+	Busy        sim.Time
+	Utilization float64
 }
 
-// SPEStats reports one launched SPE process's local-store usage.
+// SPEStats reports one launched SPE process's local-store usage and
+// mailbox congestion watermarks.
 type SPEStats struct {
 	Process   string
 	Node      int
 	Resident  int
 	HighWater int
+	// InMboxHighWater and OutMboxHighWater are the largest occupancies the
+	// SPE's inbound (capacity 4) and outbound (capacity 1) mailboxes ever
+	// reached — sustained high values mean the SPE or its Co-Pilot could
+	// not drain its partner fast enough.
+	InMboxHighWater  int
+	OutMboxHighWater int
+}
+
+// LinkUtil reports one interconnect link's cumulative occupancy.
+type LinkUtil struct {
+	// Name identifies the NIC ("nic0", ...), in node order.
+	Name string
+	// Busy is the virtual time the link spent serializing frames;
+	// Utilization is Busy over the run's virtual time.
+	Busy        sim.Time
+	Utilization float64
 }
 
 // ChannelTypeMetrics aggregates every operation that completed on
@@ -47,6 +69,9 @@ type ChannelTypeMetrics struct {
 	LatencyUs     *metrics.Histogram
 	SizeBytes     *metrics.Histogram
 	BandwidthMBps *metrics.Histogram
+	// BacklogHighWater is the largest in-flight operation backlog (writes
+	// completed but not yet read) any single channel of this type reached.
+	BacklogHighWater int
 }
 
 // ProcTime attributes one process's virtual lifetime: compute versus the
@@ -92,6 +117,8 @@ type Stats struct {
 	CoPilots []CoPilotStats
 	// SPEs covers every SPE process that was launched.
 	SPEs []SPEStats
+	// Links reports per-NIC occupancy and saturation, in node order.
+	Links []LinkUtil
 	// ChannelTypes, ProcTimes and Registry carry the Meter's aggregates
 	// when App.Metrics was attached; all are nil otherwise.
 	ChannelTypes []ChannelTypeMetrics
@@ -106,6 +133,7 @@ type Stats struct {
 func (a *App) Stats() Stats {
 	st := Stats{VirtualTime: a.K.Now()}
 	st.NetworkMessages, st.NetworkBytes = a.Clu.Net.Stats()
+	elapsed := float64(st.VirtualTime)
 	keys := make([]copilotKey, 0, len(a.copilots))
 	for k := range a.copilots {
 		keys = append(keys, k)
@@ -117,20 +145,38 @@ func (a *App) Stats() Stats {
 		return keys[i].cell < keys[j].cell
 	})
 	for _, k := range keys {
-		cs := a.copilots[k].stats
+		cp := a.copilots[k]
+		cs := cp.stats
 		cs.Node = k.node
+		cs.Busy = cp.busy
+		if elapsed > 0 {
+			cs.Utilization = float64(cp.busy) / elapsed
+		}
 		st.CoPilots = append(st.CoPilots, cs)
 	}
 	for _, p := range a.procs {
 		if p.IsSPE() && p.sctx != nil {
-			ls := p.sctx.SPE.LS
+			spe := p.sctx.SPE
 			st.SPEs = append(st.SPEs, SPEStats{
-				Process:   p.String(),
-				Node:      p.nodeID,
-				Resident:  ls.Resident(),
-				HighWater: ls.HighWater(),
+				Process:          p.String(),
+				Node:             p.nodeID,
+				Resident:         spe.LS.Resident(),
+				HighWater:        spe.LS.HighWater(),
+				InMboxHighWater:  spe.InMbox.HighWater(),
+				OutMboxHighWater: spe.OutMbox.HighWater(),
 			})
 		}
+	}
+	for _, ls := range a.Clu.Net.LinkStats() {
+		lu := LinkUtil{Name: ls.Name, Busy: ls.Busy}
+		if elapsed > 0 {
+			lu.Utilization = float64(ls.Busy) / elapsed
+		}
+		st.Links = append(st.Links, lu)
+	}
+	m := a.obs.meter
+	if m == nil {
+		m = a.Metrics // Stats before Run: nothing recorded, but keep the registry visible
 	}
 	if inj := a.opts.Faults; inj != nil {
 		st.Faults = &FaultStats{
@@ -138,25 +184,33 @@ func (a *App) Stats() Stats {
 			Killed: append([]string(nil), a.killed...),
 			Faults: append([]*ChannelFault(nil), a.faults...),
 		}
-		if m := a.Metrics; m != nil {
+		if m != nil {
 			a.pushFaultMetrics(m.reg)
 		}
 	}
-	if m := a.Metrics; m != nil {
+	if m != nil {
 		st.Registry = m.reg
+		a.pushTelemetryGauges(m.reg, st)
 		for t := Type1; t <= Type5; t++ {
 			prefix := "chan/" + t.String()
 			lat := m.reg.LookupHistogram(prefix + "/latency_us")
 			if lat == nil {
 				continue // no operation completed on this channel type
 			}
+			backlog := 0
+			for _, ch := range a.chans {
+				if ch.typ == t && m.BacklogHighWater(ch.id) > backlog {
+					backlog = m.BacklogHighWater(ch.id)
+				}
+			}
 			st.ChannelTypes = append(st.ChannelTypes, ChannelTypeMetrics{
-				Type:          t,
-				Ops:           m.reg.Counter(prefix + "/ops").Value(),
-				Bytes:         m.reg.Counter(prefix + "/payload_bytes_total").Value(),
-				LatencyUs:     lat,
-				SizeBytes:     m.reg.LookupHistogram(prefix + "/payload_bytes"),
-				BandwidthMBps: m.reg.LookupHistogram(prefix + "/bandwidth_mbps"),
+				Type:             t,
+				Ops:              m.reg.Counter(prefix + "/ops").Value(),
+				Bytes:            m.reg.Counter(prefix + "/payload_bytes_total").Value(),
+				LatencyUs:        lat,
+				SizeBytes:        m.reg.LookupHistogram(prefix + "/payload_bytes"),
+				BandwidthMBps:    m.reg.LookupHistogram(prefix + "/bandwidth_mbps"),
+				BacklogHighWater: backlog,
 			})
 		}
 		for _, p := range a.procs {
@@ -180,6 +234,38 @@ func (a *App) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// pushTelemetryGauges publishes the congestion/utilization telemetry into
+// the metrics registry as gauges (idempotent: Set overwrites, so calling
+// Stats twice is safe) so it rides along in dumps, JSON snapshots and the
+// OpenMetrics endpoint.
+func (a *App) pushTelemetryGauges(reg *metrics.Registry, st Stats) {
+	for _, key := range a.copilotOrder {
+		cp := a.copilots[key]
+		prefix := "copilot/" + cp.rank.Label()
+		reg.Gauge(prefix + "/busy_us").Set(cp.busy.Micros())
+		if st.VirtualTime > 0 {
+			reg.Gauge(prefix + "/utilization").Set(float64(cp.busy) / float64(st.VirtualTime))
+		}
+	}
+	for _, lu := range st.Links {
+		prefix := "link/" + lu.Name
+		reg.Gauge(prefix + "/busy_us").Set(lu.Busy.Micros())
+		reg.Gauge(prefix + "/utilization").Set(lu.Utilization)
+	}
+	for _, spe := range st.SPEs {
+		prefix := "spe/" + spe.Process
+		reg.Gauge(prefix + "/inmbox_highwater").Set(float64(spe.InMboxHighWater))
+		reg.Gauge(prefix + "/outmbox_highwater").Set(float64(spe.OutMboxHighWater))
+	}
+	if m := a.obs.meter; m != nil {
+		for _, ch := range a.chans {
+			if hw := m.BacklogHighWater(ch.id); hw > 0 {
+				reg.Gauge(fmt.Sprintf("chan/%s/backlog_highwater", ch.typ)).SetMax(float64(hw))
+			}
+		}
+	}
 }
 
 // pushFaultMetrics publishes the injector's counters into the metrics
@@ -245,17 +331,24 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "run: %s virtual, %d network messages (%d bytes)\n",
 		s.VirtualTime, s.NetworkMessages, s.NetworkBytes)
 	for _, cp := range s.CoPilots {
-		fmt.Fprintf(&b, "  copilot@node%d: %d write + %d read requests, %d bytes relayed, %d type-4 copies (%d bytes)\n",
-			cp.Node, cp.WriteReqs, cp.ReadReqs, cp.RelayedBytes, cp.Type4Copies, cp.Type4Bytes)
+		fmt.Fprintf(&b, "  copilot@node%d: %d write + %d read requests, %d bytes relayed, %d type-4 copies (%d bytes), busy %v (%.1f%% utilized)\n",
+			cp.Node, cp.WriteReqs, cp.ReadReqs, cp.RelayedBytes, cp.Type4Copies, cp.Type4Bytes, cp.Busy, 100*cp.Utilization)
 	}
 	for _, spe := range s.SPEs {
-		fmt.Fprintf(&b, "  %-28s LS resident %6d, high water %6d\n", spe.Process, spe.Resident, spe.HighWater)
+		fmt.Fprintf(&b, "  %-28s LS resident %6d, high water %6d, mbox high water in=%d out=%d\n",
+			spe.Process, spe.Resident, spe.HighWater, spe.InMboxHighWater, spe.OutMboxHighWater)
+	}
+	for _, lu := range s.Links {
+		fmt.Fprintf(&b, "  %-6s busy %v (%.1f%% saturated)\n", lu.Name, lu.Busy, 100*lu.Utilization)
 	}
 	for _, ct := range s.ChannelTypes {
 		fmt.Fprintf(&b, "  %s: %d ops, %d bytes, latency p50=%.1fus p99=%.1fus",
 			ct.Type, ct.Ops, ct.Bytes, ct.LatencyUs.Quantile(0.5), ct.LatencyUs.Quantile(0.99))
 		if ct.BandwidthMBps != nil && ct.BandwidthMBps.Count() > 0 {
 			fmt.Fprintf(&b, ", bandwidth p50=%.1fMB/s", ct.BandwidthMBps.Quantile(0.5))
+		}
+		if ct.BacklogHighWater > 0 {
+			fmt.Fprintf(&b, ", backlog high water %d", ct.BacklogHighWater)
 		}
 		b.WriteByte('\n')
 	}

@@ -86,3 +86,21 @@ func (n *Network) SerializationTime(bytes int) sim.Time {
 
 // Stats reports total messages and bytes sent through the fabric.
 func (n *Network) Stats() (messages int, bytes int64) { return n.messages, n.bytes }
+
+// LinkStat is one NIC's cumulative occupancy.
+type LinkStat struct {
+	// Name identifies the NIC ("nic0", "nic1", ...).
+	Name string
+	// Busy is the cumulative virtual time the NIC spent serializing.
+	Busy sim.Time
+}
+
+// LinkStats reports per-NIC cumulative busy time, in node order. Divided
+// by elapsed virtual time it gives each link's saturation.
+func (n *Network) LinkStats() []LinkStat {
+	out := make([]LinkStat, 0, len(n.tx))
+	for _, r := range n.tx {
+		out = append(out, LinkStat{Name: r.Name, Busy: r.Busy()})
+	}
+	return out
+}

@@ -31,6 +31,28 @@ func (c *Counter) Add(d int64) { c.n += d }
 // Value reports the current count.
 func (c *Counter) Value() int64 { return c.n }
 
+// Gauge is an instantaneous value: a queue watermark, a utilization
+// percentage, a resident count. Unlike a Counter it can move both ways.
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// SetMax raises the value to v if v is larger — watermark tracking.
+func (g *Gauge) SetMax(v float64) {
+	if v > g.v {
+		g.v = v
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
 // Histogram is a fixed-bucket histogram: bounds[i] is the inclusive upper
 // edge of bucket i, with one implicit overflow bucket past the last bound.
 type Histogram struct {
@@ -197,15 +219,20 @@ func (h *Histogram) String() string {
 		h.count, h.Mean(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 }
 
-// Registry is a named collection of counters and histograms.
+// Registry is a named collection of counters, gauges and histograms.
 type Registry struct {
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -229,8 +256,52 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // LookupHistogram returns the named histogram, or nil.
 func (r *Registry) LookupHistogram(name string) *Histogram { return r.hists[name] }
+
+// LookupGauge returns the named gauge, or nil.
+func (r *Registry) LookupGauge(name string) *Gauge { return r.gauges[name] }
+
+// GaugeNames reports the registered gauge names, sorted.
+func (r *Registry) GaugeNames() []string {
+	out := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the registry: an immutable snapshot that
+// can cross goroutine boundaries (the live-export path publishes clones
+// to the HTTP handler while the simulation keeps mutating the original).
+func (r *Registry) Clone() *Registry {
+	out := NewRegistry()
+	for name, c := range r.counters {
+		out.counters[name] = &Counter{n: c.n}
+	}
+	for name, g := range r.gauges {
+		out.gauges[name] = &Gauge{v: g.v}
+	}
+	for name, h := range r.hists {
+		out.hists[name] = &Histogram{
+			bounds: append([]float64(nil), h.bounds...),
+			counts: append([]int64(nil), h.counts...),
+			count:  h.count, sum: h.sum, min: h.min, max: h.max,
+		}
+	}
+	return out
+}
 
 // CounterNames reports the registered counter names, sorted.
 func (r *Registry) CounterNames() []string {
@@ -252,11 +323,15 @@ func (r *Registry) HistogramNames() []string {
 	return out
 }
 
-// Dump renders every metric as plain text, sorted by name.
+// Dump renders every metric as plain text, sorted by name within each
+// section (counters, then gauges, then histograms).
 func (r *Registry) Dump() string {
 	var b strings.Builder
 	for _, name := range r.CounterNames() {
 		fmt.Fprintf(&b, "%-40s %d\n", name, r.counters[name].Value())
+	}
+	for _, name := range r.GaugeNames() {
+		fmt.Fprintf(&b, "%-40s %g\n", name, r.gauges[name].Value())
 	}
 	for _, name := range r.HistogramNames() {
 		fmt.Fprintf(&b, "%-40s %s\n", name, r.hists[name])
@@ -277,11 +352,17 @@ type histogramJSON struct {
 	Counts []int64   `json:"counts"`
 }
 
-// MarshalJSON renders the registry as {"counters": {...}, "histograms": {...}}.
+// MarshalJSON renders the registry as
+// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+// encoding/json sorts map keys, so the output is deterministic.
 func (r *Registry) MarshalJSON() ([]byte, error) {
 	counters := map[string]int64{}
 	for name, c := range r.counters {
 		counters[name] = c.Value()
+	}
+	gauges := map[string]float64{}
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
 	}
 	hists := map[string]histogramJSON{}
 	for name, h := range r.hists {
@@ -291,5 +372,7 @@ func (r *Registry) MarshalJSON() ([]byte, error) {
 			Bounds: h.Bounds(), Counts: h.Counts(),
 		}
 	}
-	return json.Marshal(map[string]any{"counters": counters, "histograms": hists})
+	return json.Marshal(map[string]any{
+		"counters": counters, "gauges": gauges, "histograms": hists,
+	})
 }

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// sanitizeName maps a registry name ("chan/type2/latency_us") onto the
+// Prometheus metric-name alphabet [a-zA-Z0-9_:], prefixed so every
+// exported series is namespaced under cellpilot_.
+func sanitizeName(name string) string {
+	out := make([]byte, 0, len(name)+len("cellpilot_"))
+	out = append(out, "cellpilot_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics renders the registry in the Prometheus text exposition
+// format (version 0.0.4, which OpenMetrics scrapers also accept):
+// counters, gauges, and histograms with cumulative le-labelled buckets.
+// Output is sorted by name, so it is deterministic.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	for _, name := range r.CounterNames() {
+		n := sanitizeName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.GaugeNames() {
+		n := sanitizeName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, fmtFloat(r.gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.HistogramNames() {
+		h := r.hists[name]
+		n := sanitizeName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		bounds := h.bounds
+		for i, c := range h.counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = fmtFloat(bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, fmtFloat(h.sum), n, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

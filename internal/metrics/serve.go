@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Publisher hands registry snapshots across the simulation/HTTP boundary.
+// The simulation side (single-threaded) calls Publish at convenient
+// points — between benchmark repetitions, after a run — which stores a
+// deep copy; HTTP handler goroutines only ever read whole snapshots
+// through an atomic.Value, so the live registry is never shared and needs
+// no locks.
+type Publisher struct {
+	v atomic.Value // *Registry (always a private clone)
+}
+
+// NewPublisher creates a publisher with an empty initial snapshot, so the
+// endpoint is scrapeable before the first Publish.
+func NewPublisher() *Publisher {
+	p := &Publisher{}
+	p.v.Store(NewRegistry())
+	return p
+}
+
+// Publish snapshots the registry (deep copy) and makes it the served
+// state. Call from the simulation/host side only.
+func (p *Publisher) Publish(r *Registry) {
+	if r == nil {
+		return
+	}
+	p.v.Store(r.Clone())
+}
+
+// Snapshot returns the most recently published registry snapshot. The
+// returned registry is never mutated again; treat it as read-only to keep
+// it shareable.
+func (p *Publisher) Snapshot() *Registry {
+	return p.v.Load().(*Registry)
+}
+
+// Handler serves the published snapshot:
+//
+//	GET /metrics       Prometheus/OpenMetrics text exposition
+//	GET /metrics.json  JSON snapshot of counters, gauges, histograms
+//
+// Any other path redirects to /metrics.
+func (p *Publisher) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = p.Snapshot().WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(p.Snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		http.Redirect(w, req, "/metrics", http.StatusFound)
+	})
+	return mux
+}

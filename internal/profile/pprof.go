@@ -1,0 +1,181 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+	"sort"
+)
+
+// WritePprof writes the attribution as a gzip-compressed pprof protobuf
+// profile (the format `go tool pprof` and speedscope read). Each sample
+// is a two-frame stack — process as the root frame, bucket as the leaf —
+// valued in virtual nanoseconds. The encoding is hand-rolled against
+// pprof's profile.proto so the repo stays standard-library only.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(p.pprofBytes()); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// pprofBytes builds the uncompressed profile.proto message.
+func (p *Profiler) pprofBytes() []byte {
+	st := newStringTable()
+	var enc protoBuf
+
+	// sample_type = 1: one value per sample, ("virtual", "nanoseconds").
+	var vt protoBuf
+	vt.int64Field(1, st.index("virtual"))
+	vt.int64Field(2, st.index("nanoseconds"))
+	enc.bytesField(1, vt.buf)
+
+	// Function and location tables: one entry per distinct frame name
+	// (process names and bucket names). Ids are 1-based.
+	frameIDs := map[string]uint64{}
+	var frames []string
+	frameID := func(name string) uint64 {
+		if id, ok := frameIDs[name]; ok {
+			return id
+		}
+		id := uint64(len(frames) + 1)
+		frameIDs[name] = id
+		frames = append(frames, name)
+		return id
+	}
+
+	// samples = 2: leaf-first stacks [bucket, proc].
+	var durationNanos int64
+	for _, name := range p.Procs() {
+		start, end, _ := p.Lifetime(name)
+		if d := int64(end - start); d > durationNanos {
+			durationNanos = d
+		}
+		buckets := p.Buckets(name)
+		keys := make([]string, 0, len(buckets))
+		for b := range buckets {
+			keys = append(keys, b)
+		}
+		sort.Strings(keys)
+		procID := frameID(name)
+		for _, b := range keys {
+			d := buckets[b]
+			if d <= 0 {
+				continue
+			}
+			var sample protoBuf
+			sample.uint64Field(1, frameID(b)) // leaf
+			sample.uint64Field(1, procID)     // root
+			sample.int64Field(2, int64(d))
+			enc.bytesField(2, sample.buf)
+		}
+	}
+
+	// mapping = 3: one synthetic mapping covering the virtual "binary".
+	var mapping protoBuf
+	mapping.uint64Field(1, 1)
+	mapping.uint64Field(2, 0x1000)
+	mapping.uint64Field(3, 0x2000)
+	mapping.int64Field(5, st.index("cellpilot-virtual"))
+	enc.bytesField(3, mapping.buf)
+
+	// location = 4 and function = 5, one pair per frame.
+	for i, name := range frames {
+		id := uint64(i + 1)
+
+		var line protoBuf
+		line.uint64Field(1, id) // function_id
+		line.int64Field(2, 1)   // line number
+
+		var loc protoBuf
+		loc.uint64Field(1, id) // location id
+		loc.uint64Field(2, 1)  // mapping id
+		loc.bytesField(4, line.buf)
+		enc.bytesField(4, loc.buf)
+
+		var fn protoBuf
+		fn.uint64Field(1, id)
+		fn.int64Field(2, st.index(name))
+		fn.int64Field(3, st.index(name))
+		fn.int64Field(4, st.index("virtual"))
+		enc.bytesField(5, fn.buf)
+	}
+
+	// string_table = 6.
+	for _, s := range st.strings {
+		enc.stringField(6, s)
+	}
+
+	// duration_nanos = 10, period_type = 11, period = 12. time_nanos is
+	// left zero: the run exists on a virtual timeline only.
+	enc.int64Field(10, durationNanos)
+	var pt protoBuf
+	pt.int64Field(1, st.index("virtual"))
+	pt.int64Field(2, st.index("nanoseconds"))
+	enc.bytesField(11, pt.buf)
+	enc.int64Field(12, 1)
+
+	return enc.buf
+}
+
+// stringTable interns strings for profile.proto; index 0 is always "".
+type stringTable struct {
+	strings []string
+	index_  map[string]int64
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{strings: []string{""}, index_: map[string]int64{"": 0}}
+}
+
+func (t *stringTable) index(s string) int64 {
+	if i, ok := t.index_[s]; ok {
+		return i
+	}
+	i := int64(len(t.strings))
+	t.strings = append(t.strings, s)
+	t.index_[s] = i
+	return i
+}
+
+// protoBuf is a minimal protobuf wire-format writer: varints (wire type
+// 0) and length-delimited fields (wire type 2) cover everything
+// profile.proto needs.
+type protoBuf struct {
+	buf []byte
+}
+
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.buf = append(b.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	b.buf = append(b.buf, byte(v))
+}
+
+func (b *protoBuf) key(field, wire int) {
+	b.varint(uint64(field)<<3 | uint64(wire))
+}
+
+func (b *protoBuf) int64Field(field int, v int64) {
+	b.key(field, 0)
+	b.varint(uint64(v))
+}
+
+func (b *protoBuf) uint64Field(field int, v uint64) {
+	b.key(field, 0)
+	b.varint(v)
+}
+
+func (b *protoBuf) bytesField(field int, data []byte) {
+	b.key(field, 2)
+	b.varint(uint64(len(data)))
+	b.buf = append(b.buf, data...)
+}
+
+func (b *protoBuf) stringField(field int, s string) {
+	b.key(field, 2)
+	b.varint(uint64(len(s)))
+	b.buf = append(b.buf, s...)
+}

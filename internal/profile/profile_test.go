@@ -1,0 +1,158 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func TestAttributionAndComputeRemainder(t *testing.T) {
+	p := New()
+	p.ProcStart("worker", 100)
+	p.Attribute("worker", BucketPack, 30)
+	p.Attribute("worker", BucketMPISend, 50)
+	p.Attribute("worker", BucketPack, 10) // accumulates
+	p.Attribute("worker", BucketCopy, 0)  // ignored
+	p.Attribute("worker", BucketCopy, -5) // ignored
+	p.ProcEnd("worker", 300)
+
+	b := p.Buckets("worker")
+	if b[BucketPack] != 40 || b[BucketMPISend] != 50 {
+		t.Fatalf("buckets = %v", b)
+	}
+	// compute = 200 lifetime - 90 attributed
+	if b[BucketCompute] != 110 {
+		t.Fatalf("compute = %v, want 110", b[BucketCompute])
+	}
+	if _, ok := b[BucketCopy]; ok {
+		t.Fatal("zero-duration bucket materialized")
+	}
+	start, end, ok := p.Lifetime("worker")
+	if !ok || start != 100 || end != 300 {
+		t.Fatalf("Lifetime = %v..%v ok=%v", start, end, ok)
+	}
+}
+
+func TestOverAttributedClampsCompute(t *testing.T) {
+	p := New()
+	p.ProcStart("w", 0)
+	p.Attribute("w", BucketRelay, 500)
+	p.ProcEnd("w", 100) // attributed exceeds lifetime (overlapping phases)
+	b := p.Buckets("w")
+	if _, ok := b[BucketCompute]; ok {
+		t.Fatalf("negative compute surfaced: %v", b)
+	}
+}
+
+func TestFinishClosesOpenProcs(t *testing.T) {
+	p := New()
+	p.ProcStart("loop", 10)
+	p.Attribute("loop", BucketCoPilotService, 40)
+	p.Finish(110)
+	if b := p.Buckets("loop"); b[BucketCompute] != 60 {
+		t.Fatalf("buckets after Finish = %v", b)
+	}
+	// Finish must not reopen or move already-ended procs.
+	p2 := New()
+	p2.ProcStart("done", 0)
+	p2.ProcEnd("done", 50)
+	p2.Finish(1000)
+	if _, end, _ := p2.Lifetime("done"); end != 50 {
+		t.Fatalf("Finish moved an ended proc to %v", end)
+	}
+}
+
+func TestFoldedStacksFormat(t *testing.T) {
+	p := New()
+	p.ProcStart("b-proc", 0)
+	p.Attribute("b-proc", BucketMboxWait, 70)
+	p.ProcEnd("b-proc", 100)
+	p.ProcStart("a-proc", 0)
+	p.Attribute("a-proc", BucketPack, 25)
+	p.ProcEnd("a-proc", 25) // fully attributed: no compute line
+	var buf bytes.Buffer
+	if err := p.FoldedStacks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a-proc;pack 25\nb-proc;compute 30\nb-proc;mbox-wait 70\n"
+	if buf.String() != want {
+		t.Fatalf("folded stacks:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestReportSortsByDuration(t *testing.T) {
+	p := New()
+	p.ProcStart("w", 0)
+	p.Attribute("w", BucketPack, 10)
+	p.Attribute("w", BucketMPIWait, 80)
+	p.ProcEnd("w", 100)
+	rep := p.Report()
+	if !strings.Contains(rep, "w (lifetime 100ns)") {
+		t.Fatalf("report header missing:\n%s", rep)
+	}
+	if strings.Index(rep, "mpi-wait") > strings.Index(rep, "pack") {
+		t.Fatalf("buckets not sorted by duration:\n%s", rep)
+	}
+	if !strings.Contains(rep, "80.0%") {
+		t.Fatalf("percentage missing:\n%s", rep)
+	}
+}
+
+func TestNilProfilerSafe(t *testing.T) {
+	var p *Profiler
+	p.ProcStart("x", 0)
+	p.ProcEnd("x", 1)
+	p.Attribute("x", BucketPack, 1)
+	p.Finish(2)
+	if p.Procs() != nil || p.Buckets("x") != nil {
+		t.Fatal("nil profiler is not inert")
+	}
+	if _, _, ok := p.Lifetime("x"); ok {
+		t.Fatal("nil profiler reported a lifetime")
+	}
+}
+
+// The pprof export must be a gzipped protobuf whose string table carries
+// the process and bucket names; `go tool pprof` parses it (verified
+// manually), here we check the container and the embedded strings.
+func TestWritePprof(t *testing.T) {
+	p := New()
+	p.ProcStart("worker#0", 0)
+	p.Attribute("worker#0", BucketMboxWait, 700*sim.Microsecond)
+	p.Attribute("worker#0", BucketPack, 100*sim.Microsecond)
+	p.ProcEnd("worker#0", sim.Millisecond)
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("pprof output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty profile")
+	}
+	for _, want := range []string{"worker#0", "mbox-wait", "pack", "compute", "virtual", "nanoseconds", "cellpilot-virtual"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("profile string table lacks %q", want)
+		}
+	}
+}
+
+func TestWritePprofEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WritePprof(&buf); err != nil {
+		t.Fatalf("empty profiler WritePprof: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no gzip container written")
+	}
+}

@@ -18,6 +18,7 @@ type Resource struct {
 	Latency Time
 
 	busyUntil Time
+	busy      Time
 }
 
 // NewResource creates a resource.
@@ -45,6 +46,7 @@ func (r *Resource) Send(p *Proc, bytes int) (arrival Time) {
 	}
 	end := start + r.SerializationTime(bytes)
 	r.busyUntil = end
+	r.busy += end - start
 	p.AdvanceTo(end)
 	return end + r.Latency
 }
@@ -59,8 +61,13 @@ func (r *Resource) Reserve(bytes int) (arrival Time) {
 	}
 	end := start + r.SerializationTime(bytes)
 	r.busyUntil = end
+	r.busy += end - start
 	return end + r.Latency
 }
 
 // BusyUntil reports when the medium becomes free.
 func (r *Resource) BusyUntil() Time { return r.busyUntil }
+
+// Busy reports the cumulative time the medium spent occupied — the
+// numerator of its saturation (Busy / elapsed virtual time).
+func (r *Resource) Busy() Time { return r.busy }

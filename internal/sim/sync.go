@@ -20,6 +20,7 @@ type Queue[T any] struct {
 	buf  []T
 	puts []*qwaiter[T]
 	gets []*qwaiter[T]
+	high int
 }
 
 type qwaiter[T any] struct {
@@ -42,6 +43,18 @@ func (q *Queue[T]) Len() int { return len(q.buf) }
 
 // Cap reports the queue capacity.
 func (q *Queue[T]) Cap() int { return q.cap }
+
+// HighWater reports the largest buffered occupancy the queue ever
+// reached — the congestion watermark for mailboxes and service queues.
+func (q *Queue[T]) HighWater() int { return q.high }
+
+// bufAppend grows the buffer and tracks the occupancy high-water mark.
+func (q *Queue[T]) bufAppend(v T) {
+	q.buf = append(q.buf, v)
+	if len(q.buf) > q.high {
+		q.high = len(q.buf)
+	}
+}
 
 // Put enqueues v, blocking p while the queue is full (or, for a rendezvous
 // queue, until a receiver arrives). Spurious wakes re-park.
@@ -70,7 +83,7 @@ func (q *Queue[T]) TryPut(v T) bool {
 		return true
 	}
 	if q.cap > 0 && len(q.buf) < q.cap {
-		q.buf = append(q.buf, v)
+		q.bufAppend(v)
 		return true
 	}
 	return false
@@ -119,7 +132,7 @@ func (q *Queue[T]) refill() {
 		if w.p.Gone() {
 			continue
 		}
-		q.buf = append(q.buf, w.v)
+		q.bufAppend(w.v)
 		w.served = true
 		q.k.ReadyIfParked(w.p)
 	}

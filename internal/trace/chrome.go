@@ -22,6 +22,8 @@ type chromeEvent struct {
 	Ts   float64        `json:"ts"`
 	Dur  *float64       `json:"dur,omitempty"`
 	S    string         `json:"s,omitempty"`
+	ID   *int64         `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -74,6 +76,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			},
 		})
 	}
+	events = append(events, r.flowEvents(tids)...)
 	for _, ev := range r.events {
 		events = append(events, chromeEvent{
 			Name: fmt.Sprintf("%s ch%d", ev.Kind, ev.Channel),
@@ -88,4 +91,52 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		"traceEvents":     events,
 		"displayTimeUnit": "ns",
 	})
+}
+
+// flowEvents links each transfer's phases across the tracks they ran on
+// with Chrome flow ("s"/"t"/"f") events, so a transfer reads as one
+// arrowed chain writer → Co-Pilot → reader in Perfetto. A flow arrow is
+// emitted at the first phase of each distinct track the transfer visits;
+// transfers confined to a single track need no arrows.
+func (r *Recorder) flowEvents(tids map[string]int) []chromeEvent {
+	spans := r.Spans()
+	var out []chromeEvent
+	for _, sp := range spans {
+		// Anchor points: the first phase on each track, in timeline order.
+		type anchor struct {
+			proc string
+			at   sim.Time
+		}
+		var anchors []anchor
+		seen := map[string]bool{}
+		for _, pe := range sp.Phases {
+			if seen[pe.Proc] {
+				continue
+			}
+			seen[pe.Proc] = true
+			anchors = append(anchors, anchor{proc: pe.Proc, at: pe.Start})
+		}
+		if len(anchors) < 2 {
+			continue
+		}
+		id := sp.ID
+		for i, a := range anchors {
+			ev := chromeEvent{
+				Name: "xfer", Cat: "flow",
+				Pid: chromePid, Tid: tids[a.proc],
+				Ts: usec(a.at), ID: &id,
+			}
+			switch {
+			case i == 0:
+				ev.Ph = "s"
+			case i == len(anchors)-1:
+				ev.Ph = "f"
+				ev.Bp = "e"
+			default:
+				ev.Ph = "t"
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
 }

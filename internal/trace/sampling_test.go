@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func TestSamplingKeepsDeterministicSubset(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetSampleEvery(3)
+	if r.SampleEvery() != 3 {
+		t.Fatalf("SampleEvery = %d", r.SampleEvery())
+	}
+	for i := 1; i <= 9; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: KindWrite, Proc: "p", Channel: 1, Xfer: int64(i)})
+		r.RecordPhase(PhaseEvent{Xfer: int64(i), Phase: PhasePack, Proc: "p", Channel: 1,
+			Start: sim.Time(i), End: sim.Time(i) + 1})
+	}
+	// (xfer-1)%3 == 0 keeps 1, 4, 7.
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("kept %d events, want 3: %+v", len(evs), evs)
+	}
+	for i, want := range []int64{1, 4, 7} {
+		if evs[i].Xfer != want {
+			t.Fatalf("event %d has xfer %d, want %d", i, evs[i].Xfer, want)
+		}
+	}
+	if got := len(r.Spans()); got != 3 {
+		t.Fatalf("kept %d spans, want 3", got)
+	}
+	if r.SampledOut() != 12 { // 6 events + 6 phases dropped
+		t.Fatalf("SampledOut = %d, want 12", r.SampledOut())
+	}
+}
+
+func TestSamplingKeepsUntaggedEvents(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetSampleEvery(10)
+	r.Record(Event{At: 1, Kind: KindWrite, Proc: "p", Channel: 1, Xfer: 0})
+	r.Record(Event{At: 2, Kind: KindWrite, Proc: "p", Channel: 1, Xfer: 2})
+	if got := len(r.Events()); got != 1 {
+		t.Fatalf("kept %d events, want 1 (the untagged one)", got)
+	}
+	if r.Events()[0].Xfer != 0 {
+		t.Fatal("the untagged event was dropped")
+	}
+}
+
+func TestSamplingDefaultsAndClamps(t *testing.T) {
+	r := NewRecorder(0)
+	if r.SampleEvery() != 1 {
+		t.Fatalf("default SampleEvery = %d, want 1", r.SampleEvery())
+	}
+	r.SetSampleEvery(0) // clamped to 1 = keep everything
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: KindRead, Proc: "p", Channel: 1, Xfer: int64(i)})
+	}
+	if got := len(r.Events()); got != 5 {
+		t.Fatalf("kept %d events, want all 5", got)
+	}
+	var nilRec *Recorder
+	nilRec.SetSampleEvery(4) // must not panic
+	if nilRec.SampleEvery() != 1 || nilRec.SampledOut() != 0 {
+		t.Fatal("nil recorder sampling accessors not inert")
+	}
+}
+
+// Flow events: a transfer whose phases run on several tracks is linked
+// with ph "s"/"f" arrows carrying the transfer id; single-track transfers
+// get none.
+func TestChromeFlowEvents(t *testing.T) {
+	r := NewRecorder(0)
+	r.RecordPhase(PhaseEvent{Xfer: 1, Phase: PhaseMailboxReq, Proc: "writer", Channel: 1,
+		Start: 0, End: 10})
+	r.RecordPhase(PhaseEvent{Xfer: 1, Phase: PhaseCoPilotService, Proc: "copilot", Channel: 1,
+		Start: 10, End: 30})
+	r.RecordPhase(PhaseEvent{Xfer: 1, Phase: PhaseMailboxWait, Proc: "reader", Channel: 1,
+		Start: 30, End: 50})
+	r.RecordPhase(PhaseEvent{Xfer: 2, Phase: PhasePack, Proc: "writer", Channel: 2,
+		Start: 60, End: 70}) // single track: no flow arrows
+
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+			ID *int64 `json:"id"`
+			Bp string `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not JSON: %v", err)
+	}
+	var starts, steps, finishes int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s", "t", "f":
+			if ev.ID == nil || *ev.ID != 1 {
+				t.Fatalf("flow event %+v does not carry transfer id 1", ev)
+			}
+			switch ev.Ph {
+			case "s":
+				starts++
+			case "t":
+				steps++
+			case "f":
+				finishes++
+				if ev.Bp != "e" {
+					t.Errorf("finishing flow event lacks bp=e: %+v", ev)
+				}
+			}
+		}
+	}
+	if starts != 1 || steps != 1 || finishes != 1 {
+		t.Fatalf("flow events s/t/f = %d/%d/%d, want 1/1/1", starts, steps, finishes)
+	}
+}

@@ -91,9 +91,14 @@ type PhaseEvent struct {
 func (pe PhaseEvent) Dur() sim.Time { return pe.End - pe.Start }
 
 // RecordPhase appends a phase event, honouring the recorder's limit with
-// separate drop accounting from flat events.
+// separate drop accounting from flat events, and the sampling rate set by
+// SetSampleEvery.
 func (r *Recorder) RecordPhase(pe PhaseEvent) {
 	if r == nil {
+		return
+	}
+	if !r.sampledIn(pe.Xfer) {
+		r.sampledOut++
 		return
 	}
 	if r.limit > 0 && len(r.phases) >= r.limit {

@@ -11,6 +11,7 @@ import (
 	"cellpilot/internal/core"
 	"cellpilot/internal/fmtmsg"
 	"cellpilot/internal/mpi"
+	"cellpilot/internal/profile"
 	"cellpilot/internal/sdk"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
@@ -69,6 +70,9 @@ type PingPongConfig struct {
 	Trace *trace.Recorder
 	// Metrics, when non-nil, aggregates the CellPilot run's histograms.
 	Metrics *core.Meter
+	// Profile, when non-nil, attributes every process's virtual time into
+	// exclusive buckets (MethodCellPilot only).
+	Profile *profile.Profiler
 }
 
 // Result is a measured Table II cell.
@@ -200,6 +204,7 @@ func pingPongCellPilot(cfg PingPongConfig) (sim.Time, error) {
 	a := core.NewApp(c, core.Options{CoPilotDirectLocal: cfg.DirectLocal})
 	a.Trace = cfg.Trace
 	a.Metrics = cfg.Metrics
+	a.Profile = cfg.Profile
 	format, mk, rd := payloadFormat(cfg.Bytes)
 
 	var ab, ba *core.Channel
