@@ -46,11 +46,20 @@ ci-obs:
 bench-json:
 	@mkdir -p results
 	$(GO) run ./cmd/cellpilot-bench -exp pingpong -out results
+	$(GO) run ./cmd/cellpilot-bench -exp sizesweep -out results
 .PHONY: bench-json
 
+# Performance-regression gate: re-measure the five-type pingpong grid and
+# fail if any channel type's one-way p50 regressed >10% vs the committed
+# results/BENCH_pingpong.json baseline.
+bench-guard:
+	$(GO) run ./cmd/cellpilot-bench -exp guard
+.PHONY: bench-guard
+
 # Deeper sweep (slower): tier-1 plus the race detector, the chaos and
-# observability gates, and staticcheck when the host has it installed.
-ci-full: ci race ci-chaos ci-obs
+# observability gates, the perf-regression guard, and staticcheck when the
+# host has it installed.
+ci-full: ci race ci-chaos ci-obs bench-guard
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -11,6 +11,8 @@
 //	cellpilot-bench -exp chaos      # seeded fault-injection sweep (robustness)
 //	cellpilot-bench -exp pingpong   # metered five-type grid (live telemetry)
 //	cellpilot-bench -exp profile    # virtual-time profiler breakdown
+//	cellpilot-bench -exp sizesweep  # 64B..1MB grid, chunk engine off vs on
+//	cellpilot-bench -exp guard      # regression gate vs results/BENCH_pingpong.json
 //	cellpilot-bench -exp all        # everything
 //
 // With -serve ADDR the process exposes OpenMetrics text at /metrics and a
@@ -45,7 +47,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|phases|chaos|pingpong|profile|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|phases|chaos|pingpong|profile|sizesweep|guard|all")
 	seed := flag.Int64("seed", 1, "chaos: base RNG seed for the fault schedule")
 	chaosRuns := flag.Int("chaos-runs", 5, "chaos: number of seeded runs per scenario")
 	reps := flag.Int("reps", 1000, "PingPong repetitions (paper: 1000)")
@@ -57,6 +59,7 @@ func main() {
 	outDir := flag.String("out", "", "directory for machine-readable BENCH_<exp>.json results")
 	folded := flag.String("folded", "", "profile: write folded-stack text for -trace-type's run to this file")
 	pprofOut := flag.String("pprof", "", "profile: write a pprof profile for -trace-type's run to this file")
+	baseline := flag.String("baseline", "results/BENCH_pingpong.json", "guard: committed baseline to compare against")
 	flag.Parse()
 
 	var pub *metrics.Publisher
@@ -126,6 +129,12 @@ func main() {
 	}
 	if want("profile") {
 		runProfile(*reps/10, *traceType, *folded, *pprofOut)
+	}
+	if want("sizesweep") {
+		runSizeSweep(*outDir)
+	}
+	if *exp == "guard" { // explicit only: needs a committed baseline file
+		runGuard(*reps, *baseline)
 	}
 	if serving {
 		fmt.Println("experiments done; still serving metrics (interrupt to exit)")
@@ -216,6 +225,112 @@ func runPingPongGrid(reps int, pub *metrics.Publisher, outDir string) {
 		}
 		fmt.Printf("results written to %s\n", path)
 	}
+}
+
+// runSizeSweep runs the 64B..1MB PingPong grid over all five channel types
+// with the chunk engine off and on, prints the paired latencies/bandwidths,
+// and (with -out) emits BENCH_sizesweep.json.
+func runSizeSweep(outDir string) {
+	points, err := workload.SizeSweep(workload.SizeSweepConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	type row struct {
+		Type          string  `json:"type"`
+		Bytes         int     `json:"bytes"`
+		Chunked       bool    `json:"chunked"`
+		OneWayP50Us   float64 `json:"one_way_p50_us"`
+		OneWayP99Us   float64 `json:"one_way_p99_us"`
+		BandwidthMBps float64 `json:"bandwidth_mbps"`
+	}
+	rows := make([]row, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, row{
+			Type: fmt.Sprintf("type%d", p.Type), Bytes: p.Bytes, Chunked: p.Chunked,
+			OneWayP50Us: p.OneWayP50.Micros(), OneWayP99Us: p.OneWayP99.Micros(),
+			BandwidthMBps: p.BandwidthMBps,
+		})
+	}
+	fmt.Println("size sweep: one-way p50 latency and bandwidth, chunk engine off vs on")
+	for i := 0; i+1 < len(rows); i += 2 {
+		b, c := rows[i], rows[i+1]
+		speedup := 0.0
+		if c.OneWayP50Us > 0 {
+			speedup = b.OneWayP50Us / c.OneWayP50Us
+		}
+		fmt.Printf("%s %8dB  baseline %10.1fus %8.1fMB/s   chunked %10.1fus %8.1fMB/s   %.2fx\n",
+			b.Type, b.Bytes, b.OneWayP50Us, b.BandwidthMBps, c.OneWayP50Us, c.BandwidthMBps, speedup)
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, "BENCH_sizesweep.json")
+		data, err := json.MarshalIndent(struct {
+			Experiment string `json:"experiment"`
+			ChunkSize  int    `json:"chunk_size"`
+			Depth      int    `json:"pipeline_depth"`
+			Points     []row  `json:"points"`
+		}{"sizesweep", 8192, 4, rows}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("results written to %s\n", path)
+	}
+}
+
+// runGuard is the performance-regression gate: it re-measures the five-type
+// pingpong grid and fails (exit 1) if any channel type's one-way p50 is
+// more than 10% slower than the committed baseline JSON.
+func runGuard(reps int, baselinePath string) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		log.Fatalf("guard: cannot read baseline: %v (run 'make bench-json' and commit the result first)", err)
+	}
+	var base struct {
+		PayloadBytes int `json:"payload_bytes"`
+		ChannelTypes []struct {
+			Type     string  `json:"type"`
+			OneWayUs float64 `json:"one_way_us"`
+		} `json:"channel_types"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("guard: %s: %v", baselinePath, err)
+	}
+	want := map[string]float64{}
+	for _, ct := range base.ChannelTypes {
+		want[ct.Type] = ct.OneWayUs
+	}
+	if base.PayloadBytes == 0 || len(want) == 0 {
+		log.Fatalf("guard: %s has no channel baselines", baselinePath)
+	}
+	fmt.Printf("bench guard: one-way p50 vs %s (payload %dB, tolerance +10%%)\n", baselinePath, base.PayloadBytes)
+	failed := false
+	for typ := 1; typ <= 5; typ++ {
+		name := fmt.Sprintf("type%d", typ)
+		ref, ok := want[name]
+		if !ok {
+			continue
+		}
+		res, err := workload.PingPong(workload.PingPongConfig{
+			Type: typ, Bytes: base.PayloadBytes, Method: workload.MethodCellPilot, Reps: reps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := res.OneWay.Micros()
+		verdict := "ok"
+		if got > ref*1.10 {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%s  baseline %8.1fus  now %8.1fus  (%+.1f%%)  %s\n",
+			name, ref, got, 100*(got-ref)/ref, verdict)
+	}
+	if failed {
+		log.Fatal("guard: one-way latency regressed more than 10% on at least one channel type")
+	}
+	fmt.Println("guard: all channel types within tolerance")
 }
 
 // runProfile reruns the pingpong grid with the virtual-time profiler

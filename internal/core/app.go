@@ -55,6 +55,10 @@ type Options struct {
 	// An injector with an empty plan changes nothing — the virtual
 	// timeline stays bit-identical to a run without one.
 	Faults *fault.Injector
+	// Transfer tunes the chunked transfer engine (transfer.go). The zero
+	// value disables it and keeps the virtual timeline bit-identical to the
+	// pre-engine paths.
+	Transfer TransferOptions
 }
 
 type phase int
@@ -101,6 +105,11 @@ type App struct {
 	allDone  *sim.Event
 
 	directBoxes map[int]*sim.Queue[dbMsg]
+
+	// speDMA holds one MFC DMA-engine resource per SPE (lazily created by
+	// dmaRes); the chunk pipeline books LS↔EA moves on it so they overlap
+	// the Co-Pilot's per-chunk stack work.
+	speDMA map[*cellbe.SPE]*sim.Resource
 
 	// Observability side-band state (see observe.go): the transfer-id
 	// counter and the per-SPE in-flight request records that correlate

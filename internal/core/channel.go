@@ -205,4 +205,8 @@ type speReq struct {
 	postedAt sim.Time // when the SPE stub began posting the descriptor
 	decodeAt sim.Time // when the Co-Pilot decoded it
 	svcEnd   sim.Time // when decode/dispatch service finished
+
+	// Chunk-stream state (transfer.go); nil outside the chunked path.
+	stream  *streamSend
+	rstream *streamRecv
 }

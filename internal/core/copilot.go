@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cellpilot/internal/fmtmsg"
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/sdk"
 	"cellpilot/internal/sim"
@@ -26,9 +27,18 @@ type copilot struct {
 	dead   bool
 
 	bindings   []*speBinding
-	pendWrites []*speReq
-	pendReads  []*speReq
-	stats      CoPilotStats
+	pendWrites reqQueue
+	pendReads  reqQueue
+	// scanW/scanR rotate the pending-scan start when the chunk engine is on,
+	// so concurrent streams interleave chunk-by-chunk instead of the first
+	// stream monopolizing the loop. With chunking off the scan always starts
+	// at 0, preserving the pre-engine service order exactly.
+	scanW, scanR int
+	// streamAdvanced is set by streamWrite/streamRead when they moved one
+	// chunk but the stream is not finished: the request stays pending, yet
+	// the step counts as work done.
+	streamAdvanced bool
+	stats          CoPilotStats
 	// busy is the cumulative virtual time the service loop spent doing work
 	// (stepping requests), as opposed to parked on the event queue. Divided
 	// by elapsed virtual time it is the Co-Pilot's utilization.
@@ -114,18 +124,16 @@ func (cp *copilot) step(p *sim.Proc) bool {
 	if hardened && cp.sweepFaults(p) {
 		return true
 	}
-	// First progress pending requests, oldest first (deterministic).
-	for i, req := range cp.pendWrites {
-		if cp.tryWrite(p, req) {
-			cp.pendWrites = append(cp.pendWrites[:i], cp.pendWrites[i+1:]...)
-			return true
-		}
+	// First progress pending requests, oldest first (deterministic). With
+	// the chunk engine on, the scan start rotates past the last serviced
+	// request so concurrent streams share the loop fairly.
+	if done, i := cp.scanPending(p, &cp.pendWrites, cp.scanW, cp.tryWrite); done {
+		cp.scanW = i
+		return true
 	}
-	for i, req := range cp.pendReads {
-		if cp.tryRead(p, req) {
-			cp.pendReads = append(cp.pendReads[:i], cp.pendReads[i+1:]...)
-			return true
-		}
+	if done, i := cp.scanPending(p, &cp.pendReads, cp.scanR, cp.tryRead); done {
+		cp.scanR = i
+		return true
 	}
 	// Then decode one new request from the SPE mailboxes.
 	mh := cp.app.mailboxHardened()
@@ -201,7 +209,7 @@ func (cp *copilot) step(p *sim.Proc) bool {
 		p.Advance(cp.app.par.CoPilotDispatch)
 		req.svcEnd = p.Now()
 		cp.app.meterCopilotReq(cp.rank.Label(), decodeStart-post.postedAt,
-			len(cp.pendWrites)+len(cp.pendReads))
+			cp.pendWrites.size()+cp.pendReads.size())
 		if op == opWrite {
 			cp.stats.WriteReqs++
 		} else {
@@ -213,20 +221,51 @@ func (cp *copilot) step(p *sim.Proc) bool {
 		// mailbox, so the owner can still notify the reader directly).
 		if op == opRead && req.ch.typ == Type4 {
 			if owner := cp.app.copilotFor(req.ch.From); owner != cp {
-				owner.pendReads = append(owner.pendReads, req)
+				owner.pendReads.push(req)
 				owner.nudge()
 				return true
 			}
 		}
 		switch {
 		case op == opWrite && !cp.tryWrite(p, req):
-			cp.pendWrites = append(cp.pendWrites, req)
+			cp.streamAdvanced = false
+			cp.pendWrites.push(req)
 		case op == opRead && !cp.tryRead(p, req):
-			cp.pendReads = append(cp.pendReads, req)
+			cp.streamAdvanced = false
+			cp.pendReads.push(req)
 		}
 		return true
 	}
 	return false
+}
+
+// scanPending walks one pending queue looking for a request that can make
+// progress. It returns done=true when a request completed (it is removed)
+// or when a stream moved one chunk (it stays queued), along with the
+// logical index the next scan should start from. With the chunk engine off
+// the start is pinned to 0, reproducing the pre-engine oldest-first order.
+func (cp *copilot) scanPending(p *sim.Proc, q *reqQueue, scan int, try func(*sim.Proc, *speReq) bool) (bool, int) {
+	n := q.size()
+	if n == 0 {
+		return false, 0
+	}
+	start := 0
+	if cp.app.chunkingOn() {
+		start = scan % n
+	}
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		req := q.at(i)
+		if try(p, req) {
+			q.removeAt(i)
+			return true, i
+		}
+		if cp.streamAdvanced {
+			cp.streamAdvanced = false
+			return true, i + 1
+		}
+	}
+	return false, start
 }
 
 // sweepFaults drops queued requests whose SPE process has died and
@@ -234,24 +273,20 @@ func (cp *copilot) step(p *sim.Proc) bool {
 // out partner). Reports whether anything was shed.
 func (cp *copilot) sweepFaults(p *sim.Proc) bool {
 	shed := false
-	keepW := cp.pendWrites[:0]
-	for _, req := range cp.pendWrites {
+	cp.pendWrites.filter(func(req *speReq) bool {
 		if cp.shedFaulted(p, req) {
 			shed = true
-			continue
+			return false
 		}
-		keepW = append(keepW, req)
-	}
-	cp.pendWrites = keepW
-	keepR := cp.pendReads[:0]
-	for _, req := range cp.pendReads {
+		return true
+	})
+	cp.pendReads.filter(func(req *speReq) bool {
 		if cp.shedFaulted(p, req) {
 			shed = true
-			continue
+			return false
 		}
-		keepR = append(keepR, req)
-	}
-	cp.pendReads = keepR
+		return true
+	})
 	return shed
 }
 
@@ -352,10 +387,10 @@ func (cp *copilot) tryWrite(p *sim.Proc, req *speReq) bool {
 		// first is stored until the other shows up, then the Co-Pilot
 		// transfers the data with memcpy and notifies both mailboxes.
 		var rd *speReq
-		for i, r := range cp.pendReads {
-			if r.ch == ch {
+		for i := 0; i < cp.pendReads.size(); i++ {
+			if r := cp.pendReads.at(i); r.ch == ch {
 				rd = r
-				cp.pendReads = append(cp.pendReads[:i], cp.pendReads[i+1:]...)
+				cp.pendReads.removeAt(i)
 				break
 			}
 		}
@@ -367,7 +402,14 @@ func (cp *copilot) tryWrite(p *sim.Proc, req *speReq) bool {
 		src := cp.lsWindow(p, req)
 		dst := cp.lsWindow(p, rd)
 		copyStart := p.Now()
-		p.Advance(cp.app.par.MemcpyTime(req.size))
+		if cp.app.opts.Transfer.ZeroCopyType4 {
+			// B3 fast path: the Co-Pilot programs an LS→LS DMA over the EIB
+			// instead of dragging the payload through the mapped-LS memcpy —
+			// it pays command issue plus EIB time, not two uncached copies.
+			p.Advance(cp.app.par.DMASetup + cp.app.par.EIBTime(req.size))
+		} else {
+			p.Advance(cp.app.par.MemcpyTime(req.size))
+		}
 		copy(dst, src)
 		cp.app.spanPhase(req.xfer, trace.PhaseCopy, cp.rank.Label(), ch, req.size, copyStart, p.Now())
 		cp.stats.Type4Copies++
@@ -379,6 +421,9 @@ func (cp *copilot) tryWrite(p *sim.Proc, req *speReq) bool {
 		return true
 
 	case Type2, Type3:
+		if cp.app.chunked(ch, req.size) { // type 3 only: type 2 is intra-node
+			return cp.streamWrite(p, req, ch.To.rank)
+		}
 		// Peer is a regular process: relay the LS buffer to it over MPI,
 		// with the validation header prepended. The relay is nonblocking
 		// (the payload is snapshotted): a blocking send here could form a
@@ -405,6 +450,9 @@ func (cp *copilot) tryWrite(p *sim.Proc, req *speReq) bool {
 		return true
 
 	case Type5:
+		if cp.app.chunked(ch, req.size) {
+			return cp.streamWrite(p, req, cp.app.copilotRankFor(ch.To))
+		}
 		// Peer is a remote SPE: relay to its Co-Pilot, also nonblocking.
 		hdr := putHeader(req.sig, req.size)
 		win := cp.lsWindow(p, req)
@@ -436,6 +484,9 @@ func (cp *copilot) tryRead(p *sim.Proc, req *speReq) bool {
 		src := ch.From.rank
 		if ch.From.IsSPE() { // type 5: payload comes from the writer's Co-Pilot
 			src = cp.app.copilotRankFor(ch.From)
+		}
+		if cp.app.chunked(ch, req.size) {
+			return cp.streamRead(p, req, src)
 		}
 		if cp.app.opts.CoPilotDirectLocal && ch.typ == Type2 && !ch.From.IsSPE() {
 			// A1 ablation: the local writer handed the payload off directly.
@@ -478,6 +529,118 @@ func (cp *copilot) tryRead(p *sim.Proc, req *speReq) bool {
 		p.Fatalf("%v", usageError("runtime", "co-pilot", "read request on %s, which has no SPE endpoint", ch))
 		return false
 	}
+}
+
+// streamWrite progresses a writer-side chunk stream: announce once with a
+// header, then inject at most one chunk per call (so concurrent streams
+// interleave), each chunk gated on its own LS→EA DMA and on the pipeline
+// window. The SPE is notified only after the last chunk is on the wire.
+func (cp *copilot) streamWrite(p *sim.Proc, req *speReq, dst int) bool {
+	app := cp.app
+	par := app.par
+	chunk := app.opts.Transfer.ChunkSize
+	if req.stream == nil {
+		st := &streamSend{dst: dst, nchunks: chunkCount(req.size, chunk), startAt: p.Now()}
+		req.stream = st
+		cp.rank.TagNextXfer(req.xfer)
+		cp.rank.Send(p, dst, req.ch.streamTag(), streamHeader(req.sig, req.size, chunk, st.nchunks))
+		// Issue the whole stream's LS→EA fetches as one DMA list: the MFC
+		// works through the elements back to back while the Co-Pilot injects
+		// chunks, so fetch k+1 overlaps chunk k's stack serialization. The
+		// payload cannot change underneath it — the writer stub is parked
+		// until the stream completes.
+		res := app.dmaRes(req.spe)
+		st.dmaAt = make([]sim.Time, st.nchunks)
+		for k := range st.dmaAt {
+			st.dmaAt[k] = res.ReserveFor(par.ChunkDMATime(chunkLen(req.size, chunk, k)))
+		}
+	}
+	st := req.stream
+	target := st.dmaAt[st.next]
+	if depth := app.pipeDepth(); st.next >= depth {
+		if a := st.arrivals[st.next-depth]; a > target {
+			target = a // pipeline window full: wait for the oldest in-flight chunk
+		}
+	}
+	if now := p.Now(); now < target {
+		app.K.After(target-now, cp.nudge)
+		return false
+	}
+	off := st.next * chunk
+	n := chunkLen(req.size, chunk, st.next)
+	win := cp.lsWindow(p, req)
+	fb := fmtmsg.GetWireBuf(chunkIdxSize + n)
+	frame := appendChunkFrame(*fb, st.next, win[off:off+n])
+	st.arrivals = append(st.arrivals, cp.rank.SendChunk(p, st.dst, req.ch.streamTag(), frame))
+	*fb = frame
+	fmtmsg.PutWireBuf(fb)
+	st.next++
+	if st.next < st.nchunks {
+		cp.streamAdvanced = true
+		cp.nudge()
+		return false
+	}
+	app.spanPhase(req.xfer, trace.PhaseChunkRelay, cp.rank.Label(), req.ch, req.size, st.startAt, p.Now())
+	cp.stats.RelayedBytes += int64(req.size)
+	cp.obsComplete(req)
+	cp.notify(p, req, speStatusOK)
+	return true
+}
+
+// streamRead progresses a reader-side chunk stream: receive the header,
+// then drain at most one chunk per call straight into the SPE's LS window,
+// booking each chunk's EA→LS DMA on the SPE's MFC. Completion is signalled
+// only when every chunk has arrived AND the last DMA has landed — a stream
+// cut short by a fault never produces an OK, so a torn payload is never
+// delivered (the stalled reader surfaces as a timeout/poisoned channel).
+func (cp *copilot) streamRead(p *sim.Proc, req *speReq, src int) bool {
+	app := cp.app
+	par := app.par
+	tag := req.ch.streamTag()
+	if req.rstream == nil {
+		st, ok := cp.rank.Iprobe(p, src, tag)
+		if !ok {
+			return false
+		}
+		if st.Count != streamHdrSize {
+			p.Fatalf("%v", usageError("runtime", "co-pilot", "malformed stream header on %s (%d bytes)", req.ch, st.Count))
+		}
+		data, hst := cp.rank.Recv(p, src, tag)
+		sig, size, chunk, nchunks := parseStreamHeader(data)
+		cp.validateIncoming(p, req, sig, size)
+		req.xfer = hst.Xfer
+		req.rstream = &streamRecv{src: src, chunk: chunk, nchunks: nchunks, startAt: p.Now()}
+		cp.streamAdvanced = true
+		return false
+	}
+	rs := req.rstream
+	if rs.got < rs.nchunks {
+		if _, ok := cp.rank.Iprobe(p, src, tag); !ok {
+			return false
+		}
+		data, _ := cp.rank.Recv(p, src, tag)
+		idx, payload, ok := parseChunkFrame(data)
+		if !ok || idx != rs.got {
+			p.Fatalf("%v", usageError("runtime", "co-pilot", "stream chunk %d arrived out of order on %s (expected %d)", idx, req.ch, rs.got))
+		}
+		p.Advance(par.ChunkStackTime(len(payload)))
+		win := cp.lsWindow(p, req)
+		copy(win[rs.got*rs.chunk:], payload)
+		rs.dmaDone = app.dmaRes(req.spe).ReserveFor(par.ChunkDMATime(len(payload)))
+		rs.got++
+		if rs.got < rs.nchunks {
+			cp.streamAdvanced = true
+			return false
+		}
+	}
+	if now := p.Now(); now < rs.dmaDone {
+		app.K.After(rs.dmaDone-now, cp.nudge)
+		return false
+	}
+	app.spanPhase(req.xfer, trace.PhaseChunkRelay, cp.rank.Label(), req.ch, req.size, rs.startAt, p.Now())
+	cp.obsComplete(req)
+	cp.notify(p, req, speStatusOK)
+	return true
 }
 
 func (cp *copilot) validateIncoming(p *sim.Proc, req *speReq, sig uint32, size int) {

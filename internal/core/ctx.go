@@ -70,10 +70,15 @@ func (c *Ctx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft boo
 	if err != nil {
 		c.fail(loc, api, "%v", err)
 	}
-	wire, err := spec.Pack(args...)
+	// Pack into a pooled wire buffer: every transport below snapshots or
+	// copies the bytes before returning, so the buffer recycles per call.
+	bp := fmtmsg.GetWireBuf(0)
+	defer fmtmsg.PutWireBuf(bp)
+	wire, err := spec.PackInto(*bp, args...)
 	if err != nil {
 		c.fail(loc, api, "%v", err)
 	}
+	*bp = wire
 	useCtl := timeout > 0 || c.app.hardened()
 	if useCtl && ch.fault != nil {
 		cf := c.app.opFault(loc, api, c.Self, ch, ch.fault)
@@ -89,6 +94,10 @@ func (c *Ctx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft boo
 	xfer := c.app.newXfer()
 	self := c.Self.String()
 	c.app.spanPhase(xfer, trace.PhasePack, self, ch, len(wire), opStart, c.P.Now())
+
+	if c.app.chunked(ch, len(wire)) {
+		return c.writeChunked(loc, api, ch, spec, wire, xfer, opStart, deadline, soft, useCtl)
+	}
 
 	// A1 ablation: type-2 writes go through a direct shared-memory handoff
 	// to the Co-Pilot instead of local MPI.
@@ -237,6 +246,9 @@ func (c *Ctx) readFrom(loc, api string, ch *Channel, timeout sim.Time, soft bool
 		c.P.Advance(c.app.par.ShmCopyTime(len(data) - hdrSize))
 		c.app.spanPhase(xfer, trace.PhaseCopy, self, ch, len(data)-hdrSize, copyStart, c.P.Now())
 	} else {
+		if c.app.chunked(ch, expected) {
+			return c.readChunked(loc, api, ch, spec, expected, opStart, deadline, soft, useCtl, args...)
+		}
 		src := c.peerRank(ch.From)
 		c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead, loc)
 		var st mpi.Status
@@ -275,6 +287,166 @@ func (c *Ctx) readFrom(loc, api string, ch *Channel, timeout sim.Time, soft bool
 	unpackStart := c.P.Now()
 	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(size))
 	if err := spec.Unpack(data[hdrSize:], args...); err != nil {
+		c.fail(loc, api, "%v", err)
+	}
+	c.app.spanPhase(xfer, trace.PhasePack, self, ch, size, unpackStart, c.P.Now())
+	c.app.meterOp(ch, size, c.P.Now()-opStart)
+	c.app.record(c.P, trace.KindRead, c.Self, ch, size, xfer)
+	return nil
+}
+
+// writeChunked is the writer side of the chunk-stream protocol for regular
+// processes (type 1, and type 3 when the writer is the regular end): send
+// the stream header, then pipeline the payload in fixed-size chunks. Each
+// chunk costs the writer only per-chunk stack injection; wire time is
+// booked on the NIC asynchronously, throttled by the pipeline window.
+// Unlike the rendezvous path, the write completes as soon as the last
+// chunk is on the wire — bounded-buffered eager semantics.
+func (c *Ctx) writeChunked(loc, api string, ch *Channel, spec *fmtmsg.Spec, wire []byte, xfer int64, opStart, deadline sim.Time, soft, useCtl bool) error {
+	dst := c.peerRank(ch.To)
+	chunk := c.app.opts.Transfer.ChunkSize
+	nchunks := chunkCount(len(wire), chunk)
+	depth := c.app.pipeDepth()
+	stag := ch.streamTag()
+	sendStart := c.P.Now()
+	c.rank.TagNextXfer(xfer)
+	hdrMsg := streamHeader(spec.Signature(), len(wire), chunk, nchunks)
+	var stop func() error
+	if useCtl {
+		unwatch := c.app.watchChannel(ch, c.P)
+		defer unwatch()
+		stop = c.app.chanStop(ch)
+		if err := c.rank.SendCtl(c.P, dst, stag, hdrMsg, mpi.Ctl{Deadline: deadline, Stop: stop}); err != nil {
+			cf := c.app.opFault(loc, api, c.Self, ch, err)
+			if soft {
+				return cf
+			}
+			c.app.raiseFault(c.Self, ch, cf, false)
+		}
+	} else {
+		c.rank.Send(c.P, dst, stag, hdrMsg)
+	}
+	arrivals := make([]sim.Time, 0, nchunks)
+	for k := 0; k < nchunks; k++ {
+		if k >= depth {
+			if a := arrivals[k-depth]; a > c.P.Now() {
+				c.P.AdvanceTo(a) // pipeline window full: wait for the oldest chunk to land
+			}
+		}
+		if useCtl {
+			// A stream abandoned mid-flight leaves the reader with a partial
+			// payload, so — like an SPE-side mid-protocol timeout — the
+			// channel is poisoned before the fault is surfaced.
+			var serr error
+			if stop != nil {
+				serr = stop()
+			}
+			if serr == nil && deadline > 0 && c.P.Now() >= deadline {
+				serr = mpi.ErrDeadline
+			}
+			if serr != nil {
+				c.app.failChannel(ch, fmt.Sprintf("%s at %s abandoned a chunked stream on %s after %d of %d chunks", api, loc, ch, k, nchunks))
+				cf := c.app.opFault(loc, api, c.Self, ch, serr)
+				if soft {
+					return cf
+				}
+				c.app.raiseFault(c.Self, ch, cf, false)
+			}
+		}
+		off := k * chunk
+		n := chunkLen(len(wire), chunk, k)
+		fb := fmtmsg.GetWireBuf(chunkIdxSize + n)
+		frame := appendChunkFrame(*fb, k, wire[off:off+n])
+		arrivals = append(arrivals, c.rank.SendChunk(c.P, dst, stag, frame))
+		*fb = frame
+		fmtmsg.PutWireBuf(fb)
+	}
+	// The stream is buffered in flight regardless of the reader: tell the
+	// detector so a blocked read on ch is not treated as a wait.
+	c.app.reportSent(ch)
+	self := c.Self.String()
+	c.app.spanPhase(xfer, trace.PhaseChunkRelay, self, ch, len(wire), sendStart, c.P.Now())
+	c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
+	c.app.meterOp(ch, len(wire), c.P.Now()-opStart)
+	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
+	return nil
+}
+
+// readChunked is the reader side of the chunk-stream protocol for regular
+// processes: receive the header, drain the chunks into a pooled reassembly
+// buffer (charging per-chunk stack extraction), then unpack in place. A
+// drain abandoned by a deadline or stop poisons the channel — the partial
+// payload is discarded, never delivered.
+func (c *Ctx) readChunked(loc, api string, ch *Channel, spec *fmtmsg.Spec, expected int, opStart, deadline sim.Time, soft, useCtl bool, args ...any) error {
+	src := c.peerRank(ch.From)
+	stag := ch.streamTag()
+	self := c.Self.String()
+	par := c.app.par
+	recvOne := func() ([]byte, mpi.Status, error) {
+		if useCtl {
+			unwatch := c.app.watchChannel(ch, c.P)
+			d, s, err := c.rank.RecvCtl(c.P, src, stag, mpi.Ctl{Deadline: deadline, Stop: c.app.chanStop(ch)})
+			unwatch()
+			return d, s, err
+		}
+		d, s := c.rank.Recv(c.P, src, stag)
+		return d, s, nil
+	}
+	c.app.reportBlock(c.Self, ch.From, ch, deadlock.OpRead, loc)
+	waitStart := c.P.Now()
+	hdrData, st, err := recvOne()
+	if err != nil {
+		cf := c.app.opFault(loc, api, c.Self, ch, err)
+		if soft {
+			c.app.reportUnblock(c.Self)
+			return cf
+		}
+		c.app.raiseFault(c.Self, ch, cf, true)
+	}
+	if len(hdrData) != streamHdrSize {
+		c.fail(loc, api, "malformed stream header on %s", ch)
+	}
+	xfer := st.Xfer
+	sig, size, _, nchunks := parseStreamHeader(hdrData)
+	if sig != spec.Signature() {
+		c.fail(loc, api, "format %q does not match what the writer sent on %s", spec.Format, ch)
+	}
+	if size != expected {
+		c.fail(loc, api, "size mismatch on %s: writer sent %d bytes, reader expects %d", ch, size, expected)
+	}
+	c.app.spanPhase(xfer, trace.PhaseMPIWait, self, ch, size, waitStart, c.P.Now())
+	drainStart := c.P.Now()
+	bp := fmtmsg.GetWireBuf(size)
+	defer fmtmsg.PutWireBuf(bp)
+	buf := *bp
+	for k := 0; k < nchunks; k++ {
+		cdata, _, err := recvOne()
+		if err != nil {
+			c.app.failChannel(ch, fmt.Sprintf("%s at %s abandoned a chunked stream on %s after %d of %d chunks", api, loc, ch, k, nchunks))
+			cf := c.app.opFault(loc, api, c.Self, ch, err)
+			if soft {
+				c.app.reportUnblock(c.Self)
+				return cf
+			}
+			c.app.raiseFault(c.Self, ch, cf, true)
+		}
+		idx, payload, ok := parseChunkFrame(cdata)
+		if !ok || idx != k {
+			c.fail(loc, api, "stream chunk %d arrived out of order on %s (expected %d)", idx, ch, k)
+		}
+		c.P.Advance(par.ChunkStackTime(len(payload)))
+		buf = append(buf, payload...)
+	}
+	*bp = buf
+	c.app.reportUnblock(c.Self)
+	c.app.spanPhase(xfer, trace.PhaseChunkRelay, self, ch, size, drainStart, c.P.Now())
+	c.app.meterBlocked(c.Self, blockRead, c.P.Now()-waitStart)
+	if len(buf) != size {
+		c.fail(loc, api, "stream on %s delivered %d bytes, header announced %d", ch, len(buf), size)
+	}
+	unpackStart := c.P.Now()
+	c.P.Advance(par.PilotOverhead + par.PackTime(size))
+	if _, err := spec.UnpackFrom(buf, args...); err != nil {
 		c.fail(loc, api, "%v", err)
 	}
 	c.app.spanPhase(xfer, trace.PhasePack, self, ch, size, unpackStart, c.P.Now())
@@ -477,14 +649,22 @@ func (c *Ctx) Select(b *Bundle) int {
 		c.fail(loc, "PI_Select", "%s is not the bundle's reader", c.Self)
 	}
 	c.P.Advance(c.app.par.PilotOverhead)
-	specs := make([]mpi.ProbeSpec, len(b.chans))
+	specs := make([]mpi.ProbeSpec, 0, len(b.chans))
+	owner := make([]int, 0, len(b.chans))
 	for i, ch := range b.chans {
-		specs[i] = mpi.ProbeSpec{Src: c.peerRank(ch.From), Tag: ch.tag()}
+		specs = append(specs, mpi.ProbeSpec{Src: c.peerRank(ch.From), Tag: ch.tag()})
+		owner = append(owner, i)
+		if c.app.streamEligible(ch) {
+			// A chunked transfer announces itself on the stream tag, so an
+			// eligible channel is ready when either tag has data.
+			specs = append(specs, mpi.ProbeSpec{Src: c.peerRank(ch.From), Tag: ch.streamTag()})
+			owner = append(owner, i)
+		}
 	}
 	waitStart := c.P.Now()
 	idx, _ := c.rank.ProbeMulti(c.P, specs)
 	c.app.meterBlocked(c.Self, blockRead, c.P.Now()-waitStart)
-	return idx
+	return owner[idx]
 }
 
 // TrySelect is the non-blocking Select: it returns the index of a channel
@@ -502,6 +682,11 @@ func (c *Ctx) TrySelect(b *Bundle) int {
 		if _, ok := c.rank.Iprobe(c.P, c.peerRank(ch.From), ch.tag()); ok {
 			return i
 		}
+		if c.app.streamEligible(ch) {
+			if _, ok := c.rank.Iprobe(c.P, c.peerRank(ch.From), ch.streamTag()); ok {
+				return i
+			}
+		}
 	}
 	return -1
 }
@@ -514,8 +699,14 @@ func (c *Ctx) HasData(ch *Channel) bool {
 		c.fail(loc, "PI_ChannelHasData", "%s is not the reader of %v", c.Self, ch)
 	}
 	c.P.Advance(c.app.par.PilotOverhead)
-	_, ok := c.rank.Iprobe(c.P, c.peerRank(ch.From), ch.tag())
-	return ok
+	if _, ok := c.rank.Iprobe(c.P, c.peerRank(ch.From), ch.tag()); ok {
+		return true
+	}
+	if c.app.streamEligible(ch) {
+		_, ok := c.rank.Iprobe(c.P, c.peerRank(ch.From), ch.streamTag())
+		return ok
+	}
+	return false
 }
 
 // Log emits a trace line tagged with the process and virtual time; a

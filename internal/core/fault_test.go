@@ -230,9 +230,9 @@ func TestKillSPEDegradation(t *testing.T) {
 	// The Co-Pilots must not retain the dead SPE's queued request.
 	for _, key := range a.copilotOrder {
 		cp := a.copilots[key]
-		if len(cp.pendWrites)+len(cp.pendReads) != 0 {
+		if cp.pendWrites.size()+cp.pendReads.size() != 0 {
 			t.Errorf("copilot %v retains %d+%d pending requests",
-				key, len(cp.pendWrites), len(cp.pendReads))
+				key, cp.pendWrites.size(), cp.pendReads.size())
 		}
 	}
 }
@@ -408,9 +408,9 @@ func TestCopilotDrainUnderConcurrentTraffic(t *testing.T) {
 	}
 	for _, key := range a.copilotOrder {
 		cp := a.copilots[key]
-		if len(cp.pendWrites)+len(cp.pendReads) != 0 {
+		if cp.pendWrites.size()+cp.pendReads.size() != 0 {
 			t.Errorf("copilot %v retains %d pending writes, %d pending reads",
-				key, len(cp.pendWrites), len(cp.pendReads))
+				key, cp.pendWrites.size(), cp.pendReads.size())
 		}
 	}
 }

@@ -170,6 +170,8 @@ func (a *App) profAttribute(pe trace.PhaseEvent) {
 		prof.Attribute(pe.Proc, profile.BucketMPISend, d)
 	case trace.PhaseMPIWait:
 		prof.Attribute(pe.Proc, profile.BucketMPIWait, d)
+	case trace.PhaseChunkRelay:
+		prof.Attribute(pe.Proc, profile.BucketChunkRelay, d)
 	}
 }
 

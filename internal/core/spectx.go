@@ -211,10 +211,13 @@ func (c *SPECtx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft 
 	if err != nil {
 		c.fail(loc, api, "%v", err)
 	}
-	wire, err := spec.Pack(args...)
+	bp := fmtmsg.GetWireBuf(0)
+	defer fmtmsg.PutWireBuf(bp)
+	wire, err := spec.PackInto(*bp, args...)
 	if err != nil {
 		c.fail(loc, api, "%v", err)
 	}
+	*bp = wire
 	useCtl := timeout > 0 || c.app.hardened()
 	if useCtl && ch.fault != nil {
 		cf := c.app.opFault(loc, api, c.Self, ch, ch.fault)

@@ -89,6 +89,11 @@ type LinkPolicy struct {
 	DelayProb float64
 	// MaxDelay bounds the injected delay.
 	MaxDelay sim.Time
+	// After delays the policy's activation: before this virtual time the
+	// link behaves perfectly and consumes no randomness. Zero means active
+	// from the start. It lets a test land a link fault mid-transfer — e.g.
+	// halfway through a chunked pipeline.
+	After sim.Time
 }
 
 // Plan is a complete fault schedule. The zero Plan injects nothing.
@@ -141,6 +146,7 @@ type Counts struct {
 type Injector struct {
 	plan  Plan
 	rng   *rand.Rand
+	k     *sim.Kernel // set by Arm; clocks LinkPolicy.After activation
 	links map[[2]int]LinkPolicy
 	// pending one-shot mailbox verdicts by process name.
 	mboxDrop  map[string]int
@@ -177,6 +183,7 @@ func (in *Injector) Plan() Plan { return in.plan }
 
 // Arm schedules every plan event on the kernel. Call once, before Run.
 func (in *Injector) Arm(k *sim.Kernel) {
+	in.k = k
 	// Sort by (At, original order) so identical plans arm identically no
 	// matter how the caller assembled the event list.
 	evs := append([]Event(nil), in.plan.Events...)
@@ -219,19 +226,27 @@ func (in *Injector) UsesMailbox() bool {
 	return false
 }
 
-// LinkFaulty reports whether a policy covers the directed node pair. It
-// consumes no randomness, so it is safe to call from gating code.
+// LinkFaulty reports whether an active policy covers the directed node
+// pair. It consumes no randomness, so it is safe to call from gating code.
 func (in *Injector) LinkFaulty(from, to int) bool {
-	_, ok := in.links[[2]int{from, to}]
-	return ok
+	lp, ok := in.links[[2]int{from, to}]
+	return ok && in.linkActive(lp)
+}
+
+// linkActive reports whether a policy's After activation time has passed.
+func (in *Injector) linkActive(lp LinkPolicy) bool {
+	if lp.After == 0 {
+		return true
+	}
+	return in.k != nil && in.k.Now() >= lp.After
 }
 
 // LinkVerdict draws the fate of one frame on the directed link. Only
-// faulty links consume randomness (and always exactly three draws), so
-// verdict sequences are deterministic per link-policy set.
+// active faulty links consume randomness (and always exactly three draws),
+// so verdict sequences are deterministic per link-policy set.
 func (in *Injector) LinkVerdict(from, to, bytes int) Verdict {
 	lp, ok := in.links[[2]int{from, to}]
-	if !ok {
+	if !ok || !in.linkActive(lp) {
 		return Verdict{}
 	}
 	pDrop, pCorrupt, pDelay := in.rng.Float64(), in.rng.Float64(), in.rng.Float64()

@@ -11,22 +11,7 @@ import (
 // argument, then the data argument; count-1 items accept a scalar or a
 // slice; count-n items require a slice with at least n elements.
 func (s *Spec) Pack(args ...any) ([]byte, error) {
-	counts, dataArgs, err := s.splitArgs(args, false)
-	if err != nil {
-		return nil, err
-	}
-	total := 0
-	for i, it := range s.Items {
-		total += counts[i] * it.Type.Size()
-	}
-	buf := make([]byte, 0, total)
-	for i, it := range s.Items {
-		buf, err = appendElems(buf, it.Type, counts[i], dataArgs[i], s.Format)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return buf, nil
+	return s.PackInto(nil, args...)
 }
 
 // Unpack decodes wire data into args: pointers to scalars for count-1

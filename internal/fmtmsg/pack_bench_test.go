@@ -1,0 +1,68 @@
+package fmtmsg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPackIntoUnpackFrom checks the pooled pack path round-trips and that
+// UnpackFrom tolerates trailing bytes while reporting the consumed size.
+func TestPackIntoUnpackFrom(t *testing.T) {
+	spec := MustParse("%4d %b")
+	arr := []int32{1, -2, 3, -4}
+	bp := GetWireBuf(64)
+	wire, err := spec.PackInto(*bp, arr, byte(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := spec.Pack(arr, byte(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, ref) {
+		t.Fatalf("PackInto produced %x, Pack produced %x", wire, ref)
+	}
+	got := make([]int32, 4)
+	var gb byte
+	n, err := spec.UnpackFrom(append(wire, 0xAA, 0xBB), got, &gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ref) {
+		t.Fatalf("UnpackFrom consumed %d bytes, want %d", n, len(ref))
+	}
+	if gb != 9 || got[1] != -2 {
+		t.Fatalf("round trip corrupted: %v %d", got, gb)
+	}
+	*bp = wire[:0]
+	PutWireBuf(bp)
+}
+
+// BenchmarkPack measures the allocating baseline; BenchmarkPackIntoPooled
+// is the same encode through the wire-buffer pool. The pooled path should
+// report ~0 allocs/op versus one buffer per call here.
+func BenchmarkPack(b *testing.B) {
+	spec := MustParse("%256d")
+	arr := make([]int32, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Pack(arr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackIntoPooled(b *testing.B) {
+	spec := MustParse("%256d")
+	arr := make([]int32, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bp := GetWireBuf(1024)
+		wire, err := spec.PackInto(*bp, arr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		*bp = wire[:0]
+		PutWireBuf(bp)
+	}
+}

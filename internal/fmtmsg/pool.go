@@ -1,0 +1,89 @@
+package fmtmsg
+
+import (
+	"fmt"
+	"sync"
+)
+
+// wirePool recycles wire buffers across Pack/Unpack call sites. The
+// endpoints pack into a pooled buffer, hand it to the transport (which
+// snapshots or copies it before returning), and put it back — so steady
+// traffic stops allocating per message.
+var wirePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetWireBuf returns a zero-length pooled buffer with at least the given
+// capacity. Pair with PutWireBuf once the transport no longer references
+// the bytes.
+func GetWireBuf(capacity int) *[]byte {
+	bp := wirePool.Get().(*[]byte)
+	if cap(*bp) < capacity {
+		*bp = make([]byte, 0, capacity)
+	}
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// PutWireBuf recycles a buffer obtained from GetWireBuf.
+func PutWireBuf(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	wirePool.Put(bp)
+}
+
+// PackInto encodes args like Pack but appends to buf, reallocating only
+// when buf lacks capacity; it returns the extended slice. With a pooled
+// buffer sized by WireSize this makes steady-state packing allocation-free.
+func (s *Spec) PackInto(buf []byte, args ...any) ([]byte, error) {
+	counts, dataArgs, err := s.splitArgs(args, false)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i, it := range s.Items {
+		total += counts[i] * it.Type.Size()
+	}
+	if cap(buf)-len(buf) < total {
+		nb := make([]byte, len(buf), len(buf)+total)
+		copy(nb, buf)
+		buf = nb
+	}
+	for i, it := range s.Items {
+		buf, err = appendElems(buf, it.Type, counts[i], dataArgs[i], s.Format)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// UnpackFrom decodes one message from the front of data (e.g. out of a
+// larger reassembly buffer) and returns the number of bytes consumed.
+// Unlike Unpack it tolerates trailing bytes.
+func (s *Spec) UnpackFrom(data []byte, args ...any) (int, error) {
+	counts, dataArgs, err := s.splitArgs(args, true)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for i, it := range s.Items {
+		total += counts[i] * it.Type.Size()
+	}
+	if len(data) < total {
+		return 0, fmt.Errorf("fmtmsg: %q: wire payload is %d bytes, format describes %d", s.Format, len(data), total)
+	}
+	off := 0
+	for i, it := range s.Items {
+		n := counts[i] * it.Type.Size()
+		if err := readElems(data[off:off+n], it.Type, counts[i], dataArgs[i], s.Format); err != nil {
+			return 0, err
+		}
+		off += n
+	}
+	return off, nil
+}

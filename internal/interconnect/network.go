@@ -72,6 +72,22 @@ func (n *Network) Reserve(from, to, bytes int) (arrival sim.Time, err error) {
 	return n.tx[from].Reserve(bytes), nil
 }
 
+// ReserveRaw books NIC occupancy for one chunk of a pipelined large
+// message at the raw wire rate (LinkStartup + bytes/ChunkWireBytesPerSec)
+// instead of the end-to-end fitted NetBytesPerSec, returning the arrival
+// time without blocking any proc. The fitted rate folds the endpoint
+// TCP-stack and copy costs into the NIC; the chunked path charges those
+// stages explicitly on the endpoint processes, so its NIC booking must
+// reflect only the wire.
+func (n *Network) ReserveRaw(from, to, bytes int) (arrival sim.Time, err error) {
+	if err := n.check(from, to); err != nil {
+		return 0, err
+	}
+	n.messages++
+	n.bytes += int64(bytes)
+	return n.tx[from].ReserveFor(n.par.LinkStartup + n.par.ChunkWireTime(bytes)), nil
+}
+
 // OneWayTime predicts the unloaded one-way time for a message of the given
 // size; useful for tests and analytical checks.
 func (n *Network) OneWayTime(bytes int) sim.Time {

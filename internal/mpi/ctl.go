@@ -132,12 +132,7 @@ func (r *Rank) SendCtl(p *sim.Proc, dst, tag int, data []byte, ctl Ctl) error {
 	for !done {
 		if err := ctl.check(w.K.Now()); err != nil {
 			env.cancelled = true
-			for i, e := range d.unexpected {
-				if e == env {
-					d.unexpected = append(d.unexpected[:i], d.unexpected[i+1:]...)
-					break
-				}
-			}
+			d.unexpected.remove(env)
 			tm.Cancel()
 			return err
 		}

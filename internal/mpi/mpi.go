@@ -85,7 +85,7 @@ type Rank struct {
 
 	owner      *sim.Proc // the single proc driving this rank
 	posted     []*recvReq
-	unexpected []*envelope
+	unexpected unexpectedQueue
 	probes     []*probeReq
 	arrival    func() // OnArrival hook
 	nextXfer   int64  // TagNextXfer value consumed by the next send

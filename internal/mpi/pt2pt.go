@@ -23,6 +23,129 @@ type envelope struct {
 	// cancelled marks a rendezvous announcement whose sender abandoned the
 	// wait (SendCtl deadline/stop); deliver discards it.
 	cancelled bool
+	// taken marks an envelope consumed from the unexpected queue; the
+	// arrival-ordered index skips it lazily.
+	taken bool
+}
+
+// envKey addresses one per-(source, tag) FIFO in the unexpected queue.
+type envKey struct{ src, tag int }
+
+// unexpectedQueue holds unmatched arrivals. The hot path — every channel
+// operation receives from a specific peer on a specific tag — hits a
+// per-key FIFO in O(1) instead of the old linear scan with a slice shift.
+// Wildcard queries walk an arrival-ordered side index (taken entries are
+// skipped lazily and compacted), reproducing the original scan's matching
+// order exactly; no map iteration happens anywhere, so matching stays
+// deterministic.
+type unexpectedQueue struct {
+	byKey map[envKey][]*envelope
+	order []*envelope // arrival order; consumed entries stay until compaction
+	head  int         // first possibly-live index in order
+	n     int
+}
+
+func (q *unexpectedQueue) add(env *envelope) {
+	if q.byKey == nil {
+		q.byKey = map[envKey][]*envelope{}
+	}
+	k := envKey{env.src, env.tag}
+	q.byKey[k] = append(q.byKey[k], env)
+	for q.head < len(q.order) && q.order[q.head].taken {
+		q.head++
+	}
+	if q.head > 32 && q.head > len(q.order)/2 {
+		q.order = append(q.order[:0], q.order[q.head:]...)
+		q.head = 0
+	}
+	q.order = append(q.order, env)
+	q.n++
+}
+
+// peek returns the earliest-arrived envelope matching (src, tag) without
+// consuming it.
+func (q *unexpectedQueue) peek(src, tag int) (*envelope, bool) {
+	if q.n == 0 {
+		return nil, false
+	}
+	if src != AnySource && tag != AnyTag {
+		if l := q.byKey[envKey{src, tag}]; len(l) > 0 {
+			return l[0], true
+		}
+		return nil, false
+	}
+	for i := q.head; i < len(q.order); i++ {
+		if env := q.order[i]; !env.taken && match(src, tag, env.src, env.tag) {
+			return env, true
+		}
+	}
+	return nil, false
+}
+
+// peekMulti returns the earliest-arrived envelope matching any spec, with
+// the index of the first spec it matches — the ProbeMulti contract.
+func (q *unexpectedQueue) peekMulti(specs []ProbeSpec) (int, *envelope, bool) {
+	for i := q.head; i < len(q.order); i++ {
+		env := q.order[i]
+		if env.taken {
+			continue
+		}
+		for si, sp := range specs {
+			if match(sp.Src, sp.Tag, env.src, env.tag) {
+				return si, env, true
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// take consumes the earliest-arrived envelope matching (src, tag). The
+// match is always the head of its key FIFO: per-key order is a subsequence
+// of arrival order.
+func (q *unexpectedQueue) take(src, tag int) (*envelope, bool) {
+	env, ok := q.peek(src, tag)
+	if !ok {
+		return nil, false
+	}
+	q.unlink(env)
+	return env, true
+}
+
+// remove drops a specific envelope if still queued (SendCtl withdrawing a
+// cancelled rendezvous announcement).
+func (q *unexpectedQueue) remove(env *envelope) {
+	if env.taken {
+		return
+	}
+	k := envKey{env.src, env.tag}
+	for _, e := range q.byKey[k] {
+		if e == env {
+			q.unlink(env)
+			return
+		}
+	}
+}
+
+func (q *unexpectedQueue) unlink(env *envelope) {
+	k := envKey{env.src, env.tag}
+	l := q.byKey[k]
+	if len(l) > 0 && l[0] == env {
+		l = l[1:] // O(1) head pop — the overwhelmingly common case
+	} else {
+		for i, e := range l {
+			if e == env {
+				l = append(l[:i], l[i+1:]...)
+				break
+			}
+		}
+	}
+	if len(l) == 0 {
+		delete(q.byKey, k)
+	} else {
+		q.byKey[k] = l
+	}
+	env.taken = true
+	q.n--
 }
 
 // recvReq is a posted receive awaiting a matching envelope.
@@ -134,7 +257,7 @@ func (r *Rank) deliver(env *envelope) {
 			return
 		}
 	}
-	r.unexpected = append(r.unexpected, env)
+	r.unexpected.add(env)
 }
 
 // complete pairs an envelope with a receive request: immediate copy for an
@@ -232,13 +355,7 @@ func (r *Rank) recv(p *sim.Proc, src, tag int, buf []byte) ([]byte, Status) {
 }
 
 func (r *Rank) takeUnexpected(src, tag int) (*envelope, bool) {
-	for i, env := range r.unexpected {
-		if match(src, tag, env.src, env.tag) {
-			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
-			return env, true
-		}
-	}
-	return nil, false
+	return r.unexpected.take(src, tag)
 }
 
 // probeReq is a blocked Probe or ProbeMulti.
@@ -277,10 +394,8 @@ func (r *Rank) Probe(p *sim.Proc, src, tag int) Status {
 func (r *Rank) Iprobe(p *sim.Proc, src, tag int) (Status, bool) {
 	r.bind(p)
 	p.Advance(r.w.Par.MPIRecvOverhead)
-	for _, env := range r.unexpected {
-		if match(src, tag, env.src, env.tag) {
-			return Status{Source: env.src, Tag: env.tag, Count: env.size, Xfer: env.xfer}, true
-		}
+	if env, ok := r.unexpected.peek(src, tag); ok {
+		return Status{Source: env.src, Tag: env.tag, Count: env.size, Xfer: env.xfer}, true
 	}
 	return Status{}, false
 }

@@ -79,12 +79,8 @@ type ProbeSpec struct {
 func (r *Rank) ProbeMulti(p *sim.Proc, specs []ProbeSpec) (int, Status) {
 	r.bind(p)
 	p.Advance(r.w.Par.MPIRecvOverhead)
-	for _, env := range r.unexpected {
-		for i, sp := range specs {
-			if match(sp.Src, sp.Tag, env.src, env.tag) {
-				return i, Status{Source: env.src, Tag: env.tag, Count: env.size, Xfer: env.xfer}
-			}
-		}
+	if i, env, ok := r.unexpected.peekMulti(specs); ok {
+		return i, Status{Source: env.src, Tag: env.tag, Count: env.size, Xfer: env.xfer}
 	}
 	pr := &probeReq{specs: specs, proc: p}
 	r.probes = append(r.probes, pr)

@@ -31,6 +31,7 @@ const (
 	BucketMPISend        = "mpi-send"
 	BucketMPIWait        = "mpi-wait"
 	BucketFaultBackoff   = "fault-backoff"
+	BucketChunkRelay     = "chunk-relay"
 )
 
 // procProfile is one process's attribution state.

@@ -65,6 +65,22 @@ func (r *Resource) Reserve(bytes int) (arrival Time) {
 	return end + r.Latency
 }
 
+// ReserveFor books the medium for a caller-computed occupancy (the caller
+// applies its own rate instead of the resource's BytesPerSec), returning
+// the arrival time at the far end. The chunked transfer path uses this to
+// book NIC time at the raw wire rate while plain messages on the same NIC
+// keep the resource's end-to-end fitted rate.
+func (r *Resource) ReserveFor(occupancy Time) (arrival Time) {
+	start := r.k.now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + occupancy
+	r.busyUntil = end
+	r.busy += end - start
+	return end + r.Latency
+}
+
 // BusyUntil reports when the medium becomes free.
 func (r *Resource) BusyUntil() Time { return r.busyUntil }
 

@@ -42,6 +42,11 @@ const (
 	PhaseMPISend
 	// PhaseMPIWait is an endpoint process blocked in MPI receive.
 	PhaseMPIWait
+	// PhaseChunkRelay is one endpoint's leg of the pipelined chunked
+	// transfer: streaming a large payload as fixed-size chunks whose DMA,
+	// stack, and wire stages overlap. One event covers the whole stream on
+	// that endpoint, not one per chunk.
+	PhaseChunkRelay
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +70,8 @@ func (k PhaseKind) String() string {
 		return "mpi-send"
 	case PhaseMPIWait:
 		return "mpi-wait"
+	case PhaseChunkRelay:
+		return "chunk-relay"
 	default:
 		return fmt.Sprintf("phase(%d)", int(k))
 	}

@@ -41,6 +41,10 @@ type ChaosConfig struct {
 	SoftTimeout sim.Time
 	// Params overrides the timing calibration (nil = defaults).
 	Params *cellbe.Params
+	// Transfer tunes the chunked transfer engine (zero value = disabled).
+	// With chunking on and Bytes past the eager bound, the internode flows
+	// (types 1, 3 and 5) exercise the chunk pipeline under injection.
+	Transfer core.TransferOptions
 }
 
 // ChaosResult is one chaos run's complete observable outcome. Two runs of
@@ -141,7 +145,7 @@ func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 		return ChaosResult{}, err
 	}
 	inj := fault.NewInjector(cfg.plan())
-	a := core.NewApp(clu, core.Options{Faults: inj})
+	a := core.NewApp(clu, core.Options{Faults: inj, Transfer: cfg.Transfer})
 	a.Metrics = core.NewMeter()
 
 	res := ChaosResult{Config: ChaosResult_Config{

@@ -65,6 +65,13 @@ type PingPongConfig struct {
 	PollInterval sim.Time
 	// EagerThreshold overrides MPI's eager/rendezvous split when > 0 (A3).
 	EagerThreshold int
+	// Transfer tunes the chunked transfer engine (zero value = disabled,
+	// the paper-faithful protocol). MethodCellPilot only.
+	Transfer core.TransferOptions
+	// RoundTrips, when non-nil, receives every timed round's round-trip
+	// time in order (MethodCellPilot only) — the raw samples behind the
+	// size-sweep's latency quantiles.
+	RoundTrips *[]sim.Time
 	// Trace, when non-nil, records the CellPilot run's events and transfer
 	// spans (MethodCellPilot only; observation is free in virtual time).
 	Trace *trace.Recorder
@@ -201,7 +208,7 @@ func pingPongCellPilot(cfg PingPongConfig) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	a := core.NewApp(c, core.Options{CoPilotDirectLocal: cfg.DirectLocal})
+	a := core.NewApp(c, core.Options{CoPilotDirectLocal: cfg.DirectLocal, Transfer: cfg.Transfer})
 	a.Trace = cfg.Trace
 	a.Metrics = cfg.Metrics
 	a.Profile = cfg.Profile
@@ -217,11 +224,15 @@ func pingPongCellPilot(cfg PingPongConfig) (sim.Time, error) {
 			if r == 1 {
 				start = now()
 			}
+			rstart := now()
 			write(format, mk(r)...)
 			args, verify := rd()
 			read(format, args...)
 			if err := verify(r); err != nil {
 				return err
+			}
+			if cfg.RoundTrips != nil && r >= 1 {
+				*cfg.RoundTrips = append(*cfg.RoundTrips, now()-rstart)
 			}
 		}
 		total = now() - start

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"testing"
+
+	"cellpilot/internal/core"
+)
+
+// The acceptance contract of the transfer engine: at ≥64 KiB the pipelined
+// path at least doubles p50 bandwidth on the internode SPE types (3 and 5),
+// while small payloads keep the exact paper-faithful latency everywhere.
+func TestSizeSweepSpeedupContract(t *testing.T) {
+	points, err := SizeSweep(SizeSweepConfig{Reps: 10, Sizes: []int{256, 65536}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		typ, bytes int
+		chunked    bool
+	}
+	byKey := map[key]SizeSweepPoint{}
+	for _, p := range points {
+		byKey[key{p.Type, p.Bytes, p.Chunked}] = p
+	}
+	for _, typ := range []int{3, 5} {
+		base := byKey[key{typ, 65536, false}]
+		chunked := byKey[key{typ, 65536, true}]
+		if chunked.BandwidthMBps < 2*base.BandwidthMBps {
+			t.Errorf("type%d 64KiB: chunked %.1f MB/s < 2x baseline %.1f MB/s",
+				typ, chunked.BandwidthMBps, base.BandwidthMBps)
+		}
+	}
+	for typ := 1; typ <= 5; typ++ {
+		base := byKey[key{typ, 256, false}]
+		chunked := byKey[key{typ, 256, true}]
+		if chunked.OneWayP50 > base.OneWayP50 {
+			t.Errorf("type%d 256B: chunked p50 %v worse than baseline %v",
+				typ, chunked.OneWayP50, base.OneWayP50)
+		}
+	}
+}
+
+// A chunked chaos run — lossy links under concurrent five-type traffic with
+// payloads past the eager bound, so the internode flows stream — must be
+// bit-for-bit deterministic.
+func TestChaosChunkedDeterminism(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed: 5, LossProb: 0.15, Bytes: 32768, Reps: 6,
+		Transfer: core.TransferOptions{ChunkSize: 8192},
+	}
+	r1, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Fatalf("chunked chaos run not deterministic:\n--- run 1:\n%s\n--- run 2:\n%s",
+			r1.Fingerprint(), r2.Fingerprint())
+	}
+	done := 0
+	for typ := 1; typ <= 5; typ++ {
+		done += r1.Completed[typ]
+	}
+	if done == 0 {
+		t.Fatalf("no flow completed any round trip: %+v", r1)
+	}
+}
