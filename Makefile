@@ -32,11 +32,14 @@ ci-chaos:
 .PHONY: ci-chaos
 
 # Observability gate: profiler, flight recorder, sampling, congestion
-# telemetry, metrics endpoint, and the zero-virtual-cost guarantee —
-# plus a profile-experiment smoke run exercising both export formats.
+# telemetry, metrics endpoint, the zero-virtual-cost guarantee, and the
+# critical-path analyzer (exact partition, golden blame table, blame
+# diff) — plus a profile-experiment smoke run exercising both export
+# formats.
 ci-obs:
-	$(GO) test -run 'Observability|Flight|Sampling|Chrome|Telemetry|Attach' ./internal/core/ ./internal/trace/
-	$(GO) test ./internal/profile/ ./internal/metrics/
+	$(GO) test -run 'Observability|Flight|Sampling|Chrome|Telemetry|Attach|ChunkSpan|StreamInflight' ./internal/core/ ./internal/trace/
+	$(GO) test ./internal/profile/ ./internal/metrics/ ./internal/critpath/
+	$(GO) test -run 'CritPath|GoldenBlame|BlameDiff' ./internal/workload/
 	$(GO) run ./cmd/cellpilot-bench -exp profile -reps 5 -trace-type 2 \
 		-folded /tmp/cellpilot-ci.folded -pprof /tmp/cellpilot-ci.pb.gz >/dev/null
 	@rm -f /tmp/cellpilot-ci.folded /tmp/cellpilot-ci.pb.gz
@@ -51,7 +54,9 @@ bench-json:
 
 # Performance-regression gate: re-measure the five-type pingpong grid and
 # fail if any channel type's one-way p50 regressed >10% vs the committed
-# results/BENCH_pingpong.json baseline.
+# results/BENCH_pingpong.json baseline. A tripped gate prints the
+# critical-path blame diff against results/BLAME_pingpong.json, naming
+# the stage that got slower and whether it is service or queueing time.
 bench-guard:
 	$(GO) run ./cmd/cellpilot-bench -exp guard
 .PHONY: bench-guard

@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"cellpilot/internal/core"
+	"cellpilot/internal/critpath"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
@@ -169,6 +170,7 @@ func runPingPongGrid(reps int, pub *metrics.Publisher, outDir string) {
 		BandwidthP50 float64 `json:"bandwidth_mbps_p50"`
 	}
 	var results []typeResult
+	blame := &critpath.File{Experiment: "pingpong", PayloadBytes: 1600, Reps: reps}
 	for typ := 1; typ <= 5; typ++ {
 		var oneWay sim.Time
 		ran := 0
@@ -177,12 +179,26 @@ func runPingPongGrid(reps int, pub *metrics.Publisher, outDir string) {
 			if n < 1 {
 				n = 1
 			}
-			res, err := workload.PingPong(workload.PingPongConfig{
+			cfg := workload.PingPongConfig{
 				Type: typ, Bytes: 1600, Method: workload.MethodCellPilot, Reps: n,
 				Metrics: meter,
-			})
+			}
+			var st core.Stats
+			if b == 0 {
+				// Trace the first batch only: recording is free in virtual
+				// time, so the timings match the untraced batches exactly,
+				// and one batch of spans is enough for the blame baseline.
+				cfg.Trace = trace.NewRecorder(0)
+				cfg.Stats = &st
+			}
+			res, err := workload.PingPong(cfg)
 			if err != nil {
 				log.Fatal(err)
+			}
+			if b == 0 && st.CritPath != nil {
+				f := st.CritPath.ToFile("pingpong", 1600, n)
+				blame.Types = append(blame.Types, f.Types...)
+				blame.Pairs = append(blame.Pairs, f.Pairs...)
 			}
 			oneWay += res.OneWay
 			ran++
@@ -224,6 +240,16 @@ func runPingPongGrid(reps int, pub *metrics.Publisher, outDir string) {
 			log.Fatal(err)
 		}
 		fmt.Printf("results written to %s\n", path)
+		bpath := filepath.Join(outDir, "BLAME_pingpong.json")
+		bf, err := os.Create(bpath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := blame.Write(bf); err != nil {
+			log.Fatal(err)
+		}
+		bf.Close()
+		fmt.Printf("critical-path blame written to %s\n", bpath)
 	}
 }
 
@@ -304,6 +330,10 @@ func runGuard(reps int, baselinePath string) {
 	if base.PayloadBytes == 0 || len(want) == 0 {
 		log.Fatalf("guard: %s has no channel baselines", baselinePath)
 	}
+	// The committed blame decomposition rides next to the latency baseline;
+	// when the gate trips it turns "type N got slower" into "stage X of
+	// type N got slower, mostly service|queueing".
+	blameBase, blameErr := critpath.LoadFile(filepath.Join(filepath.Dir(baselinePath), "BLAME_pingpong.json"))
 	fmt.Printf("bench guard: one-way p50 vs %s (payload %dB, tolerance +10%%)\n", baselinePath, base.PayloadBytes)
 	failed := false
 	for typ := 1; typ <= 5; typ++ {
@@ -312,8 +342,12 @@ func runGuard(reps int, baselinePath string) {
 		if !ok {
 			continue
 		}
+		// The recorder observes at zero virtual-time cost, so the guarded
+		// latencies are identical to an untraced run's.
+		var st core.Stats
 		res, err := workload.PingPong(workload.PingPongConfig{
 			Type: typ, Bytes: base.PayloadBytes, Method: workload.MethodCellPilot, Reps: reps,
+			Trace: trace.NewRecorder(0), Stats: &st,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -326,6 +360,27 @@ func runGuard(reps int, baselinePath string) {
 		}
 		fmt.Printf("%s  baseline %8.1fus  now %8.1fus  (%+.1f%%)  %s\n",
 			name, ref, got, 100*(got-ref)/ref, verdict)
+		if verdict != "REGRESSION" {
+			continue
+		}
+		switch {
+		case blameErr != nil:
+			fmt.Printf("  (no blame baseline: %v; run 'make bench-json' and commit results/BLAME_pingpong.json)\n", blameErr)
+		case st.CritPath == nil:
+			fmt.Println("  (no trace spans recorded; cannot attribute the regression)")
+		default:
+			bt, ok := blameBase.TypeByName(name)
+			if !ok {
+				fmt.Printf("  (blame baseline has no entry for %s)\n", name)
+				continue
+			}
+			nt, ok := st.CritPath.ToFile("pingpong", base.PayloadBytes, reps).TypeByName(name)
+			if !ok {
+				fmt.Printf("  (no transfers analyzed for %s)\n", name)
+				continue
+			}
+			fmt.Print(critpath.FormatDiff(name, critpath.DiffType(bt, nt)))
+		}
 	}
 	if failed {
 		log.Fatal("guard: one-way latency regressed more than 10% on at least one channel type")

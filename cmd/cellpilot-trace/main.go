@@ -46,6 +46,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write the metric registry as JSON to this file (\"-\" = stdout)")
 	spans := flag.Int("spans", 10, "transfer spans to print")
 	top := flag.Bool("top", false, "print the per-process / per-channel-type utilization table")
+	critpathOn := flag.Bool("critpath", false, "print the critical-path blame report (per-stage service vs queueing)")
+	folded := flag.String("folded", "", "with -critpath: write folded critical-path stacks to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	clu, err := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 2})
@@ -190,6 +192,16 @@ func main() {
 		fmt.Println()
 		printTop(st)
 	}
+	if *critpathOn && st.CritPath != nil {
+		fmt.Println()
+		fmt.Print(st.CritPath.Table())
+		if *folded != "" {
+			writeOut(*folded, st.CritPath.FoldedStacks)
+			if *folded != "-" {
+				fmt.Printf("folded critical-path stacks written to %s\n", *folded)
+			}
+		}
+	}
 }
 
 // printTop renders the utilization view: where each process's virtual
@@ -231,8 +243,9 @@ func printTop(st cellpilot.Stats) {
 	for _, lu := range st.Links {
 		fmt.Printf("  %-6s busy %12s  %5.1f%% saturated\n", lu.Name, lu.Busy, 100*lu.Utilization)
 	}
-	fmt.Println("top: SPE mailbox high-water marks")
+	fmt.Println("top: SPE mailbox high-water marks and MFC DMA engines")
 	for _, spe := range st.SPEs {
-		fmt.Printf("  %-28s in=%d/4 out=%d/1\n", spe.Process, spe.InMboxHighWater, spe.OutMboxHighWater)
+		fmt.Printf("  %-28s in=%d/4 out=%d/1  mfc-dma busy %12s  %5.1f%% utilized\n",
+			spe.Process, spe.InMboxHighWater, spe.OutMboxHighWater, spe.DMABusy, 100*spe.DMAUtilization)
 	}
 }

@@ -191,6 +191,23 @@ func (a *App) Main() *Process { return a.procs[0] }
 // run's most recent transfer-phase events.
 func (a *App) Flight() *trace.Flight { return a.flight }
 
+// ProcNodes maps every trace track label — process names and Co-Pilot rank
+// labels — to the node it runs on. The critical-path analyzer uses it to
+// fold wire-occupying phases into per-node link resources, so MPI stages
+// split into service vs link queueing.
+func (a *App) ProcNodes() map[string]int {
+	nodes := make(map[string]int, len(a.procs)+len(a.copilotOrder))
+	for _, p := range a.procs {
+		nodes[p.String()] = p.nodeID
+	}
+	for _, key := range a.copilotOrder {
+		if cp := a.copilots[key]; cp != nil {
+			nodes[cp.rank.Label()] = key.node
+		}
+	}
+	return nodes
+}
+
 // attachErr shapes the configuration error the checked sink setters
 // return when Run has already started.
 func (a *App) attachErr(api string) error {

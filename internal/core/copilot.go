@@ -552,7 +552,10 @@ func (cp *copilot) streamWrite(p *sim.Proc, req *speReq, dst int) bool {
 		res := app.dmaRes(req.spe)
 		st.dmaAt = make([]sim.Time, st.nchunks)
 		for k := range st.dmaAt {
-			st.dmaAt[k] = res.ReserveFor(par.ChunkDMATime(chunkLen(req.size, chunk, k)))
+			n := chunkLen(req.size, chunk, k)
+			d := par.ChunkDMATime(n)
+			st.dmaAt[k] = res.ReserveFor(d)
+			app.spanChunk(req.xfer, trace.PhaseChunkDMA, req.proc.String(), req.ch, n, st.dmaAt[k]-d, st.dmaAt[k], k)
 		}
 	}
 	st := req.stream
@@ -571,9 +574,18 @@ func (cp *copilot) streamWrite(p *sim.Proc, req *speReq, dst int) bool {
 	win := cp.lsWindow(p, req)
 	fb := fmtmsg.GetWireBuf(chunkIdxSize + n)
 	frame := appendChunkFrame(*fb, st.next, win[off:off+n])
+	injStart := p.Now()
 	st.arrivals = append(st.arrivals, cp.rank.SendChunk(p, st.dst, req.ch.streamTag(), frame))
 	*fb = frame
 	fmtmsg.PutWireBuf(fb)
+	app.spanChunk(req.xfer, trace.PhaseChunkFrame, cp.rank.Label(), req.ch, n, injStart, p.Now(), st.next)
+	inflight := 0
+	for _, a := range st.arrivals {
+		if a > p.Now() {
+			inflight++
+		}
+	}
+	app.meterStreamInflight(streamSendDir, inflight)
 	st.next++
 	if st.next < st.nchunks {
 		cp.streamAdvanced = true
@@ -610,6 +622,7 @@ func (cp *copilot) streamRead(p *sim.Proc, req *speReq, src int) bool {
 		cp.validateIncoming(p, req, sig, size)
 		req.xfer = hst.Xfer
 		req.rstream = &streamRecv{src: src, chunk: chunk, nchunks: nchunks, startAt: p.Now()}
+		app.meterStreamInflight(streamRecvDir, nchunks)
 		cp.streamAdvanced = true
 		return false
 	}
@@ -623,11 +636,16 @@ func (cp *copilot) streamRead(p *sim.Proc, req *speReq, src int) bool {
 		if !ok || idx != rs.got {
 			p.Fatalf("%v", usageError("runtime", "co-pilot", "stream chunk %d arrived out of order on %s (expected %d)", idx, req.ch, rs.got))
 		}
+		drainStart := p.Now()
 		p.Advance(par.ChunkStackTime(len(payload)))
 		win := cp.lsWindow(p, req)
 		copy(win[rs.got*rs.chunk:], payload)
-		rs.dmaDone = app.dmaRes(req.spe).ReserveFor(par.ChunkDMATime(len(payload)))
+		d := par.ChunkDMATime(len(payload))
+		rs.dmaDone = app.dmaRes(req.spe).ReserveFor(d)
+		app.spanChunk(req.xfer, trace.PhaseChunkFrame, cp.rank.Label(), req.ch, len(payload), drainStart, p.Now(), rs.got)
+		app.spanChunk(req.xfer, trace.PhaseChunkDMA, req.proc.String(), req.ch, len(payload), rs.dmaDone-d, rs.dmaDone, rs.got)
 		rs.got++
+		app.meterStreamInflight(streamRecvDir, rs.nchunks-rs.got)
 		if rs.got < rs.nchunks {
 			cp.streamAdvanced = true
 			return false

@@ -357,9 +357,18 @@ func (c *Ctx) writeChunked(loc, api string, ch *Channel, spec *fmtmsg.Spec, wire
 		n := chunkLen(len(wire), chunk, k)
 		fb := fmtmsg.GetWireBuf(chunkIdxSize + n)
 		frame := appendChunkFrame(*fb, k, wire[off:off+n])
+		injStart := c.P.Now()
 		arrivals = append(arrivals, c.rank.SendChunk(c.P, dst, stag, frame))
 		*fb = frame
 		fmtmsg.PutWireBuf(fb)
+		c.app.spanChunk(xfer, trace.PhaseChunkFrame, c.Self.String(), ch, n, injStart, c.P.Now(), k)
+		inflight := 0
+		for _, a := range arrivals {
+			if a > c.P.Now() {
+				inflight++
+			}
+		}
+		c.app.meterStreamInflight(streamSendDir, inflight)
 	}
 	// The stream is buffered in flight regardless of the reader: tell the
 	// detector so a blocked read on ch is not treated as a wait.
@@ -434,8 +443,11 @@ func (c *Ctx) readChunked(loc, api string, ch *Channel, spec *fmtmsg.Spec, expec
 		if !ok || idx != k {
 			c.fail(loc, api, "stream chunk %d arrived out of order on %s (expected %d)", idx, ch, k)
 		}
+		chunkStart := c.P.Now()
 		c.P.Advance(par.ChunkStackTime(len(payload)))
 		buf = append(buf, payload...)
+		c.app.spanChunk(xfer, trace.PhaseChunkFrame, self, ch, len(payload), chunkStart, c.P.Now(), k)
+		c.app.meterStreamInflight(streamRecvDir, nchunks-k-1)
 	}
 	*bp = buf
 	c.app.reportUnblock(c.Self)

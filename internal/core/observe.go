@@ -136,6 +136,52 @@ func (a *App) spanPhase(xfer int64, phase trace.PhaseKind, proc string, ch *Chan
 	}
 }
 
+// spanChunk dispatches one per-chunk annotation event (a chunk frame's
+// stack injection/drain, or its LS↔EA move on the MFC DMA engine). The
+// event carries the owning stream's id and the 1-based chunk index, so
+// Chrome flow events can link chunk k's injection to chunk k's drain and
+// the critical-path analyzer gets mfc-dma occupancy intervals. Annotations
+// share the stream's transfer id, so sampling keeps or drops a stream's
+// chunk events together with its primary phases; they are never fed to the
+// profiler, whose buckets are exclusive over primary stages only.
+func (a *App) spanChunk(xfer int64, phase trace.PhaseKind, proc string, ch *Channel, bytes int, start, end sim.Time, chunk int) {
+	if xfer == 0 {
+		return
+	}
+	pe := trace.PhaseEvent{
+		Xfer: xfer, Phase: phase, Proc: proc,
+		Channel: ch.id, ChanType: int(ch.typ), Bytes: bytes,
+		Start: start, End: end,
+		Stream: xfer, Chunk: chunk + 1,
+	}
+	a.obs.flight.Record(pe)
+	if a.obs.trace != nil {
+		a.obs.trace.RecordPhase(pe)
+	}
+}
+
+// Stream-backlog gauge directions.
+const (
+	streamSendDir = "send" // chunks injected but not yet landed on the wire
+	streamRecvDir = "recv" // chunks announced by the header but not yet drained
+)
+
+// noteStreamInflight publishes a chunked stream's in-flight backlog: the
+// live gauge tracks the most recent observation (what /metrics samples),
+// the highwater gauge the run's worst case.
+func (m *Meter) noteStreamInflight(dir string, n int) {
+	g := "copilot/stream/inflight_" + dir
+	m.reg.Gauge(g).Set(float64(n))
+	m.reg.Gauge(g + "_highwater").SetMax(float64(n))
+}
+
+// meterStreamInflight feeds noteStreamInflight when a meter is attached.
+func (a *App) meterStreamInflight(dir string, n int) {
+	if m := a.obs.meter; m != nil {
+		m.noteStreamInflight(dir, n)
+	}
+}
+
 // profAttribute folds one phase into the profiler's exclusive buckets.
 // PhaseCoPilotWait is deliberately excluded: it spans the requester's
 // posting and waiting interval (already attributed on the SPE side), not

@@ -164,6 +164,31 @@ func TestObservabilityZeroCost(t *testing.T) {
 	if got := inj.Counts; got != (fault.Counts{}) {
 		t.Fatalf("empty plan recorded activity: %+v", got)
 	}
+	// The critical-path analyzer is a pure post-run consumer of the span
+	// DAG: with no recorder attached Stats carries no CritPath and the
+	// timeline is the bare one (asserted above); with one, Stats().CritPath
+	// decomposes every traced transfer exactly — the per-stage attributions
+	// sum to the end-to-end virtual latency — and rendering it twice is
+	// byte-identical.
+	if bareApp.Stats().CritPath != nil {
+		t.Fatal("Stats.CritPath non-nil without a recorder")
+	}
+	cp := allApp.Stats().CritPath
+	if cp == nil || len(cp.Transfers) == 0 {
+		t.Fatal("Stats.CritPath missing with a recorder attached")
+	}
+	for _, tr := range cp.Transfers {
+		var sum sim.Time
+		for _, sb := range tr.Stages {
+			sum += sb.Total()
+		}
+		if d := tr.Dur() - sum; d != 0 {
+			t.Fatalf("transfer #%d: stage attributions off end-to-end latency by %v", tr.ID, d)
+		}
+	}
+	if again := allApp.Stats().CritPath; again.Table() != cp.Table() {
+		t.Fatalf("critical-path report not deterministic:\n%s\nvs\n%s", cp.Table(), again.Table())
+	}
 	// Per-channel event times must also be identical across sink choices.
 	evA, evB := recA.Events(), recB.Events()
 	if len(evA) != len(evB) {

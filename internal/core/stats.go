@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"cellpilot/internal/critpath"
 	"cellpilot/internal/fault"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/sim"
@@ -42,6 +43,12 @@ type SPEStats struct {
 	// not drain its partner fast enough.
 	InMboxHighWater  int
 	OutMboxHighWater int
+	// DMABusy is the virtual time the SPE's MFC DMA engine spent moving
+	// chunk-stream payloads between local store and main memory;
+	// DMAUtilization is that over the run's virtual time. Both are zero
+	// when the chunked transfer engine is off or the SPE never streamed.
+	DMABusy        sim.Time
+	DMAUtilization float64
 }
 
 // LinkUtil reports one interconnect link's cumulative occupancy.
@@ -127,6 +134,12 @@ type Stats struct {
 	// Faults is the fault-injection summary; nil unless Options.Faults
 	// was set.
 	Faults *FaultStats
+	// CritPath is the causal critical-path decomposition of the run's
+	// traced transfers — per-stage service/queueing blame and the top
+	// victim/aggressor contention pairs. Populated only when a trace
+	// recorder was attached (the analyzer consumes its spans); nil
+	// otherwise, at zero cost to the run either way.
+	CritPath *critpath.Report
 }
 
 // Stats collects the utilization report. Call it after Run returns.
@@ -157,14 +170,21 @@ func (a *App) Stats() Stats {
 	for _, p := range a.procs {
 		if p.IsSPE() && p.sctx != nil {
 			spe := p.sctx.SPE
-			st.SPEs = append(st.SPEs, SPEStats{
+			ss := SPEStats{
 				Process:          p.String(),
 				Node:             p.nodeID,
 				Resident:         spe.LS.Resident(),
 				HighWater:        spe.LS.HighWater(),
 				InMboxHighWater:  spe.InMbox.HighWater(),
 				OutMboxHighWater: spe.OutMbox.HighWater(),
-			})
+			}
+			if res := a.speDMA[spe]; res != nil {
+				ss.DMABusy = res.Busy()
+				if elapsed > 0 {
+					ss.DMAUtilization = float64(res.Busy()) / elapsed
+				}
+			}
+			st.SPEs = append(st.SPEs, ss)
 		}
 	}
 	for _, ls := range a.Clu.Net.LinkStats() {
@@ -173,6 +193,9 @@ func (a *App) Stats() Stats {
 			lu.Utilization = float64(ls.Busy) / elapsed
 		}
 		st.Links = append(st.Links, lu)
+	}
+	if rec := a.obs.trace; rec != nil {
+		st.CritPath = critpath.Analyze(rec.Spans(), critpath.Options{ProcNodes: a.ProcNodes()})
 	}
 	m := a.obs.meter
 	if m == nil {
@@ -258,6 +281,10 @@ func (a *App) pushTelemetryGauges(reg *metrics.Registry, st Stats) {
 		prefix := "spe/" + spe.Process
 		reg.Gauge(prefix + "/inmbox_highwater").Set(float64(spe.InMboxHighWater))
 		reg.Gauge(prefix + "/outmbox_highwater").Set(float64(spe.OutMboxHighWater))
+		if spe.DMABusy > 0 {
+			reg.Gauge(prefix + "/mfcdma_busy_us").Set(spe.DMABusy.Micros())
+			reg.Gauge(prefix + "/mfcdma_utilization").Set(spe.DMAUtilization)
+		}
 	}
 	if m := a.obs.meter; m != nil {
 		for _, ch := range a.chans {
@@ -335,8 +362,12 @@ func (s Stats) String() string {
 			cp.Node, cp.WriteReqs, cp.ReadReqs, cp.RelayedBytes, cp.Type4Copies, cp.Type4Bytes, cp.Busy, 100*cp.Utilization)
 	}
 	for _, spe := range s.SPEs {
-		fmt.Fprintf(&b, "  %-28s LS resident %6d, high water %6d, mbox high water in=%d out=%d\n",
+		fmt.Fprintf(&b, "  %-28s LS resident %6d, high water %6d, mbox high water in=%d out=%d",
 			spe.Process, spe.Resident, spe.HighWater, spe.InMboxHighWater, spe.OutMboxHighWater)
+		if spe.DMABusy > 0 {
+			fmt.Fprintf(&b, ", mfc-dma busy %v (%.1f%% utilized)", spe.DMABusy, 100*spe.DMAUtilization)
+		}
+		b.WriteByte('\n')
 	}
 	for _, lu := range s.Links {
 		fmt.Fprintf(&b, "  %-6s busy %v (%.1f%% saturated)\n", lu.Name, lu.Busy, 100*lu.Utilization)
@@ -355,6 +386,10 @@ func (s Stats) String() string {
 	for _, pt := range s.ProcTimes {
 		fmt.Fprintf(&b, "  %-28s total %v: compute %v, read-blocked %v, write-blocked %v, mailbox %v\n",
 			pt.Process, pt.Total, pt.Compute, pt.BlockedRead, pt.BlockedWrite, pt.MailboxWait)
+	}
+	if cp := s.CritPath; cp != nil && cp.CritTotal > 0 {
+		fmt.Fprintf(&b, "  critical path: %d traced transfers, %v summed, %v queueing behind other transfers\n",
+			len(cp.Transfers), cp.CritTotal, cp.QueueTotal)
 	}
 	if f := s.Faults; f != nil {
 		fmt.Fprintf(&b, "  faults: %d process(es) killed, %d channel(s) poisoned, %d op timeout(s)\n",

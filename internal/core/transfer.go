@@ -202,9 +202,9 @@ type reqQueue struct {
 	head  int
 }
 
-func (q *reqQueue) size() int          { return len(q.items) - q.head }
-func (q *reqQueue) at(i int) *speReq   { return q.items[q.head+i] }
-func (q *reqQueue) push(req *speReq)   { q.items = append(q.items, req) }
+func (q *reqQueue) size() int        { return len(q.items) - q.head }
+func (q *reqQueue) at(i int) *speReq { return q.items[q.head+i] }
+func (q *reqQueue) push(req *speReq) { q.items = append(q.items, req) }
 
 // removeAt drops the request at logical index i. The front (the common
 // case: requests are serviced oldest-first) just advances the cursor; the

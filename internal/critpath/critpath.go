@@ -1,0 +1,522 @@
+// Package critpath computes, from a run's correlated transfer spans, the
+// causal critical path of every transfer and a per-stage blame report:
+// where each end-to-end microsecond went, split into service (the stage
+// doing its own work) and queueing (the stage blocked behind another
+// transfer occupying the same resource — a Co-Pilot service loop, an SPE's
+// MFC DMA engine, a NIC link, a mailbox decode).
+//
+// The analyzer is pure post-processing over trace.Span data: it never
+// touches the simulation, so it is zero-cost by construction, and it is
+// deterministic — the same spans produce byte-identical reports.
+//
+// Attribution is exact by design. Each transfer's interval [Start, End] is
+// swept boundary to boundary; every instant is attributed to exactly one
+// stage (the latest-starting phase active at that instant — the most
+// downstream work the transfer was doing), so the per-stage durations of a
+// transfer sum to its end-to-end latency with zero rounding error.
+package critpath
+
+import (
+	"sort"
+
+	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
+)
+
+// GapKind is the pseudo-stage for instants no recorded phase covers —
+// wire propagation between an injection end and a delivery, or protocol
+// windows the instrumentation does not slice. Keeping it explicit is what
+// lets the stage attributions sum exactly to the end-to-end latency.
+const GapKind trace.PhaseKind = -1
+
+// StageName renders a stage, mapping the gap pseudo-stage to a readable
+// label.
+func StageName(k trace.PhaseKind) string {
+	if k == GapKind {
+		return "wire-gap"
+	}
+	return k.String()
+}
+
+// Options tune the analysis.
+type Options struct {
+	// ProcNodes maps process/track labels to node ids. When present, the
+	// analyzer builds per-node link resources from wire-occupying phases,
+	// so MPI send/wait stages can be split into service vs link queueing.
+	// Without it those stages count entirely as service.
+	ProcNodes map[string]int
+	// TopPairs bounds the victim/aggressor pairs kept in the report
+	// (0 = DefaultTopPairs).
+	TopPairs int
+}
+
+// DefaultTopPairs is the victim/aggressor pair cap when Options.TopPairs
+// is zero.
+const DefaultTopPairs = 10
+
+// StageBlame is one stage's share of a critical path.
+type StageBlame struct {
+	Phase trace.PhaseKind
+	// Service is time the stage spent doing its own work (or waiting on
+	// physics: wire latency, DMA of this very transfer). Queue is time the
+	// stage was blocked behind other transfers occupying its resource.
+	Service, Queue sim.Time
+}
+
+// Total is the stage's full critical-path share.
+func (sb StageBlame) Total() sim.Time { return sb.Service + sb.Queue }
+
+// Transfer is one transfer's decomposed critical path.
+type Transfer struct {
+	ID       int64
+	Channel  int
+	ChanType int
+	Bytes    int
+	Start    sim.Time
+	End      sim.Time
+	// Stages, ordered by stage kind, partition [Start, End] exactly:
+	// the sum of Service+Queue over all stages equals End-Start.
+	Stages []StageBlame
+}
+
+// Dur is the transfer's end-to-end latency.
+func (t Transfer) Dur() sim.Time { return t.End - t.Start }
+
+// StageTotal sums service+queue attributed to one stage kind.
+func (t Transfer) StageTotal(k trace.PhaseKind) sim.Time {
+	for _, sb := range t.Stages {
+		if sb.Phase == k {
+			return sb.Total()
+		}
+	}
+	return 0
+}
+
+// TypeBlame aggregates every analyzed transfer of one channel type.
+type TypeBlame struct {
+	ChanType  int
+	Transfers int
+	// Total is the summed critical-path time; Stages partitions it.
+	Total  sim.Time
+	Stages []StageBlame
+}
+
+// Pair is one victim/aggressor contention edge: how long transfer Victim
+// sat on the critical path blocked behind transfer Aggressor's occupancy
+// of Resource.
+type Pair struct {
+	Resource          string
+	Victim, Aggressor int64
+	Blocked           sim.Time
+}
+
+// Report is the full analysis result.
+type Report struct {
+	Transfers []Transfer
+	Types     []TypeBlame
+	// Pairs lists the top victim/aggressor contention edges, most blocked
+	// time first.
+	Pairs []Pair
+	// QueueTotal is the run-wide critical-path time attributed to
+	// queueing; CritTotal the summed critical paths.
+	QueueTotal sim.Time
+	CritTotal  sim.Time
+}
+
+// occ is one resource-occupancy interval and its owning transfer.
+type occ struct {
+	start, end sim.Time
+	xfer       int64
+}
+
+// resList is one resource's occupancy intervals sorted by start time,
+// with a prefix max of interval ends so overlap queries can binary-search
+// a valid lower bound even when intervals nest.
+type resList struct {
+	occs []occ
+	// maxEnd[i] = max(occs[0..i].end) — non-decreasing by construction.
+	maxEnd []sim.Time
+}
+
+// resourceIndex holds per-resource occupancy interval lists.
+type resourceIndex map[string]*resList
+
+// overlapOther accumulates, for the window [a,b), the sub-intervals during
+// which the resource is occupied by a transfer other than self. Results
+// are appended to into as (aggressor, duration) cuts; the total cut time
+// is returned. Occupancy lists are sorted; overlapping occupancies (which
+// a serial resource should not produce) are handled by clipping the scan
+// cursor so no instant is double-counted.
+func (ri resourceIndex) overlapOther(res string, a, b sim.Time, self int64, cut func(aggressor int64, d sim.Time)) sim.Time {
+	rl := ri[res]
+	if rl == nil || len(rl.occs) == 0 || a >= b {
+		return 0
+	}
+	list := rl.occs
+	// First interval that could overlap [a,b): the list is start-sorted, so
+	// individual ends are not monotonic (intervals may nest), but the prefix
+	// max of ends is — binary search that for the first end past a.
+	lo := sort.Search(len(list), func(i int) bool { return rl.maxEnd[i] > a })
+	var total sim.Time
+	cursor := a
+	for i := lo; i < len(list) && list[i].start < b; i++ {
+		o := list[i]
+		if o.xfer == self {
+			continue
+		}
+		s, e := o.start, o.end
+		if s < cursor {
+			s = cursor
+		}
+		if e > b {
+			e = b
+		}
+		if e <= s {
+			continue
+		}
+		total += e - s
+		cursor = e
+		if cut != nil {
+			cut(o.xfer, e-s)
+		}
+	}
+	return total
+}
+
+// wireKind reports whether a phase occupies the sender-side wire path.
+func wireKind(k trace.PhaseKind) bool {
+	return k == trace.PhaseMPISend || k == trace.PhaseRelay || k == trace.PhaseChunkRelay
+}
+
+// Analyze decomposes every span into its critical path and builds the
+// blame report. Spans with no primary phases are skipped.
+func Analyze(spans []trace.Span, opt Options) *Report {
+	// Pass 1: copilot track detection — a proc that decoded at least one
+	// request is a Co-Pilot service loop; its service-ish phases define the
+	// loop's occupancy.
+	copilotProc := map[string]bool{}
+	for _, sp := range spans {
+		for _, pe := range sp.Phases {
+			if pe.Phase == trace.PhaseCoPilotService {
+				copilotProc[pe.Proc] = true
+			}
+		}
+	}
+
+	// Pass 2: resource occupancy index.
+	ri := resourceIndex{}
+	add := func(res string, pe trace.PhaseEvent) {
+		if pe.End > pe.Start {
+			rl := ri[res]
+			if rl == nil {
+				rl = &resList{}
+				ri[res] = rl
+			}
+			rl.occs = append(rl.occs, occ{pe.Start, pe.End, pe.Xfer})
+		}
+	}
+	for _, sp := range spans {
+		for _, pe := range sp.Phases {
+			switch {
+			case pe.Phase == trace.PhaseChunkDMA:
+				add("mfc-dma/"+pe.Proc, pe)
+			case pe.Phase == trace.PhaseMailboxReq:
+				add("mailbox/"+pe.Proc, pe)
+			case copilotProc[pe.Proc] &&
+				(pe.Phase == trace.PhaseCoPilotService || pe.Phase == trace.PhaseCopy ||
+					pe.Phase == trace.PhaseRelay || pe.Phase == trace.PhaseChunkRelay):
+				add("copilot/"+pe.Proc, pe)
+			}
+			if opt.ProcNodes != nil && wireKind(pe.Phase) {
+				if node, ok := opt.ProcNodes[pe.Proc]; ok {
+					add(linkRes(node), pe)
+				}
+			}
+		}
+	}
+	for _, rl := range ri {
+		list := rl.occs
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].start != list[j].start {
+				return list[i].start < list[j].start
+			}
+			return list[i].xfer < list[j].xfer
+		})
+		rl.maxEnd = make([]sim.Time, len(list))
+		max := sim.Time(0)
+		for i, o := range list {
+			if o.end > max {
+				max = o.end
+			}
+			rl.maxEnd[i] = max
+		}
+	}
+
+	// Pass 3: per-span sweep + queue split.
+	r := &Report{}
+	pairAcc := map[Pair]sim.Time{}
+	for _, sp := range spans {
+		tr, ok := analyzeSpan(sp, ri, copilotProc, opt, pairAcc)
+		if !ok {
+			continue
+		}
+		r.Transfers = append(r.Transfers, tr)
+	}
+	sort.Slice(r.Transfers, func(i, j int) bool {
+		if r.Transfers[i].Start != r.Transfers[j].Start {
+			return r.Transfers[i].Start < r.Transfers[j].Start
+		}
+		return r.Transfers[i].ID < r.Transfers[j].ID
+	})
+
+	// Aggregate per channel type.
+	byType := map[int]*TypeBlame{}
+	for _, tr := range r.Transfers {
+		tb, ok := byType[tr.ChanType]
+		if !ok {
+			tb = &TypeBlame{ChanType: tr.ChanType}
+			byType[tr.ChanType] = tb
+		}
+		tb.Transfers++
+		tb.Total += tr.Dur()
+		for _, sb := range tr.Stages {
+			merged := false
+			for i := range tb.Stages {
+				if tb.Stages[i].Phase == sb.Phase {
+					tb.Stages[i].Service += sb.Service
+					tb.Stages[i].Queue += sb.Queue
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				tb.Stages = append(tb.Stages, sb)
+			}
+			r.QueueTotal += sb.Queue
+		}
+		r.CritTotal += tr.Dur()
+	}
+	types := make([]int, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Ints(types)
+	for _, t := range types {
+		tb := byType[t]
+		sortStages(tb.Stages)
+		r.Types = append(r.Types, *tb)
+	}
+
+	// Victim/aggressor pairs, worst first.
+	for p, d := range pairAcc {
+		p.Blocked = d
+		r.Pairs = append(r.Pairs, p)
+	}
+	sort.Slice(r.Pairs, func(i, j int) bool {
+		a, b := r.Pairs[i], r.Pairs[j]
+		if a.Blocked != b.Blocked {
+			return a.Blocked > b.Blocked
+		}
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		if a.Victim != b.Victim {
+			return a.Victim < b.Victim
+		}
+		return a.Aggressor < b.Aggressor
+	})
+	top := opt.TopPairs
+	if top <= 0 {
+		top = DefaultTopPairs
+	}
+	if len(r.Pairs) > top {
+		r.Pairs = r.Pairs[:top]
+	}
+	return r
+}
+
+// sortStages orders stage blames by pipeline position (stage kind value,
+// gap pseudo-stage last).
+func sortStages(st []StageBlame) {
+	sort.Slice(st, func(i, j int) bool {
+		a, b := st[i].Phase, st[j].Phase
+		if (a == GapKind) != (b == GapKind) {
+			return b == GapKind
+		}
+		return a < b
+	})
+}
+
+func linkRes(node int) string { return "link/node" + itoa(node) }
+
+// itoa avoids pulling strconv into the hot loop signature; small ints only.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// analyzeSpan sweeps one span's primary phases into an exact stage
+// partition of [Start, End], splitting each attributed slice into service
+// vs queueing against the resource occupancy index.
+func analyzeSpan(sp trace.Span, ri resourceIndex, copilotProc map[string]bool, opt Options, pairAcc map[Pair]sim.Time) (Transfer, bool) {
+	primary := make([]trace.PhaseEvent, 0, len(sp.Phases))
+	for _, pe := range sp.Phases {
+		if !pe.Phase.IsAnnotation() {
+			primary = append(primary, pe)
+		}
+	}
+	if len(primary) == 0 || sp.End <= sp.Start {
+		return Transfer{}, false
+	}
+
+	// The span's own Co-Pilot (for mailbox-wait queue attribution) and
+	// wire-sender node (for MPI-wait link attribution).
+	ownCopilot := ""
+	wireNode, haveWireNode := 0, false
+	for _, pe := range primary {
+		if ownCopilot == "" && pe.Phase == trace.PhaseCoPilotService {
+			ownCopilot = pe.Proc
+		}
+		if !haveWireNode && wireKind(pe.Phase) && opt.ProcNodes != nil {
+			if n, ok := opt.ProcNodes[pe.Proc]; ok {
+				wireNode, haveWireNode = n, true
+			}
+		}
+	}
+
+	// Boundary sweep. Boundaries are every phase start/end clamped to the
+	// span, deduplicated and sorted.
+	bounds := make([]sim.Time, 0, 2*len(primary)+2)
+	bounds = append(bounds, sp.Start, sp.End)
+	for _, pe := range primary {
+		if pe.Start > sp.Start && pe.Start < sp.End {
+			bounds = append(bounds, pe.Start)
+		}
+		if pe.End > sp.Start && pe.End < sp.End {
+			bounds = append(bounds, pe.End)
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+
+	stage := map[trace.PhaseKind]*StageBlame{}
+	getStage := func(k trace.PhaseKind) *StageBlame {
+		sb, ok := stage[k]
+		if !ok {
+			sb = &StageBlame{Phase: k}
+			stage[k] = sb
+		}
+		return sb
+	}
+	for i := 0; i+1 < len(uniq); i++ {
+		a, b := uniq[i], uniq[i+1]
+		// Winner: the latest-starting phase covering [a,b) — the most
+		// downstream activity. Ties break toward the later pipeline stage,
+		// then the lexically larger track, for determinism.
+		var win *trace.PhaseEvent
+		for j := range primary {
+			pe := &primary[j]
+			// Covering [a,b) means Start <= a and End >= b; zero-length
+			// phases never win.
+			if pe.Start > a || pe.End < b || pe.End == pe.Start {
+				continue
+			}
+			if win == nil || later(pe, win) {
+				win = pe
+			}
+		}
+		if win == nil {
+			getStage(GapKind).Service += b - a
+			continue
+		}
+		sb := getStage(win.Phase)
+		res := victimResource(win, ownCopilot, wireNode, haveWireNode, copilotProc)
+		if res == "" {
+			sb.Service += b - a
+			continue
+		}
+		q := ri.overlapOther(res, a, b, sp.ID, func(aggressor int64, d sim.Time) {
+			pairAcc[Pair{Resource: res, Victim: sp.ID, Aggressor: aggressor}] += d
+		})
+		sb.Queue += q
+		sb.Service += (b - a) - q
+	}
+
+	tr := Transfer{
+		ID: sp.ID, Channel: sp.Channel, ChanType: sp.ChanType, Bytes: sp.Bytes,
+		Start: sp.Start, End: sp.End,
+	}
+	for _, sb := range stage {
+		tr.Stages = append(tr.Stages, *sb)
+	}
+	sortStages(tr.Stages)
+	return tr, true
+}
+
+// later reports whether phase a should win attribution over b: later
+// start, then later stage kind, then larger proc label.
+func later(a, b *trace.PhaseEvent) bool {
+	if a.Start != b.Start {
+		return a.Start > b.Start
+	}
+	if a.Phase != b.Phase {
+		return a.Phase > b.Phase
+	}
+	return a.Proc > b.Proc
+}
+
+// victimResource maps a winning phase to the resource its wait can queue
+// on, or "" when the stage has no queueing dimension (pure execution, or
+// the data needed to resolve the resource is absent).
+func victimResource(pe *trace.PhaseEvent, ownCopilot string, wireNode int, haveWireNode bool, copilotProc map[string]bool) string {
+	switch pe.Phase {
+	case trace.PhaseCoPilotWait:
+		// The requester sits between posting and decode; the decode is
+		// delayed by whatever else the Co-Pilot is servicing. The wait
+		// phase is recorded on the Co-Pilot's own track.
+		return "copilot/" + pe.Proc
+	case trace.PhaseMailboxWait:
+		// The stub blocks on the inbound mailbox until its own request
+		// completes; other requests occupying its Co-Pilot push that out.
+		if ownCopilot != "" {
+			return "copilot/" + ownCopilot
+		}
+	case trace.PhaseMPIWait:
+		// A reader blocked in MPI recv waits on the sender's NIC.
+		if haveWireNode {
+			return linkRes(wireNode)
+		}
+	case trace.PhaseMPISend, trace.PhaseRelay, trace.PhaseChunkRelay:
+		// Wire injection queues behind other traffic on the same NIC.
+		// Relay/chunk-relay on a Co-Pilot also queue there, but the loop's
+		// own serialization is what the copilot/ resource models for its
+		// *victims*; for the occupier itself the link is the contended
+		// medium.
+		if haveWireNode {
+			return linkRes(wireNode)
+		}
+	}
+	return ""
+}

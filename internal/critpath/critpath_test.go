@@ -1,0 +1,276 @@
+package critpath
+
+import (
+	"bytes"
+	"testing"
+
+	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
+)
+
+const us = sim.Microsecond
+
+// mkSpan assembles a span the way trace.Recorder.Spans does: bounds from
+// the phases, id/type from the first.
+func mkSpan(id int64, chanType int, phases ...trace.PhaseEvent) trace.Span {
+	sp := trace.Span{ID: id, ChanType: chanType, Channel: int(id), Start: phases[0].Start, End: phases[0].End}
+	for i := range phases {
+		phases[i].Xfer = id
+		phases[i].ChanType = chanType
+		if phases[i].Start < sp.Start {
+			sp.Start = phases[i].Start
+		}
+		if phases[i].End > sp.End {
+			sp.End = phases[i].End
+		}
+	}
+	sp.Phases = phases
+	return sp
+}
+
+func pe(kind trace.PhaseKind, proc string, start, end sim.Time) trace.PhaseEvent {
+	return trace.PhaseEvent{Phase: kind, Proc: proc, Start: start, End: end}
+}
+
+// C-CP1: every transfer's stage attributions partition [Start, End]
+// exactly — zero error, stronger than the 1 ns acceptance bound.
+func TestSweepPartitionsExactly(t *testing.T) {
+	sp := mkSpan(1, 3,
+		pe(trace.PhasePack, "spe", 0, 10*us),
+		pe(trace.PhaseMailboxReq, "spe", 10*us, 20*us),
+		pe(trace.PhaseMailboxWait, "spe", 20*us, 60*us),
+		pe(trace.PhaseCoPilotWait, "copilot@n0", 20*us, 30*us),
+		pe(trace.PhaseCoPilotService, "copilot@n0", 30*us, 40*us),
+		pe(trace.PhaseRelay, "copilot@n0", 40*us, 48*us),
+	)
+	r := Analyze([]trace.Span{sp}, Options{})
+	if len(r.Transfers) != 1 {
+		t.Fatalf("transfers = %d", len(r.Transfers))
+	}
+	tr := r.Transfers[0]
+	var sum sim.Time
+	for _, sb := range tr.Stages {
+		sum += sb.Total()
+	}
+	if sum != tr.Dur() {
+		t.Fatalf("stage sum %v != end-to-end %v", sum, tr.Dur())
+	}
+	// Latest-start-wins attribution: the Co-Pilot's decode window owns
+	// [20,30), service [30,40), relay [40,48), and the enclosing
+	// mailbox-wait picks up only the tail the Co-Pilot left [48,60).
+	want := map[trace.PhaseKind]sim.Time{
+		trace.PhasePack:           10 * us,
+		trace.PhaseMailboxReq:     10 * us,
+		trace.PhaseCoPilotWait:    10 * us,
+		trace.PhaseCoPilotService: 10 * us,
+		trace.PhaseRelay:          8 * us,
+		trace.PhaseMailboxWait:    12 * us,
+	}
+	for k, w := range want {
+		if got := tr.StageTotal(k); got != w {
+			t.Errorf("%s = %v, want %v", k, got, w)
+		}
+	}
+}
+
+// C-CP2: a gap no phase covers is attributed to the explicit wire-gap
+// pseudo-stage, keeping the partition exact.
+func TestGapAttribution(t *testing.T) {
+	sp := mkSpan(2, 1,
+		pe(trace.PhaseMPISend, "w", 0, 10*us),
+		pe(trace.PhasePack, "r", 25*us, 30*us),
+	)
+	r := Analyze([]trace.Span{sp}, Options{})
+	tr := r.Transfers[0]
+	if got := tr.StageTotal(GapKind); got != 15*us {
+		t.Fatalf("gap = %v, want 15us", got)
+	}
+	var sum sim.Time
+	for _, sb := range tr.Stages {
+		sum += sb.Total()
+	}
+	if sum != tr.Dur() {
+		t.Fatalf("stage sum %v != %v", sum, tr.Dur())
+	}
+}
+
+// C-CP3: a transfer waiting while its Co-Pilot services another transfer
+// gets that time split out as queueing, blamed on the aggressor.
+func TestQueueingBlame(t *testing.T) {
+	aggressor := mkSpan(10, 3,
+		pe(trace.PhaseCoPilotService, "copilot@n0", 30*us, 42*us),
+	)
+	victim := mkSpan(11, 3,
+		pe(trace.PhaseMailboxReq, "spe1", 20*us, 25*us),
+		pe(trace.PhaseCoPilotWait, "copilot@n0", 25*us, 45*us),
+		pe(trace.PhaseCoPilotService, "copilot@n0", 45*us, 50*us),
+	)
+	r := Analyze([]trace.Span{aggressor, victim}, Options{})
+	var vic Transfer
+	for _, tr := range r.Transfers {
+		if tr.ID == 11 {
+			vic = tr
+		}
+	}
+	var wait StageBlame
+	for _, sb := range vic.Stages {
+		if sb.Phase == trace.PhaseCoPilotWait {
+			wait = sb
+		}
+	}
+	// [25,45) overlaps the aggressor's service [30,42) for 12us.
+	if wait.Queue != 12*us {
+		t.Fatalf("queueing = %v, want 12us (stage %+v)", wait.Queue, wait)
+	}
+	if wait.Service != 8*us {
+		t.Fatalf("service = %v, want 8us", wait.Service)
+	}
+	if len(r.Pairs) == 0 {
+		t.Fatal("no contention pairs")
+	}
+	p := r.Pairs[0]
+	if p.Victim != 11 || p.Aggressor != 10 || p.Blocked != 12*us || p.Resource != "copilot/copilot@n0" {
+		t.Fatalf("pair = %+v", p)
+	}
+}
+
+// C-CP4: mailbox-wait queueing resolves the span's own Co-Pilot and
+// charges overlap with other transfers' service there.
+func TestMailboxWaitQueuesOnOwnCopilot(t *testing.T) {
+	other := mkSpan(20, 2,
+		pe(trace.PhaseCoPilotService, "copilot@n0", 10*us, 30*us),
+	)
+	vic := mkSpan(21, 2,
+		pe(trace.PhaseMailboxWait, "spe0", 0, 40*us),
+		pe(trace.PhaseCoPilotService, "copilot@n0", 35*us, 38*us),
+	)
+	r := Analyze([]trace.Span{other, vic}, Options{})
+	for _, tr := range r.Transfers {
+		if tr.ID != 21 {
+			continue
+		}
+		for _, sb := range tr.Stages {
+			if sb.Phase == trace.PhaseMailboxWait {
+				// mbox-wait wins [0,35) and [38,40); [10,30) is queueing.
+				if sb.Queue != 20*us {
+					t.Fatalf("mbox-wait queue = %v, want 20us", sb.Queue)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("victim transfer or stage missing")
+}
+
+// C-CP5: chunk DMA annotations define mfc-dma occupancy but never compete
+// for critical-path attribution.
+func TestChunkDMAOccupancyOnly(t *testing.T) {
+	a := mkSpan(30, 5,
+		pe(trace.PhaseChunkRelay, "copilot@n0", 0, 40*us),
+	)
+	a.Phases = append(a.Phases, trace.PhaseEvent{
+		Xfer: 30, Phase: trace.PhaseChunkDMA, Proc: "spe0",
+		Start: 0, End: 40 * us, Stream: 30, Chunk: 1, ChanType: 5,
+	})
+	b := mkSpan(31, 5,
+		pe(trace.PhaseMailboxWait, "spe0", 0, 50*us),
+		pe(trace.PhaseCoPilotService, "copilot@n0", 45*us, 48*us),
+	)
+	r := Analyze([]trace.Span{a, b}, Options{})
+	for _, tr := range r.Transfers {
+		if tr.ID == 30 {
+			if got := tr.StageTotal(trace.PhaseChunkDMA); got != 0 {
+				t.Fatalf("annotation won attribution: %v", got)
+			}
+			if got := tr.StageTotal(trace.PhaseChunkRelay); got != 40*us {
+				t.Fatalf("chunk-relay = %v", got)
+			}
+		}
+	}
+}
+
+// C-CP6: with a proc→node map, MPI waits split against the sender node's
+// link occupancy.
+func TestLinkQueueingWithProcNodes(t *testing.T) {
+	nodes := map[string]int{"w0": 0, "w1": 0, "r0": 1, "r1": 1}
+	a := mkSpan(40, 1,
+		pe(trace.PhaseMPISend, "w0", 0, 30*us),
+	)
+	b := mkSpan(41, 1,
+		pe(trace.PhaseMPISend, "w1", 10*us, 20*us),
+		pe(trace.PhaseMPIWait, "r1", 0, 50*us),
+	)
+	r := Analyze([]trace.Span{a, b}, Options{ProcNodes: nodes})
+	for _, tr := range r.Transfers {
+		if tr.ID != 41 {
+			continue
+		}
+		for _, sb := range tr.Stages {
+			if sb.Phase == trace.PhaseMPIWait {
+				// mpi-wait wins [0,10) and [20,50); a's send occupies the
+				// node-0 link [0,30), so [0,10)+[20,30) = 20us queueing.
+				if sb.Queue != 20*us {
+					t.Fatalf("mpi-wait queue = %v, want 20us", sb.Queue)
+				}
+			}
+		}
+	}
+}
+
+// C-CP7: the report is byte-identical across repeated analyses — the
+// determinism the blame baseline depends on.
+func TestReportDeterministic(t *testing.T) {
+	spans := []trace.Span{
+		mkSpan(1, 3,
+			pe(trace.PhaseMailboxReq, "spe0", 0, 5*us),
+			pe(trace.PhaseCoPilotWait, "copilot@n0", 5*us, 12*us),
+			pe(trace.PhaseCoPilotService, "copilot@n0", 12*us, 20*us),
+		),
+		mkSpan(2, 3,
+			pe(trace.PhaseMailboxReq, "spe1", 1*us, 6*us),
+			pe(trace.PhaseCoPilotWait, "copilot@n0", 6*us, 25*us),
+			pe(trace.PhaseCoPilotService, "copilot@n0", 25*us, 30*us),
+		),
+	}
+	render := func() (string, string, string) {
+		r := Analyze(spans, Options{})
+		var folded, blame bytes.Buffer
+		if err := r.FoldedStacks(&folded); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ToFile("test", 0, 0).Write(&blame); err != nil {
+			t.Fatal(err)
+		}
+		return r.Table(), folded.String(), blame.String()
+	}
+	t1, f1, b1 := render()
+	t2, f2, b2 := render()
+	if t1 != t2 || f1 != f2 || b1 != b2 {
+		t.Fatal("report not byte-identical across analyses")
+	}
+	if t1 == "" || f1 == "" || b1 == "" {
+		t.Fatal("empty report")
+	}
+}
+
+// C-CP8: DiffType ranks the stage that moved most first and FormatDiff
+// names it.
+func TestDiffNamesSlowedStage(t *testing.T) {
+	base := TypeJSON{Type: "type3", Transfers: 10, Stages: []StageJSON{
+		{Stage: "copilot-wait", ServiceUs: 100, QueueUs: 0},
+		{Stage: "relay", ServiceUs: 200, QueueUs: 0},
+	}}
+	now := TypeJSON{Type: "type3", Transfers: 10, Stages: []StageJSON{
+		{Stage: "copilot-wait", ServiceUs: 100, QueueUs: 250},
+		{Stage: "relay", ServiceUs: 210, QueueUs: 0},
+	}}
+	deltas := DiffType(base, now)
+	if deltas[0].Stage != "copilot-wait" || deltas[0].DeltaUs != 25 {
+		t.Fatalf("top delta = %+v", deltas[0])
+	}
+	out := FormatDiff("type3", deltas)
+	if !bytes.Contains([]byte(out), []byte("blame: copilot-wait")) ||
+		!bytes.Contains([]byte(out), []byte("queueing")) {
+		t.Fatalf("diff did not name the slowed stage:\n%s", out)
+	}
+}

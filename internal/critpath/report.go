@@ -1,0 +1,261 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"cellpilot/internal/sim"
+)
+
+// Table renders the human blame report: one per-channel-type table of the
+// critical path's stage split (service vs queueing, share of the type's
+// total), followed by the top victim/aggressor pairs. Output is
+// deterministic: byte-identical across runs over identical spans.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %d transfers, %s on the path, %s queueing (%.1f%%)\n",
+		len(r.Transfers), r.CritTotal, r.QueueTotal, pctOf(r.QueueTotal, r.CritTotal))
+	for _, tb := range r.Types {
+		per := sim.Time(0)
+		if tb.Transfers > 0 {
+			per = tb.Total / sim.Time(tb.Transfers)
+		}
+		fmt.Fprintf(&b, "type%d: %d transfers, %s total (%s per transfer)\n",
+			tb.ChanType, tb.Transfers, tb.Total, per)
+		fmt.Fprintf(&b, "  %-16s %12s %12s %7s\n", "stage", "service", "queueing", "share")
+		for _, sb := range tb.Stages {
+			fmt.Fprintf(&b, "  %-16s %12s %12s %6.1f%%\n",
+				StageName(sb.Phase), sb.Service, sb.Queue, pctOf(sb.Total(), tb.Total))
+		}
+	}
+	if len(r.Pairs) > 0 {
+		fmt.Fprintf(&b, "contended resources (top %d victim/aggressor pairs):\n", len(r.Pairs))
+		for _, p := range r.Pairs {
+			fmt.Fprintf(&b, "  %-20s xfer #%-5d blocked %10s behind xfer #%d\n",
+				p.Resource, p.Victim, p.Blocked, p.Aggressor)
+		}
+	}
+	return b.String()
+}
+
+// pctOf is part/total as a percentage, 0 when total is 0.
+func pctOf(part, total sim.Time) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// FoldedStacks writes the report as folded critical-path stacks —
+// "type<N>;<stage>;<service|queue> <nanoseconds>" — ready for any
+// flamegraph tool. Stage order follows the blame tables.
+func (r *Report) FoldedStacks(w io.Writer) error {
+	for _, tb := range r.Types {
+		for _, sb := range tb.Stages {
+			if sb.Service > 0 {
+				if _, err := fmt.Fprintf(w, "type%d;%s;service %d\n",
+					tb.ChanType, StageName(sb.Phase), int64(sb.Service)); err != nil {
+					return err
+				}
+			}
+			if sb.Queue > 0 {
+				if _, err := fmt.Fprintf(w, "type%d;%s;queue %d\n",
+					tb.ChanType, StageName(sb.Phase), int64(sb.Queue)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StageJSON is one stage's blame in the machine-readable report.
+type StageJSON struct {
+	Stage     string  `json:"stage"`
+	ServiceUs float64 `json:"service_us"`
+	QueueUs   float64 `json:"queue_us"`
+	// Share is the stage's fraction of the type's summed critical path.
+	Share float64 `json:"share"`
+}
+
+// TypeJSON is one channel type's blame in the machine-readable report.
+type TypeJSON struct {
+	Type      string `json:"type"`
+	Transfers int    `json:"transfers"`
+	// CritPathUs is the summed critical-path time; PerTransferUs the mean.
+	CritPathUs    float64     `json:"critpath_us"`
+	PerTransferUs float64     `json:"per_transfer_us"`
+	Stages        []StageJSON `json:"stages"`
+}
+
+// PairJSON is one contention edge in the machine-readable report.
+type PairJSON struct {
+	Resource  string  `json:"resource"`
+	Victim    int64   `json:"victim"`
+	Aggressor int64   `json:"aggressor"`
+	BlockedUs float64 `json:"blocked_us"`
+}
+
+// File is the BLAME_<exp>.json schema: the committed blame baseline the
+// bench guard diffs regressions against.
+type File struct {
+	Experiment   string     `json:"experiment"`
+	PayloadBytes int        `json:"payload_bytes,omitempty"`
+	Reps         int        `json:"reps,omitempty"`
+	Types        []TypeJSON `json:"channel_types"`
+	Pairs        []PairJSON `json:"contended_pairs,omitempty"`
+}
+
+// ToFile shapes the report into the BLAME JSON schema.
+func (r *Report) ToFile(experiment string, payloadBytes, reps int) *File {
+	f := &File{Experiment: experiment, PayloadBytes: payloadBytes, Reps: reps}
+	for _, tb := range r.Types {
+		tj := TypeJSON{
+			Type:       fmt.Sprintf("type%d", tb.ChanType),
+			Transfers:  tb.Transfers,
+			CritPathUs: round2(tb.Total.Micros()),
+		}
+		if tb.Transfers > 0 {
+			tj.PerTransferUs = round2(tb.Total.Micros() / float64(tb.Transfers))
+		}
+		for _, sb := range tb.Stages {
+			tj.Stages = append(tj.Stages, StageJSON{
+				Stage:     StageName(sb.Phase),
+				ServiceUs: round2(sb.Service.Micros()),
+				QueueUs:   round2(sb.Queue.Micros()),
+				Share:     round4(float64(sb.Total()) / float64(tb.Total)),
+			})
+		}
+		f.Types = append(f.Types, tj)
+	}
+	for _, p := range r.Pairs {
+		f.Pairs = append(f.Pairs, PairJSON{
+			Resource: p.Resource, Victim: p.Victim, Aggressor: p.Aggressor,
+			BlockedUs: round2(p.Blocked.Micros()),
+		})
+	}
+	return f
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }
+
+// Write renders the file as indented JSON.
+func (f *File) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// LoadFile reads a BLAME JSON baseline from disk.
+func LoadFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("critpath: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// TypeByName returns the named channel type's blame, if present.
+func (f *File) TypeByName(name string) (TypeJSON, bool) {
+	for _, tj := range f.Types {
+		if tj.Type == name {
+			return tj, true
+		}
+	}
+	return TypeJSON{}, false
+}
+
+// StageDelta is one stage's movement between a baseline and a current
+// blame decomposition, in mean microseconds per transfer.
+type StageDelta struct {
+	Stage string
+	// BaseUs and NowUs are per-transfer stage times (service+queue).
+	BaseUs, NowUs float64
+	// DeltaUs is NowUs - BaseUs; positive means the stage got slower.
+	DeltaUs float64
+	// QueueDeltaUs is how much of the movement is queueing.
+	QueueDeltaUs float64
+}
+
+// DiffType compares a channel type's blame between a baseline file entry
+// and a freshly measured one, per transfer, sorted by |delta| descending
+// (ties by stage name) — the first entry names the stage that moved most.
+func DiffType(base, now TypeJSON) []StageDelta {
+	perXfer := func(tj TypeJSON) (map[string][2]float64, []string) {
+		m := map[string][2]float64{}
+		var order []string
+		if tj.Transfers == 0 {
+			return m, order
+		}
+		n := float64(tj.Transfers)
+		for _, st := range tj.Stages {
+			m[st.Stage] = [2]float64{(st.ServiceUs + st.QueueUs) / n, st.QueueUs / n}
+			order = append(order, st.Stage)
+		}
+		return m, order
+	}
+	bm, border := perXfer(base)
+	nm, norder := perXfer(now)
+	seen := map[string]bool{}
+	var stages []string
+	for _, s := range append(append([]string{}, border...), norder...) {
+		if !seen[s] {
+			seen[s] = true
+			stages = append(stages, s)
+		}
+	}
+	out := make([]StageDelta, 0, len(stages))
+	for _, s := range stages {
+		b, n := bm[s], nm[s]
+		out = append(out, StageDelta{
+			Stage:        s,
+			BaseUs:       round2(b[0]),
+			NowUs:        round2(n[0]),
+			DeltaUs:      round2(n[0] - b[0]),
+			QueueDeltaUs: round2(n[1] - b[1]),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := math.Abs(out[i].DeltaUs), math.Abs(out[j].DeltaUs)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// FormatDiff renders a blame diff as the table the bench guard prints
+// when its latency gate trips: every stage's per-transfer movement, the
+// top mover first and called out on the last line.
+func FormatDiff(typeName string, deltas []StageDelta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  blame diff for %s (per transfer):\n", typeName)
+	fmt.Fprintf(&b, "    %-16s %10s %10s %10s %10s\n", "stage", "baseline", "now", "delta", "queue Δ")
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "    %-16s %8.1fus %8.1fus %+8.1fus %+8.1fus\n",
+			d.Stage, d.BaseUs, d.NowUs, d.DeltaUs, d.QueueDeltaUs)
+	}
+	if len(deltas) > 0 && deltas[0].DeltaUs > 0 {
+		top := deltas[0]
+		how := "service"
+		if top.QueueDeltaUs > top.DeltaUs/2 {
+			how = "queueing"
+		}
+		fmt.Fprintf(&b, "    blame: %s (+%.1fus per transfer, mostly %s)\n", top.Stage, top.DeltaUs, how)
+	}
+	return b.String()
+}

@@ -65,18 +65,26 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	}
 	for _, pe := range r.phases {
 		dur := usec(pe.End - pe.Start)
+		name := fmt.Sprintf("%s ch%d", pe.Phase, pe.Channel)
+		args := map[string]any{
+			"xfer": pe.Xfer, "channel": pe.Channel, "bytes": pe.Bytes,
+			"phase": pe.Phase.String(),
+		}
+		if pe.Chunk > 0 {
+			name = fmt.Sprintf("%s %d ch%d", pe.Phase, pe.Chunk-1, pe.Channel)
+			args["stream"] = pe.Stream
+			args["chunk"] = pe.Chunk - 1
+		}
 		events = append(events, chromeEvent{
-			Name: fmt.Sprintf("%s ch%d", pe.Phase, pe.Channel),
+			Name: name,
 			Cat:  fmt.Sprintf("type%d", pe.ChanType),
 			Ph:   "X", Pid: chromePid, Tid: tids[pe.Proc],
 			Ts: usec(pe.Start), Dur: &dur,
-			Args: map[string]any{
-				"xfer": pe.Xfer, "channel": pe.Channel, "bytes": pe.Bytes,
-				"phase": pe.Phase.String(),
-			},
+			Args: args,
 		})
 	}
 	events = append(events, r.flowEvents(tids)...)
+	events = append(events, r.chunkFlowEvents(tids)...)
 	for _, ev := range r.events {
 		events = append(events, chromeEvent{
 			Name: fmt.Sprintf("%s ch%d", ev.Kind, ev.Channel),
@@ -130,6 +138,70 @@ func (r *Recorder) flowEvents(tids map[string]int) []chromeEvent {
 			case i == 0:
 				ev.Ph = "s"
 			case i == len(anchors)-1:
+				ev.Ph = "f"
+				ev.Bp = "e"
+			default:
+				ev.Ph = "t"
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// chunkFlowEvents links each individual chunk frame across the tracks it
+// visits: chunk k's injection on the writer (or Co-Pilot) track arrows to
+// chunk k's drain on the reader side, so a pipelined stream reads as N
+// parallel arrows instead of one whole-transfer arrow. Flow ids pack the
+// stream id and chunk index so chunks of the same stream stay distinct;
+// sampling keeps or drops a stream's frames together with its other
+// phases (both filter on the same transfer id).
+func (r *Recorder) chunkFlowEvents(tids map[string]int) []chromeEvent {
+	type ckey struct {
+		stream int64
+		chunk  int
+	}
+	frames := map[ckey][]PhaseEvent{}
+	var keys []ckey
+	for _, pe := range r.phases {
+		if pe.Phase != PhaseChunkFrame || pe.Chunk == 0 {
+			continue
+		}
+		k := ckey{pe.Stream, pe.Chunk}
+		if _, ok := frames[k]; !ok {
+			keys = append(keys, k)
+		}
+		frames[k] = append(frames[k], pe)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].stream != keys[j].stream {
+			return keys[i].stream < keys[j].stream
+		}
+		return keys[i].chunk < keys[j].chunk
+	})
+	var out []chromeEvent
+	for _, k := range keys {
+		fs := frames[k]
+		if len(fs) < 2 {
+			continue // frame seen on one side only: nothing to link
+		}
+		sort.Slice(fs, func(i, j int) bool {
+			if fs[i].Start != fs[j].Start {
+				return fs[i].Start < fs[j].Start
+			}
+			return fs[i].Proc < fs[j].Proc
+		})
+		id := k.stream<<12 | int64(k.chunk)
+		for i, pe := range fs {
+			ev := chromeEvent{
+				Name: "chunk", Cat: "flow",
+				Pid: chromePid, Tid: tids[pe.Proc],
+				Ts: usec(pe.Start), ID: &id,
+			}
+			switch {
+			case i == 0:
+				ev.Ph = "s"
+			case i == len(fs)-1:
 				ev.Ph = "f"
 				ev.Bp = "e"
 			default:

@@ -47,7 +47,27 @@ const (
 	// stack, and wire stages overlap. One event covers the whole stream on
 	// that endpoint, not one per chunk.
 	PhaseChunkRelay
+	// PhaseChunkFrame is one individual chunk frame of a stream: the stack
+	// injection (writer side) or drain (reader side) of chunk Chunk of
+	// stream Stream. Frame events are annotations riding inside the
+	// enclosing PhaseChunkRelay — they never compete for critical-path
+	// attribution, but they let Chrome flow events link chunk k's injection
+	// to chunk k's drain and give the blame analyzer per-chunk granularity.
+	PhaseChunkFrame
+	// PhaseChunkDMA is one chunk's LS↔EA move on the SPE's MFC DMA engine.
+	// Like PhaseChunkFrame it is an annotation, but it additionally defines
+	// the mfc-dma resource's occupancy intervals for queueing blame.
+	PhaseChunkDMA
 )
+
+// IsAnnotation reports whether the kind is a sub-slice annotation (chunk
+// frame or DMA) rather than a primary transfer stage. Annotations carry
+// chunk-level detail and resource occupancy; the critical-path sweep and
+// the profiler's exclusive buckets consider only primary stages, so the
+// per-stage attributions keep summing to the end-to-end latency.
+func (k PhaseKind) IsAnnotation() bool {
+	return k == PhaseChunkFrame || k == PhaseChunkDMA
+}
 
 // String implements fmt.Stringer.
 func (k PhaseKind) String() string {
@@ -72,6 +92,10 @@ func (k PhaseKind) String() string {
 		return "mpi-wait"
 	case PhaseChunkRelay:
 		return "chunk-relay"
+	case PhaseChunkFrame:
+		return "chunk-frame"
+	case PhaseChunkDMA:
+		return "mfc-dma"
 	default:
 		return fmt.Sprintf("phase(%d)", int(k))
 	}
@@ -92,6 +116,13 @@ type PhaseEvent struct {
 	// Bytes is the payload size of the transfer.
 	Bytes      int
 	Start, End sim.Time
+	// Stream and Chunk annotate per-chunk events of a pipelined stream:
+	// Stream is the owning stream's transfer id (equal to Xfer — recorded
+	// explicitly so a chunk frame is self-describing even when inspected in
+	// isolation, e.g. in a flight-recorder tail) and Chunk is the 1-based
+	// chunk index. Both are zero on whole-transfer phase events.
+	Stream int64
+	Chunk  int
 }
 
 // Dur reports the phase duration.

@@ -80,6 +80,10 @@ type PingPongConfig struct {
 	// Profile, when non-nil, attributes every process's virtual time into
 	// exclusive buckets (MethodCellPilot only).
 	Profile *profile.Profiler
+	// Stats, when non-nil, receives the application's post-run report
+	// (MethodCellPilot only). With Trace also attached it includes the
+	// critical-path blame decomposition (Stats.CritPath).
+	Stats *core.Stats
 }
 
 // Result is a measured Table II cell.
@@ -322,6 +326,9 @@ func pingPongCellPilot(cfg PingPongConfig) (sim.Time, error) {
 	}
 	if runErr != nil {
 		return 0, runErr
+	}
+	if cfg.Stats != nil {
+		*cfg.Stats = a.Stats()
 	}
 	return total, nil
 }
