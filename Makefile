@@ -54,17 +54,39 @@ bench-json:
 
 # Performance-regression gate: re-measure the five-type pingpong grid and
 # fail if any channel type's one-way p50 regressed >10% vs the committed
-# results/BENCH_pingpong.json baseline. A tripped gate prints the
-# critical-path blame diff against results/BLAME_pingpong.json, naming
+# results/BENCH_pingpong.json baseline (plus, when a host baseline is
+# committed, the noise-aware host-cost comparison). A tripped gate prints
+# the critical-path blame diff against results/BLAME_pingpong.json, naming
 # the stage that got slower and whether it is service or queueing time.
 bench-guard:
 	$(GO) run ./cmd/cellpilot-bench -exp guard
 .PHONY: bench-guard
 
-# Deeper sweep (slower): tier-1 plus the race detector, the chaos and
-# observability gates, the perf-regression guard, and staticcheck when the
-# host has it installed.
-ci-full: ci race ci-chaos ci-obs bench-guard
+# Host-cost benchmark ledger: run the wall-clock suite (pingpong x5 types,
+# sizesweep, chaos, 64-node IMB) and write the schema-versioned
+# results/BENCH_hostbench.json — commit it as the guard baseline.
+# The committed baseline uses the CI-shrunk (-quick) workloads so the
+# ci-host gate re-measures the identical suite shape cheaply.
+bench-host:
+	@mkdir -p results
+	$(GO) run ./cmd/cellpilot-bench -exp hostbench -quick -iters 5 -out results
+.PHONY: bench-host
+
+# Host-cost gate: kernel microbenchmarks, the hostprof/hostbench unit
+# suites, the host-side determinism proofs, then the noise-aware guard —
+# reduced iterations against the committed baseline, with MAD-derived
+# tolerance bands absorbing machine noise.
+ci-host:
+	$(GO) test ./internal/hostprof/ ./internal/hostbench/ ./cmd/cellpilot-bench/
+	$(GO) test -run 'HostProf|ObservabilityZeroCost' ./internal/workload/ ./internal/core/
+	$(GO) test -run '^$$' -bench 'HeapPushPop|TimerCancelPurge|EventDispatch' -benchtime 100000x ./internal/sim/
+	$(GO) run ./cmd/cellpilot-bench -exp guard -reps 200 -iters 2
+.PHONY: ci-host
+
+# Deeper sweep (slower): tier-1 plus the race detector, the chaos,
+# observability and host-cost gates, the perf-regression guard, and
+# staticcheck when the host has it installed.
+ci-full: ci race ci-chaos ci-obs bench-guard ci-host
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

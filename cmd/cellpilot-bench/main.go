@@ -13,10 +13,12 @@
 //	cellpilot-bench -exp profile    # virtual-time profiler breakdown
 //	cellpilot-bench -exp sizesweep  # 64B..1MB grid, chunk engine off vs on
 //	cellpilot-bench -exp guard      # regression gate vs results/BENCH_pingpong.json
+//	cellpilot-bench -exp hostbench  # host-cost suite -> results/BENCH_hostbench.json
 //	cellpilot-bench -exp all        # everything
 //
-// With -serve ADDR the process exposes OpenMetrics text at /metrics and a
-// JSON snapshot at /metrics.json over plain HTTP while the experiments run
+// With -serve ADDR the process exposes OpenMetrics text at /metrics, a
+// JSON snapshot at /metrics.json, Go pprof profiles under /debug/pprof/
+// and expvar at /debug/vars over plain HTTP while the experiments run
 // (the pingpong experiment publishes between batches, so a mid-run scrape
 // watches the counters grow), and keeps serving after they finish.
 //
@@ -40,6 +42,7 @@ import (
 
 	"cellpilot/internal/core"
 	"cellpilot/internal/critpath"
+	"cellpilot/internal/hostbench"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
@@ -47,8 +50,28 @@ import (
 	"cellpilot/internal/workload"
 )
 
+// experiments is every value -exp accepts. guard and hostbench run only
+// when named explicitly (guard needs a committed baseline; hostbench is
+// a long wall-clock measurement), so "all" excludes them.
+var experiments = []string{
+	"table2", "fig5", "fig6", "loc", "footprint", "ablations", "imb", "cml",
+	"phases", "chaos", "pingpong", "profile", "sizesweep", "guard",
+	"hostbench", "all",
+}
+
+// validateExp rejects unknown experiment names up front — a typo must
+// fail loudly, not silently run nothing.
+func validateExp(exp string) error {
+	for _, e := range experiments {
+		if exp == e {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q; valid experiments: %s", exp, strings.Join(experiments, ", "))
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig5|fig6|loc|footprint|ablations|imb|cml|phases|chaos|pingpong|profile|sizesweep|guard|all")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	seed := flag.Int64("seed", 1, "chaos: base RNG seed for the fault schedule")
 	chaosRuns := flag.Int("chaos-runs", 5, "chaos: number of seeded runs per scenario")
 	reps := flag.Int("reps", 1000, "PingPong repetitions (paper: 1000)")
@@ -61,7 +84,21 @@ func main() {
 	folded := flag.String("folded", "", "profile: write folded-stack text for -trace-type's run to this file")
 	pprofOut := flag.String("pprof", "", "profile: write a pprof profile for -trace-type's run to this file")
 	baseline := flag.String("baseline", "results/BENCH_pingpong.json", "guard: committed baseline to compare against")
+	hostBaseline := flag.String("host-baseline", "results/BENCH_hostbench.json", "guard/hostbench: committed host-cost baseline")
+	tolerance := flag.Float64("tolerance", 0.10, "guard: relative regression tolerance (0.10 = +10%)")
+	iters := flag.Int("iters", 0, "hostbench/guard: iterations per suite (0 = 3 for hostbench, 2 for the guard's re-measure)")
+	quick := flag.Bool("quick", false, "hostbench: shrink workloads for CI")
+	burn := flag.Int("burn-alloc", 0, "hostbench/guard: deliberately allocate N bytes per kernel event (guard self-test: the gate must trip and blame a subsystem)")
+	gateWall := flag.Bool("gate-wall", false, "guard: make wall-clock metrics fatal, not advisory (use on quiet dedicated runners)")
 	flag.Parse()
+
+	if err := validateExp(*exp); err != nil {
+		log.Fatal(err)
+	}
+	if *burn > 0 {
+		hostbench.BurnAllocBytes = *burn
+		fmt.Printf("burning %d bytes of allocation per kernel event (guard self-test)\n", *burn)
+	}
 
 	var pub *metrics.Publisher
 	serving := false
@@ -72,12 +109,12 @@ func main() {
 			log.Fatal(err)
 		}
 		go func() {
-			if err := http.Serve(ln, pub.Handler()); err != nil {
+			if err := http.Serve(ln, pub.DebugHandler()); err != nil {
 				log.Print(err)
 			}
 		}()
 		serving = true
-		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Printf("serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -135,7 +172,11 @@ func main() {
 		runSizeSweep(*outDir)
 	}
 	if *exp == "guard" { // explicit only: needs a committed baseline file
-		runGuard(*reps, *baseline)
+		runGuard(*reps, *baseline, *tolerance)
+		runHostGuard(*hostBaseline, *iters, *tolerance, *gateWall)
+	}
+	if *exp == "hostbench" { // explicit only: a long wall-clock measurement
+		runHostBench(*outDir, *iters, *quick)
 	}
 	if serving {
 		fmt.Println("experiments done; still serving metrics (interrupt to exit)")
@@ -305,10 +346,17 @@ func runSizeSweep(outDir string) {
 	}
 }
 
+// exceedsTolerance reports whether got regressed past the gate's relative
+// tolerance over the baseline ref (higher is worse; improvements and
+// in-band movement pass).
+func exceedsTolerance(ref, got, tolerance float64) bool {
+	return got > ref*(1+tolerance)
+}
+
 // runGuard is the performance-regression gate: it re-measures the five-type
 // pingpong grid and fails (exit 1) if any channel type's one-way p50 is
-// more than 10% slower than the committed baseline JSON.
-func runGuard(reps int, baselinePath string) {
+// more than tolerance slower than the committed baseline JSON.
+func runGuard(reps int, baselinePath string, tolerance float64) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		log.Fatalf("guard: cannot read baseline: %v (run 'make bench-json' and commit the result first)", err)
@@ -334,7 +382,7 @@ func runGuard(reps int, baselinePath string) {
 	// when the gate trips it turns "type N got slower" into "stage X of
 	// type N got slower, mostly service|queueing".
 	blameBase, blameErr := critpath.LoadFile(filepath.Join(filepath.Dir(baselinePath), "BLAME_pingpong.json"))
-	fmt.Printf("bench guard: one-way p50 vs %s (payload %dB, tolerance +10%%)\n", baselinePath, base.PayloadBytes)
+	fmt.Printf("bench guard: one-way p50 vs %s (payload %dB, tolerance +%.0f%%)\n", baselinePath, base.PayloadBytes, 100*tolerance)
 	failed := false
 	for typ := 1; typ <= 5; typ++ {
 		name := fmt.Sprintf("type%d", typ)
@@ -354,7 +402,7 @@ func runGuard(reps int, baselinePath string) {
 		}
 		got := res.OneWay.Micros()
 		verdict := "ok"
-		if got > ref*1.10 {
+		if exceedsTolerance(ref, got, tolerance) {
 			verdict = "REGRESSION"
 			failed = true
 		}
@@ -383,9 +431,66 @@ func runGuard(reps int, baselinePath string) {
 		}
 	}
 	if failed {
-		log.Fatal("guard: one-way latency regressed more than 10% on at least one channel type")
+		log.Fatalf("guard: one-way latency regressed more than %.0f%% on at least one channel type", 100*tolerance)
 	}
 	fmt.Println("guard: all channel types within tolerance")
+}
+
+// runHostBench runs the host-cost benchmark suite and writes the
+// schema-versioned ledger artifact (BENCH_hostbench.json).
+func runHostBench(outDir string, iters int, quick bool) {
+	f, err := hostbench.Run(hostbench.Suites(quick), iters, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.Quick = quick
+	fmt.Printf("hostbench: %d suites x %d iterations on %s/%s go%s (%d CPUs)\n",
+		len(f.Suites), f.Iterations, f.Env.GOOS, f.Env.GOARCH,
+		strings.TrimPrefix(f.Env.GoVersion, "go"), f.Env.NumCPU)
+	if outDir == "" {
+		return
+	}
+	path := filepath.Join(outDir, "BENCH_hostbench.json")
+	if err := hostbench.WriteFile(path, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results written to %s\n", path)
+}
+
+// runHostGuard is the host-cost half of the regression gate: it re-runs
+// the host benchmark suite (the same suite shape the committed baseline
+// was measured with) and fails if any suite's host metrics moved outside
+// the noise-aware band, naming the subsystem that regressed. A missing
+// baseline skips the gate with a note — the virtual-latency guard above
+// already ran, so this is an additive check.
+func runHostGuard(baselinePath string, iters int, tolerance float64, gateWall bool) {
+	base, err := hostbench.ReadFile(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("host guard: no baseline at %s (run 'make bench-host' and commit it); skipping\n", baselinePath)
+			return
+		}
+		log.Fatalf("host guard: %v", err)
+	}
+	if iters == 0 {
+		iters = 2 // the MAD band comes from the baseline's dispersion
+	}
+	cur, err := hostbench.Run(hostbench.Suites(base.Quick), iters, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// -tolerance scales the per-metric floors: 0.10 (the default) keeps
+	// them as designed, 0.20 doubles every band.
+	rep := hostbench.Guard(base, cur, hostbench.GuardOptions{FloorScale: tolerance / 0.10, GateWall: gateWall})
+	fmt.Print(hostbench.FormatGuard(rep))
+	if regs := rep.Regressions(); len(regs) > 0 {
+		log.Fatalf("host guard: %d host metric(s) regressed (blame: %s)", len(regs), regs[0].Blame)
+	}
+	fmt.Println("host guard: all suites within tolerance")
 }
 
 // runProfile reruns the pingpong grid with the virtual-time profiler

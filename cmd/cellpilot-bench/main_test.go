@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExp(t *testing.T) {
+	for _, e := range experiments {
+		if err := validateExp(e); err != nil {
+			t.Errorf("validateExp(%q) = %v, want nil", e, err)
+		}
+	}
+	err := validateExp("pingpnog")
+	if err == nil {
+		t.Fatal("typo'd experiment accepted")
+	}
+	// The error must teach: it names the bad value and lists every valid one.
+	msg := err.Error()
+	if !strings.Contains(msg, "pingpnog") {
+		t.Errorf("error does not name the bad value: %v", err)
+	}
+	for _, e := range experiments {
+		if !strings.Contains(msg, e) {
+			t.Errorf("error does not list %q: %v", e, err)
+		}
+	}
+}
+
+func TestExceedsTolerance(t *testing.T) {
+	cases := []struct {
+		ref, got, tol float64
+		want          bool
+	}{
+		{100, 100, 0.10, false},   // unchanged
+		{100, 109.9, 0.10, false}, // inside the band
+		{100, 110.1, 0.10, true},  // just past it
+		{100, 50, 0.10, false},    // improvement never trips
+		{100, 115, 0.20, false},   // wider -tolerance admits more
+		{100, 121, 0.20, true},
+		{100, 101, 0.0, true}, // zero tolerance: any slowdown trips
+	}
+	for _, c := range cases {
+		if got := exceedsTolerance(c.ref, c.got, c.tol); got != c.want {
+			t.Errorf("exceedsTolerance(%v, %v, %v) = %v, want %v", c.ref, c.got, c.tol, got, c.want)
+		}
+	}
+}

@@ -10,6 +10,10 @@
 //	cellpilot-trace -json out.jsonl     # event timeline as JSON lines
 //	cellpilot-trace -metrics out.json   # metric registry as JSON
 //	cellpilot-trace -top                # utilization: procs, channels, links
+//
+// With -host BASE,NEW the command instead renders two host-cost benchmark
+// artifacts (BENCH_hostbench.json, written by cellpilot-bench -exp
+// hostbench) as a trend table and exits — no simulation runs.
 package main
 
 import (
@@ -18,8 +22,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"cellpilot"
+	"cellpilot/internal/hostbench"
 )
 
 // writeOut opens path for an exporter ("-" = stdout) and runs fn on it.
@@ -48,7 +54,13 @@ func main() {
 	top := flag.Bool("top", false, "print the per-process / per-channel-type utilization table")
 	critpathOn := flag.Bool("critpath", false, "print the critical-path blame report (per-stage service vs queueing)")
 	folded := flag.String("folded", "", "with -critpath: write folded critical-path stacks to this file (\"-\" = stdout)")
+	host := flag.String("host", "", "render two BENCH_hostbench.json files as a host-cost trend table: BASE,NEW")
 	flag.Parse()
+
+	if *host != "" {
+		printHostTrend(*host)
+		return
+	}
 
 	clu, err := cellpilot.NewCluster(cellpilot.ClusterSpec{CellNodes: 2})
 	if err != nil {
@@ -202,6 +214,25 @@ func main() {
 			}
 		}
 	}
+}
+
+// printHostTrend loads two host-benchmark ledger artifacts and prints
+// their movement per suite and metric — the host-cost counterpart of the
+// virtual-time views above.
+func printHostTrend(arg string) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 2 {
+		log.Fatalf("-host wants two files: -host BASE.json,NEW.json (got %q)", arg)
+	}
+	base, err := hostbench.ReadFile(strings.TrimSpace(parts[0]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	now, err := hostbench.ReadFile(strings.TrimSpace(parts[1]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hostbench.FormatTrend(base, now))
 }
 
 // printTop renders the utilization view: where each process's virtual

@@ -11,6 +11,7 @@ import (
 	"cellpilot/internal/cellbe"
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
@@ -146,6 +147,12 @@ type App struct {
 	// folded stacks or pprof. Also free of virtual-time cost. Attach
 	// before Run.
 	Profile *profile.Profiler
+	// HostProf, when set, measures what the run costs on the host:
+	// wall-clock kernel counters (events, heap traffic) and per-subsystem
+	// host-time attribution (internal/hostprof). It rides strictly outside
+	// the virtual timeline — virtual results and chaos fingerprints stay
+	// bit-for-bit identical with it attached. Attach before Run.
+	HostProf *hostprof.Profiler
 }
 
 // NewApp starts the configuration phase on a cluster. The PI_MAIN process
@@ -245,6 +252,16 @@ func (a *App) SetProfile(p *profile.Profiler) error {
 		return err
 	}
 	a.Profile = p
+	return nil
+}
+
+// SetHostProf attaches the wall-clock (host-cost) profiler, with the same
+// configuration-phase check as SetTrace.
+func (a *App) SetHostProf(p *hostprof.Profiler) error {
+	if err := a.attachErr("SetHostProf"); err != nil {
+		return err
+	}
+	a.HostProf = p
 	return nil
 }
 
@@ -397,7 +414,14 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 	// Freeze the observability sinks: everything recorded during the run
 	// goes through this snapshot, so writing the public fields after this
 	// point cannot race with recording (see SetTrace et al.).
-	a.obs = obsSinks{trace: a.Trace, meter: a.Metrics, prof: a.Profile, flight: a.flight}
+	a.obs = obsSinks{trace: a.Trace, meter: a.Metrics, prof: a.Profile, flight: a.flight, host: a.HostProf}
+	// Wire the host-cost profiler into the kernel's probe hooks. Guarded:
+	// a typed-nil assigned into the HostProbe interface would defeat the
+	// kernel's `host != nil` fast path.
+	if a.obs.host != nil {
+		a.K.SetHostProbe(a.obs.host)
+		a.Clu.Net.SetHostProf(a.obs.host)
+	}
 
 	// Rank layout: regular processes first (PI_MAIN = 0), then Co-Pilots,
 	// then the deadlock service.
@@ -435,6 +459,7 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 	}
 	a.world = world
 	world.Faults = a.opts.Faults
+	world.Host = a.obs.host
 
 	// Co-Pilot service processes, spawned in rank order (deterministic).
 	for _, key := range a.copilotOrder {
@@ -445,6 +470,11 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 		cp.proc = a.K.Spawn(label, func(sp *sim.Proc) {
 			a.obs.prof.ProcStart(label, sp.Now())
 			defer func() { a.obs.prof.ProcEnd(label, sp.Now()) }()
+			// The whole service loop runs under one host-attribution frame:
+			// the per-proc tag persists across parks, so only the Co-Pilot's
+			// own execution slices are charged to it.
+			a.obs.host.Enter(hostprof.SubsysCoPilot)
+			defer a.obs.host.Exit()
 			cp.loop(sp)
 		})
 	}

@@ -5,6 +5,7 @@ import (
 
 	"cellpilot/internal/deadlock"
 	"cellpilot/internal/fmtmsg"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/sdk"
 	"cellpilot/internal/sim"
@@ -66,8 +67,10 @@ func (c *Ctx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft boo
 	if ch.From != c.Self {
 		c.fail(loc, api, "%s is not the writer of %s", c.Self, ch)
 	}
+	c.app.obs.host.Enter(hostprof.SubsysFmtmsg)
 	spec, err := fmtmsg.Parse(format)
 	if err != nil {
+		c.app.obs.host.Exit()
 		c.fail(loc, api, "%v", err)
 	}
 	// Pack into a pooled wire buffer: every transport below snapshots or
@@ -75,6 +78,7 @@ func (c *Ctx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft boo
 	bp := fmtmsg.GetWireBuf(0)
 	defer fmtmsg.PutWireBuf(bp)
 	wire, err := spec.PackInto(*bp, args...)
+	c.app.obs.host.Exit()
 	if err != nil {
 		c.fail(loc, api, "%v", err)
 	}
@@ -286,7 +290,10 @@ func (c *Ctx) readFrom(loc, api string, ch *Channel, timeout sim.Time, soft bool
 	}
 	unpackStart := c.P.Now()
 	c.P.Advance(c.app.par.PilotOverhead + c.app.par.PackTime(size))
-	if err := spec.Unpack(data[hdrSize:], args...); err != nil {
+	c.app.obs.host.Enter(hostprof.SubsysFmtmsg)
+	err = spec.Unpack(data[hdrSize:], args...)
+	c.app.obs.host.Exit()
+	if err != nil {
 		c.fail(loc, api, "%v", err)
 	}
 	c.app.spanPhase(xfer, trace.PhasePack, self, ch, size, unpackStart, c.P.Now())
@@ -458,8 +465,11 @@ func (c *Ctx) readChunked(loc, api string, ch *Channel, spec *fmtmsg.Spec, expec
 	}
 	unpackStart := c.P.Now()
 	c.P.Advance(par.PilotOverhead + par.PackTime(size))
-	if _, err := spec.UnpackFrom(buf, args...); err != nil {
-		c.fail(loc, api, "%v", err)
+	c.app.obs.host.Enter(hostprof.SubsysFmtmsg)
+	_, uerr := spec.UnpackFrom(buf, args...)
+	c.app.obs.host.Exit()
+	if uerr != nil {
+		c.fail(loc, api, "%v", uerr)
 	}
 	c.app.spanPhase(xfer, trace.PhasePack, self, ch, size, unpackStart, c.P.Now())
 	c.app.meterOp(ch, size, c.P.Now()-opStart)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
@@ -104,6 +105,7 @@ type obsSinks struct {
 	meter  *Meter
 	prof   *profile.Profiler
 	flight *trace.Flight
+	host   *hostprof.Profiler
 }
 
 // newXfer allocates the next transfer id (ids are 1-based; 0 means

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cellpilot/internal/fault"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
@@ -18,25 +19,26 @@ import (
 // observability sinks attached, and returns the final virtual time.
 func runFiveTypes(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter) (*App, sim.Time) {
 	t.Helper()
-	return runFiveTypesFull(t, rounds, rec, meter, nil, Options{})
+	return runFiveTypesFull(t, rounds, rec, meter, nil, nil, Options{})
 }
 
 // runFiveTypesOpts is runFiveTypes with explicit Options (used to prove
 // the hardened code paths are virtually free when no fault fires).
 func runFiveTypesOpts(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, opts Options) (*App, sim.Time) {
 	t.Helper()
-	return runFiveTypesFull(t, rounds, rec, meter, nil, opts)
+	return runFiveTypesFull(t, rounds, rec, meter, nil, nil, opts)
 }
 
 // runFiveTypesFull is the most general variant: every observability sink
 // plus explicit Options.
-func runFiveTypesFull(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, prof *profile.Profiler, opts Options) (*App, sim.Time) {
+func runFiveTypesFull(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, prof *profile.Profiler, host *hostprof.Profiler, opts Options) (*App, sim.Time) {
 	t.Helper()
 	c := newTestCluster(t)
 	a := NewApp(c, opts)
 	a.Trace = rec
 	a.Metrics = meter
 	a.Profile = prof
+	a.HostProf = host
 
 	var t1d, t1u, t2d, t2u, t3d, t3u, t4ab, t4ba, t5ab, t5ba *Channel
 	mkEcho := func(down, up **Channel) *SPEProgram {
@@ -118,9 +120,16 @@ func TestObservabilityZeroCost(t *testing.T) {
 	recB := trace.NewRecorder(0)
 	_, withBoth := runFiveTypes(t, 2, recB, NewMeter())
 	profA := profile.New()
-	_, withProf := runFiveTypesFull(t, 2, nil, nil, profA, Options{})
+	_, withProf := runFiveTypesFull(t, 2, nil, nil, profA, nil, Options{})
 	profB := profile.New()
-	allApp, withAll := runFiveTypesFull(t, 2, trace.NewRecorder(0), NewMeter(), profB, Options{})
+	allApp, withAll := runFiveTypesFull(t, 2, trace.NewRecorder(0), NewMeter(), profB, nil, Options{})
+	// The host profiler times the simulator itself with the wall clock —
+	// strictly outside the virtual timeline. Stride 1 samples every slice,
+	// the worst case for any accidental coupling.
+	hostA := hostprof.New(1)
+	hostApp, withHost := runFiveTypesFull(t, 2, nil, nil, nil, hostA, Options{})
+	hostAll := hostprof.New(1)
+	_, withHostAll := runFiveTypesFull(t, 2, trace.NewRecorder(0), NewMeter(), profile.New(), hostAll, Options{})
 
 	if bare != withRec || bare != withMeter || bare != withBoth {
 		t.Fatalf("virtual time diverged: bare=%v rec=%v meter=%v both=%v",
@@ -129,6 +138,34 @@ func TestObservabilityZeroCost(t *testing.T) {
 	if bare != withProf || bare != withAll {
 		t.Fatalf("virtual time diverged with profiler: bare=%v prof=%v all=%v",
 			bare, withProf, withAll)
+	}
+	if bare != withHost || bare != withHostAll {
+		t.Fatalf("virtual time diverged with host profiler: bare=%v host=%v host+all=%v",
+			bare, withHost, withHostAll)
+	}
+	// The host profiler actually observed the run (events, slices, and
+	// subsystem attribution for the Co-Pilot/MPI/interconnect/fmtmsg code
+	// it hooked) and surfaces through Stats().Host.
+	hsnap := hostA.Snapshot()
+	if hsnap.Events == 0 || hsnap.Slices == 0 || hsnap.SampledNs == 0 {
+		t.Fatalf("host profiler saw nothing: %+v", hsnap)
+	}
+	tagged := map[string]bool{}
+	for _, sh := range hsnap.Subsystems {
+		if sh.SampledNs > 0 {
+			tagged[sh.Name] = true
+		}
+	}
+	for _, want := range []string{"copilot", "mpi"} {
+		if !tagged[want] {
+			t.Errorf("no host time attributed to %s: %+v", want, hsnap.Subsystems)
+		}
+	}
+	if st := hostApp.Stats(); st.Host == nil || st.Host.Events != hsnap.Events {
+		t.Fatalf("Stats().Host missing or inconsistent: %+v", st.Host)
+	}
+	if bareApp.Stats().Host != nil {
+		t.Fatal("Stats().Host non-nil without a host profiler attached")
 	}
 	// The profiler attributed non-compute time for every process and both
 	// identically-configured profiled runs agree bucket-for-bucket.

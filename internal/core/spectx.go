@@ -6,6 +6,7 @@ import (
 
 	"cellpilot/internal/deadlock"
 	"cellpilot/internal/fmtmsg"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sdk"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/trace"
@@ -207,13 +208,16 @@ func (c *SPECtx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft 
 	if ch.From != c.Self {
 		c.fail(loc, api, "%s is not the writer of %s", c.Self, ch)
 	}
+	c.app.obs.host.Enter(hostprof.SubsysFmtmsg)
 	spec, err := fmtmsg.Parse(format)
 	if err != nil {
+		c.app.obs.host.Exit()
 		c.fail(loc, api, "%v", err)
 	}
 	bp := fmtmsg.GetWireBuf(0)
 	defer fmtmsg.PutWireBuf(bp)
 	wire, err := spec.PackInto(*bp, args...)
+	c.app.obs.host.Exit()
 	if err != nil {
 		c.fail(loc, api, "%v", err)
 	}
@@ -424,7 +428,10 @@ func (c *SPECtx) readFrom(loc, api string, ch *Channel, timeout sim.Time, soft b
 		c.fail(loc, api, "%v", err)
 	}
 	c.P.Advance(c.app.par.SPEStubOverhead + c.app.par.PackTime(expected))
-	if err := spec.Unpack(win, args...); err != nil {
+	c.app.obs.host.Enter(hostprof.SubsysFmtmsg)
+	err = spec.Unpack(win, args...)
+	c.app.obs.host.Exit()
+	if err != nil {
 		c.fail(loc, api, "%v", err)
 	}
 	self := c.Self.String()

@@ -7,6 +7,7 @@ import (
 
 	"cellpilot/internal/critpath"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/sim"
 )
@@ -140,6 +141,10 @@ type Stats struct {
 	// recorder was attached (the analyzer consumes its spans); nil
 	// otherwise, at zero cost to the run either way.
 	CritPath *critpath.Report
+	// Host is the wall-clock (host-cost) profile: kernel event and heap
+	// counters plus per-subsystem host-time shares. Populated only when
+	// App.HostProf was attached; nil otherwise.
+	Host *hostprof.Snapshot
 }
 
 // Stats collects the utilization report. Call it after Run returns.
@@ -196,6 +201,10 @@ func (a *App) Stats() Stats {
 	}
 	if rec := a.obs.trace; rec != nil {
 		st.CritPath = critpath.Analyze(rec.Spans(), critpath.Options{ProcNodes: a.ProcNodes()})
+	}
+	if hp := a.obs.host; hp != nil {
+		snap := hp.Snapshot()
+		st.Host = &snap
 	}
 	m := a.obs.meter
 	if m == nil {
@@ -293,6 +302,9 @@ func (a *App) pushTelemetryGauges(reg *metrics.Registry, st Stats) {
 			}
 		}
 	}
+	if st.Host != nil {
+		st.Host.PublishTo(reg)
+	}
 }
 
 // pushFaultMetrics publishes the injector's counters into the metrics
@@ -386,6 +398,10 @@ func (s Stats) String() string {
 	for _, pt := range s.ProcTimes {
 		fmt.Fprintf(&b, "  %-28s total %v: compute %v, read-blocked %v, write-blocked %v, mailbox %v\n",
 			pt.Process, pt.Total, pt.Compute, pt.BlockedRead, pt.BlockedWrite, pt.MailboxWait)
+	}
+	if h := s.Host; h != nil && h.Events > 0 {
+		fmt.Fprintf(&b, "  host: %d events, %.0fns/event sampled, max heap depth %d\n",
+			h.Events, h.NsPerSlice, h.MaxHeapDepth)
 	}
 	if cp := s.CritPath; cp != nil && cp.CritTotal > 0 {
 		fmt.Fprintf(&b, "  critical path: %d traced transfers, %v summed, %v queueing behind other transfers\n",

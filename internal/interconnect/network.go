@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"cellpilot/internal/cellbe"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
 )
 
@@ -17,11 +18,17 @@ type Network struct {
 	k   *sim.Kernel
 	par *cellbe.Params
 	tx  []*sim.Resource
+	// host receives wall-clock attribution frames around the transmit
+	// paths (hostprof); nil disables. Never touches virtual time.
+	host *hostprof.Profiler
 
 	// stats
 	messages int
 	bytes    int64
 }
+
+// SetHostProf attaches the wall-clock profiler (nil detaches).
+func (n *Network) SetHostProf(h *hostprof.Profiler) { n.host = h }
 
 // New builds a network for nNodes nodes using the calibration in par.
 func New(k *sim.Kernel, par *cellbe.Params, nNodes int) *Network {
@@ -51,6 +58,8 @@ func (n *Network) check(from, to int) error {
 // Send models node from transmitting bytes to node to. It blocks p for NIC
 // queueing and serialization and returns the arrival time at the receiver.
 func (n *Network) Send(p *sim.Proc, from, to, bytes int) (arrival sim.Time, err error) {
+	n.host.Enter(hostprof.SubsysInterconnect)
+	defer n.host.Exit()
 	if err := n.check(from, to); err != nil {
 		return 0, err
 	}
@@ -64,6 +73,8 @@ func (n *Network) Send(p *sim.Proc, from, to, bytes int) (arrival sim.Time, err 
 // layer retransmits through it — a timer has no proc to charge, but the
 // resent bytes still occupy the wire.
 func (n *Network) Reserve(from, to, bytes int) (arrival sim.Time, err error) {
+	n.host.Enter(hostprof.SubsysInterconnect)
+	defer n.host.Exit()
 	if err := n.check(from, to); err != nil {
 		return 0, err
 	}
@@ -80,6 +91,8 @@ func (n *Network) Reserve(from, to, bytes int) (arrival sim.Time, err error) {
 // stages explicitly on the endpoint processes, so its NIC booking must
 // reflect only the wire.
 func (n *Network) ReserveRaw(from, to, bytes int) (arrival sim.Time, err error) {
+	n.host.Enter(hostprof.SubsysInterconnect)
+	defer n.host.Exit()
 	if err := n.check(from, to); err != nil {
 		return 0, err
 	}

@@ -2,7 +2,9 @@ package metrics
 
 import (
 	"encoding/json"
+	"expvar"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 )
 
@@ -59,5 +61,26 @@ func (p *Publisher) Handler() http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		http.Redirect(w, req, "/metrics", http.StatusFound)
 	})
+	return mux
+}
+
+// DebugHandler is Handler plus the Go runtime's host-side introspection
+// endpoints, for digging into the wall-clock cost behind the host/*
+// gauges without restarting the process:
+//
+//	GET /debug/pprof/      CPU, heap, goroutine, ... profiles
+//	GET /debug/vars        expvar JSON (memstats, cmdline)
+//
+// The pprof endpoints profile the host process, not the simulation — the
+// virtual timeline is invisible to them by construction.
+func (p *Publisher) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", p.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
 }

@@ -16,6 +16,7 @@ import (
 	"cellpilot/internal/cellbe"
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
 )
 
@@ -46,6 +47,11 @@ type World struct {
 	// every path bit-identical to the unhardened build.
 	Faults *fault.Injector
 	rel    map[relKey]*relState
+
+	// Host, when non-nil, receives wall-clock attribution frames around
+	// the MPI entry points (hostprof). Pure host-side bookkeeping: it
+	// never advances virtual time, so instrumented runs stay bit-identical.
+	Host *hostprof.Profiler
 }
 
 // NewWorld creates a world with one rank per placement, in rank order.

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
 )
 
@@ -192,6 +193,8 @@ func (w *World) ctrlLatency(a, b int) sim.Time {
 // matching receive (rendezvous), which is how real MPI large-message sends
 // behave and what makes unmatched large sends deadlock-visible.
 func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
+	r.w.Host.Enter(hostprof.SubsysMPI)
+	defer r.w.Host.Exit()
 	r.bind(p)
 	if dst < 0 || dst >= len(r.w.ranks) {
 		p.Fatalf("mpi: send to invalid rank %d", dst)
@@ -243,6 +246,8 @@ func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte) {
 
 // deliver runs in scheduler context when an envelope reaches the receiver.
 func (r *Rank) deliver(env *envelope) {
+	r.w.Host.Enter(hostprof.SubsysMPI)
+	defer r.w.Host.Exit()
 	if env.cancelled {
 		return
 	}
@@ -339,6 +344,8 @@ func (r *Rank) RecvInto(p *sim.Proc, src, tag int, buf []byte) (int, Status) {
 }
 
 func (r *Rank) recv(p *sim.Proc, src, tag int, buf []byte) ([]byte, Status) {
+	r.w.Host.Enter(hostprof.SubsysMPI)
+	defer r.w.Host.Exit()
 	r.bind(p)
 	w := r.w
 	p.Advance(w.Par.MPIRecvOverhead)

@@ -51,6 +51,9 @@ func (k *Kernel) schedule(at Time, p *Proc, fn func()) *event {
 		ev.epoch = p.epoch
 	}
 	heap.Push(&k.pq, ev)
+	if k.host != nil {
+		k.host.HeapPush(len(k.pq))
+	}
 	return ev
 }
 

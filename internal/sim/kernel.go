@@ -19,6 +19,7 @@ type Kernel struct {
 	ctl  chan struct{} // running proc -> scheduler: "I parked or exited"
 	rng  *rand.Rand
 	trac Tracer
+	host HostProbe // wall-clock instrumentation; nil disables
 
 	procs    []*Proc
 	live     int // procs spawned and not yet finished
@@ -31,6 +32,33 @@ type Kernel struct {
 // Tracer receives a line for every significant kernel action. Nil disables
 // tracing.
 type Tracer func(at Time, format string, args ...any)
+
+// HostProbe observes the kernel's host-side (wall-clock) cost: event and
+// heap-operation counts plus the execution slices the scheduler hands out.
+// Every callback is pure host bookkeeping — a probe must not touch the
+// virtual timeline, and the kernel guarantees the calls are serialized by
+// the execution protocol (scheduler and running proc alternate), so probes
+// need no locking. Nil disables all probing; the only cost left on the
+// event loop is a nil check per operation.
+//
+// A "slice" is one uninterrupted stretch of host execution dispatched by
+// the scheduler: either a scheduler callback (SliceStart(-1)) or a proc
+// running from resume to its next park/exit (SliceStart(proc id)). Slices
+// never nest.
+type HostProbe interface {
+	// Event fires once per dispatched event (callback or proc wake).
+	Event()
+	// HeapPush fires after an event is pushed; depth is the new heap size.
+	HeapPush(depth int)
+	// HeapPop fires after any event is popped (including cancelled ones).
+	HeapPop()
+	// CancelPurge fires when a cancelled timer is discarded unexecuted.
+	CancelPurge()
+	// SliceStart/SliceEnd bracket one host execution slice; proc is the
+	// running proc's id, or -1 for a scheduler callback.
+	SliceStart(proc int)
+	SliceEnd(proc int)
+}
 
 // NewKernel returns a kernel with the virtual clock at zero. The seed feeds
 // the kernel RNG used by procs; identical seeds give identical runs.
@@ -50,6 +78,11 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // SetTracer installs a trace callback.
 func (k *Kernel) SetTracer(t Tracer) { k.trac = t }
+
+// SetHostProbe attaches a host-cost probe (nil detaches). Attach before
+// Run; the probe observes wall-clock cost only and cannot perturb the
+// virtual timeline, so instrumented runs stay bit-for-bit deterministic.
+func (k *Kernel) SetHostProbe(h HostProbe) { k.host = h }
 
 func (k *Kernel) tracef(format string, args ...any) {
 	if k.trac != nil {
@@ -130,6 +163,10 @@ func (k *Kernel) RunUntil(deadline Time) error {
 			// Purged before the deadline check and before the clock moves:
 			// a cancelled timer must not stretch the run's final time.
 			heap.Pop(&k.pq)
+			if k.host != nil {
+				k.host.HeapPop()
+				k.host.CancelPurge()
+			}
 			continue
 		}
 		if k.pq[0].at > deadline {
@@ -138,9 +175,19 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		}
 		ev := heap.Pop(&k.pq).(*event)
 		k.now = ev.at
+		if k.host != nil {
+			k.host.HeapPop()
+			k.host.Event()
+		}
 		switch {
 		case ev.fn != nil:
-			ev.fn()
+			if k.host != nil {
+				k.host.SliceStart(-1)
+				ev.fn()
+				k.host.SliceEnd(-1)
+			} else {
+				ev.fn()
+			}
 		case ev.p != nil:
 			if ev.epoch == ev.p.epoch {
 				k.resume(ev.p)
@@ -170,8 +217,14 @@ func (k *Kernel) resume(p *Proc) {
 	p.epoch++
 	p.state = procRunning
 	k.running = p
+	if k.host != nil {
+		k.host.SliceStart(p.id)
+	}
 	p.wake <- struct{}{}
 	<-k.ctl
+	if k.host != nil {
+		k.host.SliceEnd(p.id)
+	}
 	k.running = nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/core"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
 )
 
@@ -45,6 +46,11 @@ type ChaosConfig struct {
 	// With chunking on and Bytes past the eager bound, the internode flows
 	// (types 1, 3 and 5) exercise the chunk pipeline under injection.
 	Transfer core.TransferOptions
+	// Host, when non-nil, measures the run's host-side (wall-clock) cost.
+	// The Fingerprint deliberately contains no host-dependent data, so an
+	// instrumented chaos run fingerprints identically to a bare one — the
+	// determinism test relies on exactly that.
+	Host *hostprof.Profiler
 }
 
 // ChaosResult is one chaos run's complete observable outcome. Two runs of
@@ -147,6 +153,7 @@ func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 	inj := fault.NewInjector(cfg.plan())
 	a := core.NewApp(clu, core.Options{Faults: inj, Transfer: cfg.Transfer})
 	a.Metrics = core.NewMeter()
+	a.HostProf = cfg.Host
 
 	res := ChaosResult{Config: ChaosResult_Config{
 		Seed: cfg.Seed, LossProb: cfg.LossProb, KillSPE: cfg.KillSPE, MailboxDrops: cfg.MailboxDrops,

@@ -3,6 +3,8 @@ package workload
 import (
 	"strings"
 	"testing"
+
+	"cellpilot/internal/hostprof"
 )
 
 // TestChaosDeterminism: the full chaos scenario — lossy links, an SPE
@@ -123,5 +125,42 @@ func TestChaosSweep(t *testing.T) {
 		if r.RunErr == "" {
 			t.Errorf("seed %d: no fault summary despite kill", r.Config.Seed)
 		}
+	}
+}
+
+// TestChaosHostProfDeterminism: attaching the wall-clock host profiler —
+// stride 1, so every slice is timed — must leave the same-seed chaos
+// fingerprint bit-for-bit identical. Wall-clock observation lives strictly
+// outside the virtual timeline.
+func TestChaosHostProfDeterminism(t *testing.T) {
+	cfg := ChaosConfig{Seed: 11, LossProb: 0.1, KillSPE: true, MailboxDrops: 3}
+	bare, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hostprof.New(1)
+	cfg.Host = h
+	probed, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Fingerprint() != probed.Fingerprint() {
+		t.Fatalf("host profiler perturbed the chaos run:\n--- bare ---\n%s\n--- probed ---\n%s",
+			bare.Fingerprint(), probed.Fingerprint())
+	}
+	if snap := h.Snapshot(); snap.Events == 0 {
+		t.Fatal("host profiler attached but saw no events")
+	}
+	// Even a profiler deliberately burning allocations per event (the
+	// regression-guard injection knob) must not move the virtual outcome.
+	burned := hostprof.New(1)
+	burned.BurnAllocBytes = 512
+	cfg.Host = burned
+	slow, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Fingerprint() != slow.Fingerprint() {
+		t.Fatal("alloc-burning profiler perturbed the chaos fingerprint")
 	}
 }

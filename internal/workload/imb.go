@@ -5,6 +5,7 @@ import (
 
 	"cellpilot/internal/cellbe"
 	"cellpilot/internal/cluster"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/sim"
 )
@@ -70,6 +71,13 @@ type IMBConfig struct {
 	Reps int
 	// Params overrides the calibration.
 	Params *cellbe.Params
+	// Nodes overrides the cluster's node count. 0 keeps the default
+	// (min(Ranks, 8), the paper testbed's Cell node count); larger values
+	// build bigger clusters — the host benchmark's 64-node scenario uses
+	// it to stress kernel scaling beyond the paper's testbed.
+	Nodes int
+	// Host, when non-nil, measures the run's host-side (wall-clock) cost.
+	Host *hostprof.Profiler
 }
 
 // IMBResult is one measurement.
@@ -118,6 +126,9 @@ func IMB(cfg IMBConfig) (IMBResult, error) {
 	if nodes > 8 {
 		nodes = 8 // the paper testbed's Cell node count
 	}
+	if cfg.Nodes > 0 {
+		nodes = cfg.Nodes
+	}
 	clu, err := cluster.New(cluster.Spec{CellNodes: nodes, Params: cfg.Params, Seed: 5})
 	if err != nil {
 		return IMBResult{}, err
@@ -129,6 +140,14 @@ func IMB(cfg IMBConfig) (IMBResult, error) {
 	w, err := mpi.NewWorld(clu, placements)
 	if err != nil {
 		return IMBResult{}, err
+	}
+	// This path drives raw MPI with no core.App, so the host profiler is
+	// wired directly. Guarded: a typed-nil in the HostProbe interface
+	// would defeat the kernel's nil fast path.
+	if cfg.Host != nil {
+		clu.K.SetHostProbe(cfg.Host)
+		w.Host = cfg.Host
+		clu.Net.SetHostProf(cfg.Host)
 	}
 
 	var total sim.Time

@@ -10,6 +10,7 @@ import (
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/core"
 	"cellpilot/internal/fmtmsg"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sdk"
@@ -80,6 +81,9 @@ type PingPongConfig struct {
 	// Profile, when non-nil, attributes every process's virtual time into
 	// exclusive buckets (MethodCellPilot only).
 	Profile *profile.Profiler
+	// Host, when non-nil, measures the run's host-side (wall-clock) cost
+	// (MethodCellPilot only). It never perturbs the virtual timeline.
+	Host *hostprof.Profiler
 	// Stats, when non-nil, receives the application's post-run report
 	// (MethodCellPilot only). With Trace also attached it includes the
 	// critical-path blame decomposition (Stats.CritPath).
@@ -216,6 +220,7 @@ func pingPongCellPilot(cfg PingPongConfig) (sim.Time, error) {
 	a.Trace = cfg.Trace
 	a.Metrics = cfg.Metrics
 	a.Profile = cfg.Profile
+	a.HostProf = cfg.Host
 	format, mk, rd := payloadFormat(cfg.Bytes)
 
 	var ab, ba *core.Channel

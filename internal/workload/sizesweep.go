@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"cellpilot/internal/core"
+	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
 )
 
@@ -23,6 +24,9 @@ type SizeSweepConfig struct {
 	// Sizes overrides the payload sizes (default 64 B .. 1 MiB, with
 	// SPE-endpoint types capped at 128 KiB by the local-store budget).
 	Sizes []int
+	// Host, when non-nil, accumulates host-side (wall-clock) cost across
+	// every PingPong run of the sweep.
+	Host *hostprof.Profiler
 }
 
 // SizeSweepPoint is one (type, size, arm) measurement.
@@ -73,6 +77,7 @@ func SizeSweep(cfg SizeSweepConfig) ([]SizeSweepPoint, error) {
 			for _, chunked := range []bool{false, true} {
 				pp := PingPongConfig{
 					Type: typ, Bytes: bytes, Method: MethodCellPilot, Reps: cfg.Reps,
+					Host: cfg.Host,
 				}
 				if chunked {
 					pp.Transfer = cfg.Transfer
