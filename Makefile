@@ -45,6 +45,18 @@ ci-obs:
 	@rm -f /tmp/cellpilot-ci.folded /tmp/cellpilot-ci.pb.gz
 .PHONY: ci-obs
 
+# Scenario-fleet gate: the scenario DSL unit suites (parser, lowering,
+# assertions, CLI verbs), a short fuzz smoke of the YAML-subset parser,
+# then the checked-in scenarios/ library validated end to end against
+# its golden determinism fingerprints. `go run ./cmd/cellpilot-bench
+# validate -quick` is the cheap variant (shrunk measurement arms, golden
+# comparison skipped).
+ci-scenarios:
+	$(GO) test ./internal/scenario/ ./cmd/cellpilot-bench/
+	$(GO) test -run '^$$' -fuzz=FuzzScenarioParse -fuzztime=5s ./internal/scenario/
+	$(GO) run ./cmd/cellpilot-bench validate
+.PHONY: ci-scenarios
+
 # Machine-readable benchmark results (BENCH_<exp>.json) under results/.
 bench-json:
 	@mkdir -p results
@@ -84,9 +96,9 @@ ci-host:
 .PHONY: ci-host
 
 # Deeper sweep (slower): tier-1 plus the race detector, the chaos,
-# observability and host-cost gates, the perf-regression guard, and
-# staticcheck when the host has it installed.
-ci-full: ci race ci-chaos ci-obs bench-guard ci-host
+# observability, scenario-fleet and host-cost gates, the perf-regression
+# guard, and staticcheck when the host has it installed.
+ci-full: ci race ci-chaos ci-obs ci-scenarios bench-guard ci-host
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

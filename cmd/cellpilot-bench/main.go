@@ -67,10 +67,16 @@ func validateExp(exp string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown experiment %q; valid experiments: %s", exp, strings.Join(experiments, ", "))
+	return fmt.Errorf("unknown experiment %q; valid experiments: %s (scenario files run via the verbs: cellpilot-bench run <file.yaml>, cellpilot-bench validate)",
+		exp, strings.Join(experiments, ", "))
 }
 
 func main() {
+	// Scenario verbs dispatch before the flag surface: `run <file.yaml>`
+	// executes scenario files, `validate` sweeps the scenarios/ library.
+	if len(os.Args) > 1 && scenarioVerb(os.Args[1]) {
+		os.Exit(scenarioCmd(os.Args[1], os.Args[2:]))
+	}
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments, "|"))
 	seed := flag.Int64("seed", 1, "chaos: base RNG seed for the fault schedule")
 	chaosRuns := flag.Int("chaos-runs", 5, "chaos: number of seeded runs per scenario")
@@ -90,8 +96,16 @@ func main() {
 	quick := flag.Bool("quick", false, "hostbench: shrink workloads for CI")
 	burn := flag.Int("burn-alloc", 0, "hostbench/guard: deliberately allocate N bytes per kernel event (guard self-test: the gate must trip and blame a subsystem)")
 	gateWall := flag.Bool("gate-wall", false, "guard: make wall-clock metrics fatal, not advisory (use on quiet dedicated runners)")
+	listScen := flag.Bool("list-scenarios", false, "print the scenario library with one-line descriptions and exit")
+	scenDir := flag.String("scenarios", "scenarios", "scenario library directory (for -list-scenarios and the validate verb)")
 	flag.Parse()
 
+	if *listScen {
+		if err := listScenarioLibrary(*scenDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := validateExp(*exp); err != nil {
 		log.Fatal(err)
 	}

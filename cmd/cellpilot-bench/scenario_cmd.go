@@ -1,0 +1,163 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cellpilot/internal/scenario"
+)
+
+// The scenario verbs: `cellpilot-bench run scenarios/<name>.yaml` executes
+// named scenario files, `cellpilot-bench validate` sweeps the checked-in
+// scenarios/ library and gates on assertions plus golden fingerprints.
+// Verbs dispatch before the flag-based experiment surface, so the two
+// entry styles coexist.
+
+// scenarioVerb recognizes a scenario subcommand in os.Args[1].
+func scenarioVerb(arg string) bool {
+	return arg == "run" || arg == "validate"
+}
+
+// scenarioCmd runs one verb and returns the process exit code.
+func scenarioCmd(verb string, args []string) int {
+	fs := flag.NewFlagSet("cellpilot-bench "+verb, flag.ExitOnError)
+	quick := fs.Bool("quick", false, "shrink measurement workloads for CI (skips golden comparison; chaos fault arithmetic is untouched)")
+	update := fs.Bool("update-golden", false, "rewrite golden fingerprints from this run (full mode only)")
+	dir := fs.String("scenarios", "scenarios", "scenario library directory (validate's default file set)")
+	showFingerprint := fs.Bool("fingerprint", false, "print each scenario's outcome fingerprint")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cellpilot-bench %s [flags] [scenario.yaml ...]\n", verb)
+		fmt.Fprintf(fs.Output(), "  run      executes the named scenario files (at least one)\n")
+		fmt.Fprintf(fs.Output(), "  validate executes the named files, or the whole -scenarios library\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *update && *quick {
+		fmt.Fprintln(os.Stderr, "error: -update-golden needs a full run; drop -quick (quick outcomes are not golden-comparable)")
+		return 2
+	}
+
+	files := fs.Args()
+	if verb == "run" && len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "error: run needs at least one scenario file (try: cellpilot-bench validate for the whole library)")
+		return 2
+	}
+	if len(files) == 0 {
+		var err error
+		files, err = scenario.ListFiles(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return 2
+		}
+	}
+
+	type row struct {
+		name, status, detail string
+		asserts              int
+		elapsed              time.Duration
+	}
+	var rows []row
+	failures := 0
+	for _, file := range files {
+		start := time.Now()
+		r := row{name: file}
+		name, detail, violations := runScenarioFile(file, scenario.Options{Quick: *quick}, *update, *showFingerprint)
+		if name != "" {
+			r.name = name
+		}
+		r.elapsed = time.Since(start).Round(time.Millisecond)
+		r.detail = detail
+		switch {
+		case len(violations) > 0 || strings.HasPrefix(detail, "error"):
+			r.status = "FAIL"
+			failures++
+		default:
+			r.status = "PASS"
+		}
+		if s, err := scenario.Load(file); err == nil {
+			r.asserts = len(s.Assertions)
+		}
+		rows = append(rows, r)
+
+		fmt.Printf("%s %-28s %2d asserts  %8s", r.status, r.name, r.asserts, r.elapsed)
+		if r.detail != "" && len(violations) == 0 {
+			fmt.Printf("  (%s)", r.detail)
+		}
+		fmt.Println()
+		for _, v := range violations {
+			fmt.Printf("     %s\n", strings.ReplaceAll(v, "\n", "\n     "))
+		}
+		if len(violations) == 0 && strings.HasPrefix(r.detail, "error") {
+			fmt.Printf("     %s\n", r.detail)
+		}
+	}
+
+	mode := "full"
+	if *quick {
+		mode = "quick (golden comparison skipped)"
+	}
+	fmt.Printf("\n%s: %d/%d scenarios passed [%s]\n", verb, len(rows)-failures, len(rows), mode)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runScenarioFile executes one scenario file end to end. It returns the
+// scenario's name, a status detail ("golden recorded", "error: ...") and
+// the rendered violations (assertion failures and golden mismatches).
+func runScenarioFile(file string, opt scenario.Options, updateGolden, showFingerprint bool) (name, detail string, violations []string) {
+	s, err := scenario.Load(file)
+	if err != nil {
+		return "", fmt.Sprintf("error: %v", err), nil
+	}
+	out, err := scenario.Run(s, opt)
+	if err != nil {
+		return s.Name, fmt.Sprintf("error: %v", err), nil
+	}
+	if showFingerprint {
+		fmt.Printf("--- fingerprint: %s ---\n%s---\n", s.Name, out.Fingerprint)
+	}
+	for _, v := range scenario.Check(out) {
+		violations = append(violations, v.String())
+	}
+	goldenPath := scenario.GoldenPath(file)
+	switch {
+	case opt.Quick:
+		// Quick reps change the fingerprint; only full runs compare.
+	case updateGolden:
+		if err := scenario.WriteGolden(goldenPath, out.Fingerprint); err != nil {
+			return s.Name, fmt.Sprintf("error: writing golden: %v", err), violations
+		}
+		detail = "golden recorded"
+	default:
+		diff, missing, err := scenario.CompareGolden(goldenPath, out.Fingerprint)
+		switch {
+		case err != nil:
+			return s.Name, fmt.Sprintf("error: reading golden: %v", err), violations
+		case missing:
+			detail = "no golden yet — record with -update-golden"
+		case diff != "":
+			violations = append(violations, fmt.Sprintf("golden %s: %s", goldenPath, diff))
+		}
+	}
+	return s.Name, detail, violations
+}
+
+// listScenarioLibrary prints the library with one-line descriptions.
+func listScenarioLibrary(dir string) error {
+	sums, err := scenario.ListSummaries(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario library (%s):\n", dir)
+	for _, s := range sums {
+		fmt.Printf("  %-28s %s\n", s.Name, s.Description)
+	}
+	fmt.Printf("\nrun one:      cellpilot-bench run %s/<name>.yaml\nvalidate all: cellpilot-bench validate\n", dir)
+	return nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cellpilot/internal/scenario"
+)
+
+func TestScenarioVerb(t *testing.T) {
+	for _, v := range []string{"run", "validate"} {
+		if !scenarioVerb(v) {
+			t.Errorf("scenarioVerb(%q) = false", v)
+		}
+	}
+	for _, v := range []string{"-exp", "runs", "validated", "", "all"} {
+		if scenarioVerb(v) {
+			t.Errorf("scenarioVerb(%q) = true", v)
+		}
+	}
+}
+
+func TestValidateExpMentionsVerbs(t *testing.T) {
+	// The fast-fail listing must teach the verb entry points too.
+	err := validateExp("nope")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for _, want := range []string{"cellpilot-bench run", "cellpilot-bench validate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not mention %q: %v", want, err)
+		}
+	}
+}
+
+const cliScenario = `
+name: cli-smoke
+description: "CLI-level smoke scenario"
+seed: 3
+workloads:
+  - kind: chaos
+    reps: 2
+assertions:
+  - kind: completed
+    type: 1
+    full: true
+`
+
+func TestRunScenarioFileGoldenLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "cli-smoke.yaml")
+	if err := os.WriteFile(file, []byte(cliScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// First full run: no golden yet — a note, not a failure.
+	name, detail, violations := runScenarioFile(file, scenario.Options{}, false, false)
+	if name != "cli-smoke" || len(violations) != 0 {
+		t.Fatalf("first run: name=%q violations=%v", name, violations)
+	}
+	if !strings.Contains(detail, "update-golden") {
+		t.Fatalf("missing-golden note absent: %q", detail)
+	}
+	// Record, then re-compare: clean.
+	_, detail, violations = runScenarioFile(file, scenario.Options{}, true, false)
+	if detail != "golden recorded" || len(violations) != 0 {
+		t.Fatalf("record: detail=%q violations=%v", detail, violations)
+	}
+	_, _, violations = runScenarioFile(file, scenario.Options{}, false, false)
+	if len(violations) != 0 {
+		t.Fatalf("after recording, compare should be clean: %v", violations)
+	}
+	// Corrupt the golden: the mismatch is a violation with a line diff.
+	golden := scenario.GoldenPath(file)
+	if err := os.WriteFile(golden, []byte("scenario=cli-smoke tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, violations = runScenarioFile(file, scenario.Options{}, false, false)
+	if len(violations) != 1 || !strings.Contains(violations[0], "golden mismatch") {
+		t.Fatalf("tampered golden: %v", violations)
+	}
+	// Quick mode skips the (tampered) golden entirely.
+	_, _, violations = runScenarioFile(file, scenario.Options{Quick: true}, false, false)
+	if len(violations) != 0 {
+		t.Fatalf("quick mode must skip golden comparison: %v", violations)
+	}
+}
+
+func TestRunScenarioFileFailsOnBrokenAssertion(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "broken.yaml")
+	broken := strings.Replace(cliScenario, "name: cli-smoke", "name: broken-bound", 1) +
+		"  - kind: faults\n    min:\n      link_drops: 999\n"
+	if err := os.WriteFile(file, []byte(broken), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, violations := runScenarioFile(file, scenario.Options{}, false, false)
+	if len(violations) != 1 {
+		t.Fatalf("want exactly the broken bound to fail, got %v", violations)
+	}
+	if !strings.Contains(violations[0], "link_drops = 0 below bound 999") {
+		t.Fatalf("violation must name the violated bound: %s", violations[0])
+	}
+}
+
+func TestRunScenarioFileParseError(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "bad.yaml")
+	os.WriteFile(file, []byte("name: x\nworkloads:\n  - kind: warp\n"), 0o644)
+	_, detail, _ := runScenarioFile(file, scenario.Options{}, false, false)
+	if !strings.HasPrefix(detail, "error:") || !strings.Contains(detail, "unknown workload kind") {
+		t.Fatalf("parse failure should surface as an error detail, got %q", detail)
+	}
+}

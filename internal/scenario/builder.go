@@ -1,0 +1,61 @@
+package scenario
+
+// The Go builder mirrors the YAML schema for scenarios constructed in
+// code — tests and ad-hoc tools get the same Validate gate as files, so
+// the two entry points cannot drift.
+
+// Builder accumulates a Scenario fluently; Build runs Validate.
+type Builder struct {
+	s Scenario
+}
+
+// New starts a scenario with the library defaults (2 Cell blades × 2
+// Cells + 1 x86 node, seed 1).
+func New(name string) *Builder {
+	return &Builder{s: Scenario{Name: name}}
+}
+
+// Describe sets the one-line description.
+func (b *Builder) Describe(d string) *Builder {
+	b.s.Description = d
+	return b
+}
+
+// WithSeed sets the scenario seed.
+func (b *Builder) WithSeed(seed int64) *Builder {
+	b.s.Seed = seed
+	return b
+}
+
+// WithTopology sets the cluster shape.
+func (b *Builder) WithTopology(cellNodes, cellsPerNode, xeonNodes int) *Builder {
+	b.s.Topology = Topology{CellNodes: cellNodes, CellsPerNode: cellsPerNode, XeonNodes: xeonNodes}
+	return b
+}
+
+// AddWorkload appends a traffic-mix entry.
+func (b *Builder) AddWorkload(w Workload) *Builder {
+	b.s.Workloads = append(b.s.Workloads, w)
+	return b
+}
+
+// AddFault appends a fault-schedule entry.
+func (b *Builder) AddFault(f FaultSpec) *Builder {
+	b.s.Faults = append(b.s.Faults, f)
+	return b
+}
+
+// Assert appends a post-run assertion.
+func (b *Builder) Assert(a Assertion) *Builder {
+	b.s.Assertions = append(b.s.Assertions, a)
+	return b
+}
+
+// Build validates and returns the scenario.
+func (b *Builder) Build() (*Scenario, error) {
+	s := b.s
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

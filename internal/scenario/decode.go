@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cellpilot/internal/sim"
+)
+
+// Scalar conversions. Every accessor returns an error naming the line so
+// a malformed scenario fails with a pointer into the file, not a zero
+// value that surfaces as a confusing run-time difference.
+
+func (n *node) str(what string) (string, error) {
+	if n.kind != scalarNode {
+		return "", fmt.Errorf("line %d: %s must be a scalar, got a %s", n.line, what, n.kindName())
+	}
+	return n.scalar, nil
+}
+
+func (n *node) integer(what string) (int, error) {
+	v, err := n.int64(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > int64(int(^uint(0)>>1)) || v < -int64(int(^uint(0)>>1))-1 {
+		return 0, fmt.Errorf("line %d: %s %d overflows int", n.line, what, v)
+	}
+	return int(v), nil
+}
+
+func (n *node) int64(what string) (int64, error) {
+	s, err := n.str(what)
+	if err != nil {
+		return 0, err
+	}
+	if n.quoted {
+		return 0, fmt.Errorf("line %d: %s must be a number, got a quoted string", n.line, what)
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: %s: %q is not an integer", n.line, what, s)
+	}
+	return v, nil
+}
+
+func (n *node) float(what string) (float64, error) {
+	s, err := n.str(what)
+	if err != nil {
+		return 0, err
+	}
+	if n.quoted {
+		return 0, fmt.Errorf("line %d: %s must be a number, got a quoted string", n.line, what)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: %s: %q is not a number", n.line, what, s)
+	}
+	return v, nil
+}
+
+func (n *node) boolean(what string) (bool, error) {
+	s, err := n.str(what)
+	if err != nil {
+		return false, err
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	return false, fmt.Errorf("line %d: %s: %q is not true/false", n.line, what, s)
+}
+
+// duration parses a virtual-time scalar: "250us", "2ms", "1.5s" (the Go
+// duration units down to nanoseconds), or a bare "0".
+func (n *node) duration(what string) (sim.Time, error) {
+	s, err := n.str(what)
+	if err != nil {
+		return 0, err
+	}
+	if s == "0" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: %s: %q is not a duration (use e.g. 250us, 2ms, 1s)", n.line, what, s)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("line %d: %s: negative duration %q", n.line, what, s)
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+func (n *node) intList(what string) ([]int, error) {
+	if n.kind != listNode {
+		return nil, fmt.Errorf("line %d: %s must be a list, got a %s", n.line, what, n.kindName())
+	}
+	out := make([]int, 0, len(n.list))
+	for i, el := range n.list {
+		v, err := el.integer(fmt.Sprintf("%s[%d]", what, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (n *node) int64List(what string) ([]int64, error) {
+	if n.kind != listNode {
+		return nil, fmt.Errorf("line %d: %s must be a list, got a %s", n.line, what, n.kindName())
+	}
+	out := make([]int64, 0, len(n.list))
+	for i, el := range n.list {
+		v, err := el.int64(fmt.Sprintf("%s[%d]", what, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// mapReader walks a mapping with strict unknown-key detection: every key
+// the decoder does not consume is an error naming the key and its line.
+type mapReader struct {
+	n    *node
+	what string
+	used map[string]bool
+}
+
+func newMapReader(n *node, what string) (*mapReader, error) {
+	if n.kind != mapNode {
+		return nil, fmt.Errorf("line %d: %s must be a mapping, got a %s", n.line, what, n.kindName())
+	}
+	return &mapReader{n: n, what: what, used: map[string]bool{}}, nil
+}
+
+// get consumes and returns the key's value, or nil when absent.
+func (m *mapReader) get(key string) *node {
+	m.used[key] = true
+	return m.n.fields[key]
+}
+
+// finish fails on any unconsumed (unknown) key.
+func (m *mapReader) finish() error {
+	var unknown []string
+	for _, k := range m.n.keys {
+		if !m.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	var valid []string
+	for k := range m.used {
+		valid = append(valid, k)
+	}
+	sort.Strings(valid)
+	return fmt.Errorf("line %d: unknown key %q in %s (valid keys: %s)",
+		m.n.fields[unknown[0]].line, unknown[0], m.what, strings.Join(valid, ", "))
+}
+
+// Typed optional-field helpers: absent keys leave the destination at its
+// default; present keys must convert.
+
+func (m *mapReader) strField(key string, dst *string) error {
+	if n := m.get(key); n != nil {
+		v, err := n.str(m.what + "." + key)
+		if err != nil {
+			return err
+		}
+		*dst = v
+	}
+	return nil
+}
+
+func (m *mapReader) intField(key string, dst *int) error {
+	if n := m.get(key); n != nil {
+		v, err := n.integer(m.what + "." + key)
+		if err != nil {
+			return err
+		}
+		*dst = v
+	}
+	return nil
+}
+
+func (m *mapReader) int64Field(key string, dst *int64) error {
+	if n := m.get(key); n != nil {
+		v, err := n.int64(m.what + "." + key)
+		if err != nil {
+			return err
+		}
+		*dst = v
+	}
+	return nil
+}
+
+func (m *mapReader) floatField(key string, dst *float64) error {
+	if n := m.get(key); n != nil {
+		v, err := n.float(m.what + "." + key)
+		if err != nil {
+			return err
+		}
+		*dst = v
+	}
+	return nil
+}
+
+func (m *mapReader) boolField(key string, dst *bool) error {
+	if n := m.get(key); n != nil {
+		v, err := n.boolean(m.what + "." + key)
+		if err != nil {
+			return err
+		}
+		*dst = v
+	}
+	return nil
+}
+
+func (m *mapReader) durField(key string, dst *sim.Time) error {
+	if n := m.get(key); n != nil {
+		v, err := n.duration(m.what + "." + key)
+		if err != nil {
+			return err
+		}
+		*dst = v
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParse is the parser's robustness contract: any byte string
+// — malformed topologies, negative times, unknown fault kinds, torn
+// indentation, garbage — either parses into a valid scenario or returns
+// an error. It must never panic: scenario files are the one input a
+// cluster operator hand-edits.
+func FuzzScenarioParse(f *testing.F) {
+	seeds := []string{
+		minimal,
+		"",
+		"# nothing but a comment\n",
+		"name: x\nworkloads:\n  - kind: chaos\n    reps: 1000000000000000000000\n", // integer overflow
+		"name: x\nworkloads:\n  - kind: chaos\nfaults:\n  - kind: meteor\n",
+		"name: x\nworkloads:\n  - kind: chaos\nfaults:\n  - kind: kill-spe\n    at: -5ms\n    proc: \"c4w#2\"\n",
+		"name: x\ntopology:\n  cell_nodes: -3\nworkloads:\n  - kind: chaos\n",
+		"name: x\ntopology:\n  cell_nodes: 9999999\nworkloads:\n  - kind: chaos\n",
+		"a:\n  b:\n    c:\n      d: 1\n",
+		"workloads: [1, 2\n",
+		"x: \"un\\terminated\n",
+		"- top\n- level\n- list\n",
+		"\t\nname: x\n",
+		"name: x\nname: y\n",
+		"assertions:\n  - kind: faults\n    min:\n      bogus_counter: 1\n",
+		strings.Repeat("  ", 40) + "deep: 1\n",
+		"name: x\nworkloads:\n  -\n    kind: chaos\n",
+		"name: x\nseed: \"quoted\"\nworkloads:\n  - kind: chaos\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("error and a scenario at once: %v", err)
+			}
+			return
+		}
+		// Whatever parses must re-validate cleanly (Parse already ran
+		// Validate; a second pass must agree) and lower without panic.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed scenario fails re-validation: %v", err)
+		}
+		s.lowerFaults()
+		s.topology()
+	})
+}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Golden fingerprint files pin every scenario's full outcome shape —
+// latencies, chaos fingerprints, blame attribution — into the repository.
+// validate compares each full-mode run against its golden and renders a
+// line diff on mismatch; -update-golden rewrites them after an intended
+// behavior change.
+
+// GoldenPath derives a scenario file's golden sibling:
+// scenarios/foo.yaml -> scenarios/foo.golden.
+func GoldenPath(scenarioPath string) string {
+	base := strings.TrimSuffix(scenarioPath, ".yaml")
+	return base + ".golden"
+}
+
+// WriteGolden records a fingerprint.
+func WriteGolden(path, fingerprint string) error {
+	return os.WriteFile(path, []byte(fingerprint), 0o644)
+}
+
+// CompareGolden checks a fingerprint against its golden file. missing
+// reports an absent golden (not a failure — record it with
+// -update-golden); diff is the readable mismatch rendering, empty when
+// the fingerprint matches.
+func CompareGolden(path, fingerprint string) (diff string, missing bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return "", true, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	want := string(data)
+	if want == fingerprint {
+		return "", false, nil
+	}
+	return diffLines(want, fingerprint), false, nil
+}
+
+// diffLines renders a compact line diff: every differing line as a
+// -want/+got pair (capped), with one line of matching context before.
+func diffLines(want, got string) string {
+	wl := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gl := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "golden mismatch (%d golden lines, %d run lines):", len(wl), len(gl))
+	shown := 0
+	for i := 0; i < n && shown < 8; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		if shown == 0 && i > 0 && wl[i-1] == gl[i-1] {
+			fmt.Fprintf(&b, "\n      %s", wl[i-1])
+		}
+		if w != "" {
+			fmt.Fprintf(&b, "\n    - %s", w)
+		}
+		if g != "" {
+			fmt.Fprintf(&b, "\n    + %s", g)
+		}
+		shown++
+	}
+	if shown == 8 {
+		fmt.Fprintf(&b, "\n    ... (more differences elided)")
+	}
+	return b.String()
+}

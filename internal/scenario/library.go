@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The checked-in library under scenarios/ is the chaos regression fleet.
+// This file enumerates it for the CLI's validate and -list-scenarios.
+
+// ListFiles returns the library's scenario files, sorted by name.
+func ListFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".yaml") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no *.yaml scenarios under %s", dir)
+	}
+	return out, nil
+}
+
+// Summary is one library entry for -list-scenarios.
+type Summary struct {
+	File        string
+	Name        string
+	Description string
+}
+
+// ListSummaries loads every library scenario's name and description. A
+// file that fails to parse still gets a row — its Description carries the
+// error, so a broken library file is visible instead of silently absent.
+func ListSummaries(dir string) ([]Summary, error) {
+	files, err := ListFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Summary, 0, len(files))
+	for _, f := range files {
+		s, err := Load(f)
+		if err != nil {
+			out = append(out, Summary{File: f, Name: strings.TrimSuffix(filepath.Base(f), ".yaml"),
+				Description: fmt.Sprintf("BROKEN: %v", err)})
+			continue
+		}
+		out = append(out, Summary{File: f, Name: s.Name, Description: s.Description})
+	}
+	return out, nil
+}

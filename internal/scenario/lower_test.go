@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"cellpilot/internal/fault"
+	"cellpilot/internal/sim"
+)
+
+// chaosOnly builds a small chaos-only scenario for fault-plan tests.
+func chaosOnly(faults ...FaultSpec) *Scenario {
+	return &Scenario{
+		Name:      "lowering",
+		Seed:      3,
+		Workloads: []Workload{{Kind: KindChaos, Reps: 2}},
+		Faults:    faults,
+	}
+}
+
+func TestLowerFaultPlan(t *testing.T) {
+	s := chaosOnly(
+		FaultSpec{Kind: FaultCrashNode, At: 5 * sim.Millisecond, Node: 1},
+		FaultSpec{Kind: FaultKillCoPilot, At: 1 * sim.Millisecond, Node: 0},
+		FaultSpec{Kind: FaultKillSPE, At: 2 * sim.Millisecond, Proc: "c4w#2"},
+		FaultSpec{Kind: FaultMailboxDrop, At: 300 * sim.Microsecond, Proc: "c2e#0"},
+		FaultSpec{Kind: FaultMailboxStall, At: 400 * sim.Microsecond, Proc: "c5e#0", Delay: sim.Millisecond},
+		FaultSpec{Kind: FaultLossyLink, From: 0, To: 2, Bidirectional: true, DropProb: 0.2, After: 3 * sim.Millisecond},
+	)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	p := s.lowerFaults()
+	if p.Seed != 3 {
+		t.Fatalf("plan seed = %d", p.Seed)
+	}
+	if len(p.Events) != 5 {
+		t.Fatalf("events = %d", len(p.Events))
+	}
+	wantKinds := []fault.Kind{fault.CrashNode, fault.KillCoPilot, fault.KillSPE, fault.MailboxDrop, fault.MailboxStall}
+	for i, k := range wantKinds {
+		if p.Events[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, p.Events[i].Kind, k)
+		}
+	}
+	if p.Events[4].Delay != sim.Millisecond {
+		t.Fatalf("stall delay = %v", p.Events[4].Delay)
+	}
+	if len(p.Links) != 2 {
+		t.Fatalf("links = %d", len(p.Links))
+	}
+	fwd, rev := p.Links[0], p.Links[1]
+	if fwd.From != 0 || fwd.To != 2 || rev.From != 2 || rev.To != 0 {
+		t.Fatalf("bidirectional expansion wrong: %+v / %+v", fwd, rev)
+	}
+	if fwd.After != 3*sim.Millisecond || rev.DropProb != 0.2 {
+		t.Fatalf("policy fields lost in expansion: %+v / %+v", fwd, rev)
+	}
+	if s.lowerFaults() == nil || chaosOnly().lowerFaults() != nil {
+		t.Fatalf("nil-plan contract: faults => plan, no faults => nil")
+	}
+}
+
+func TestLowerRejectsNonexistentTargets(t *testing.T) {
+	// Config errors, never panics: targets are vetted against the
+	// topology and the chaos process layout before anything runs.
+	cases := []struct {
+		name string
+		s    *Scenario
+		want string
+	}{
+		{"node-too-high", chaosOnly(FaultSpec{Kind: FaultCrashNode, Node: 7}), "node 7 does not exist"},
+		{"node-negative", chaosOnly(FaultSpec{Kind: FaultCrashNode, Node: -1}), "node -1 does not exist"},
+		{"copilot-on-xeon", chaosOnly(FaultSpec{Kind: FaultKillCoPilot, Node: 2}), "x86 node"},
+		{"unknown-spe", chaosOnly(FaultSpec{Kind: FaultKillSPE, Proc: "c9z#0"}), "not a chaos SPE stub"},
+		{"mbox-unknown-spe", chaosOnly(FaultSpec{Kind: FaultMailboxDrop, Proc: "ppe"}), "not a chaos SPE stub"},
+		{"stall-no-delay", chaosOnly(FaultSpec{Kind: FaultMailboxStall, Proc: "c2e#0"}), "positive delay"},
+		{"link-self", chaosOnly(FaultSpec{Kind: FaultLossyLink, From: 1, To: 1, DropProb: 0.1}), "distinct nodes"},
+		{"link-bad-node", chaosOnly(FaultSpec{Kind: FaultLossyLink, From: 0, To: 9, DropProb: 0.1}), "node 9 does not exist"},
+		{"link-prob-range", chaosOnly(FaultSpec{Kind: FaultLossyLink, From: 0, To: 1, DropProb: 1.5}), "out of range"},
+		{"link-no-effect", chaosOnly(FaultSpec{Kind: FaultLossyLink, From: 0, To: 1}), "does nothing"},
+		{"delay-no-max", chaosOnly(FaultSpec{Kind: FaultLossyLink, From: 0, To: 1, DelayProb: 0.1}), "positive max_delay"},
+		{"max-no-delay", chaosOnly(FaultSpec{Kind: FaultLossyLink, From: 0, To: 1, DropProb: 0.1, MaxDelay: sim.Millisecond}), "without delay_prob"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if err == nil {
+				t.Fatalf("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLowerRejectsOverlappingLinkPolicies(t *testing.T) {
+	// The injector keeps one policy per directed link and would let the
+	// last one silently win — the DSL makes the overlap a config error.
+	direct := chaosOnly(
+		FaultSpec{Kind: FaultLossyLink, From: 0, To: 1, DropProb: 0.1},
+		FaultSpec{Kind: FaultLossyLink, From: 0, To: 1, CorruptProb: 0.1},
+	)
+	if err := direct.Validate(); err == nil || !strings.Contains(err.Error(), "already carries a policy") {
+		t.Fatalf("want overlap error, got %v", err)
+	}
+	// A bidirectional policy claims both directions.
+	viaBidi := chaosOnly(
+		FaultSpec{Kind: FaultLossyLink, From: 0, To: 1, Bidirectional: true, DropProb: 0.1},
+		FaultSpec{Kind: FaultLossyLink, From: 1, To: 0, DropProb: 0.2},
+	)
+	if err := viaBidi.Validate(); err == nil || !strings.Contains(err.Error(), "already carries a policy") {
+		t.Fatalf("want bidirectional overlap error, got %v", err)
+	}
+	// Opposite directions without bidirectional are two distinct links.
+	ok := chaosOnly(
+		FaultSpec{Kind: FaultLossyLink, From: 0, To: 1, DropProb: 0.1},
+		FaultSpec{Kind: FaultLossyLink, From: 1, To: 0, DropProb: 0.2},
+	)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("reverse direction should not overlap: %v", err)
+	}
+}
+
+func TestFaultAfterWorkloadCompletion(t *testing.T) {
+	// A fault scheduled far past the workload's natural end must not
+	// panic or wedge: the kernel drains the timer against dead processes
+	// and the run completes fully, deterministically.
+	s := chaosOnly(FaultSpec{Kind: FaultKillSPE, At: 10 * sim.Second, Proc: "c4w#2"})
+	s.Assertions = []Assertion{
+		{Kind: AssertCompleted, Type: 4, Full: true},
+		{Kind: AssertDeterminism},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	out, err := Run(s, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vs := Check(out); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	r := out.Chaos.Runs[0].Result
+	if r.VirtualTime < 10*sim.Second {
+		t.Fatalf("the late fault timer should stretch the clock to its firing time, vt = %v", r.VirtualTime)
+	}
+	for typ := 1; typ <= 5; typ++ {
+		if r.Completed[typ] != 2 {
+			t.Fatalf("type %d completed %d/2 — a post-completion fault must not cost traffic", typ, r.Completed[typ])
+		}
+	}
+	// The parked (already idle) SPE is still killed when the timer fires,
+	// deterministically, without dragging any traffic down with it.
+	if r.Counts.ProcsKilled != 1 || len(r.Killed) != 1 || !strings.Contains(r.Killed[0], "c4w#2") {
+		t.Fatalf("late kill bookkeeping: counts=%+v killed=%v", r.Counts, r.Killed)
+	}
+}

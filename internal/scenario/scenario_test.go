@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+// minimal is the smallest valid scenario document.
+const minimal = `
+name: mini
+workloads:
+  - kind: chaos
+    reps: 2
+`
+
+func TestParseMinimal(t *testing.T) {
+	s, err := Parse([]byte(minimal))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Name != "mini" || len(s.Workloads) != 1 {
+		t.Fatalf("unexpected scenario: %+v", s)
+	}
+	top := s.topology()
+	if top.CellNodes != 2 || top.CellsPerNode != 2 || top.XeonNodes != 1 {
+		t.Fatalf("default topology = %+v", top)
+	}
+	if s.seed() != 1 {
+		t.Fatalf("default seed = %d", s.seed())
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	src := `
+name: full
+description: "everything at once"
+seed: 9
+topology:
+  cell_nodes: 3
+  cells_per_node: 2
+  xeon_nodes: 1
+workloads:
+  - kind: pingpong
+    types: [1, 3, 5]
+    bytes: 1600
+    reps: 40
+  - kind: chaos
+    reps: 4
+    seeds: [9, 10]
+    soft_timeout: 100ms
+    transfer:
+      chunk_size: 4096
+      pipeline_depth: 2
+  - kind: sizesweep
+    sizes: [1024]
+    reps: 3
+  - kind: imb
+    pattern: allreduce
+    ranks: 4
+    reps: 20
+faults:
+  - kind: lossy-link
+    from: 0
+    to: 1
+    bidirectional: true
+    drop_prob: 0.05
+  - kind: kill-spe
+    at: 2ms
+    proc: "c4w#2"
+  - kind: mailbox-stall
+    at: 1ms
+    proc: "c2e#0"
+    delay: 500us
+assertions:
+  - kind: latency
+    type: 1
+    max_one_way_us: 100
+  - kind: completed
+    type: 2
+    full: true
+  - kind: faults
+    min:
+      link_drops: 1
+  - kind: determinism
+`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Workloads) != 4 || len(s.Faults) != 3 || len(s.Assertions) != 4 {
+		t.Fatalf("counts: %d workloads, %d faults, %d assertions",
+			len(s.Workloads), len(s.Faults), len(s.Assertions))
+	}
+	if s.Workloads[1].SoftTimeout != 100*sim.Millisecond {
+		t.Fatalf("soft_timeout = %v", s.Workloads[1].SoftTimeout)
+	}
+	if s.Workloads[1].Transfer.ChunkSize != 4096 {
+		t.Fatalf("chunk_size = %d", s.Workloads[1].Transfer.ChunkSize)
+	}
+	if s.Faults[2].Delay != 500*sim.Microsecond {
+		t.Fatalf("stall delay = %v", s.Faults[2].Delay)
+	}
+	if s.Assertions[2].Min["link_drops"] != 1 {
+		t.Fatalf("faults min = %+v", s.Assertions[2].Min)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-name", "workloads:\n  - kind: chaos", "needs a name"},
+		{"bad-name", "name: \"no spaces\"\nworkloads:\n  - kind: chaos", "kebab-case"},
+		{"no-workloads", "name: x", "at least one workload"},
+		{"unknown-workload", "name: x\nworkloads:\n  - kind: warp", "unknown workload kind"},
+		{"unknown-fault", minimal + "faults:\n  - kind: meteor\n", "unknown fault kind"},
+		{"unknown-assert", minimal + "assertions:\n  - kind: vibes\n", "unknown assertion kind"},
+		{"unknown-key", "name: x\nnonsense: 1\nworkloads:\n  - kind: chaos", `unknown key "nonsense"`},
+		{"wrong-kind-key", "name: x\nworkloads:\n  - kind: chaos\n    sizes: [1]", `unknown key "sizes"`},
+		{"neg-seed", "name: x\nseed: -3\nworkloads:\n  - kind: chaos", "non-negative"},
+		{"neg-time", minimal + "faults:\n  - kind: kill-spe\n    at: -2ms\n    proc: \"c4w#2\"\n", "negative duration"},
+		{"quoted-number", "name: x\nseed: \"7\"\nworkloads:\n  - kind: chaos", "quoted string"},
+		{"bad-counter", minimal + "assertions:\n  - kind: faults\n    min:\n      warp_cores: 1\n", "unknown fault counter"},
+		{"one-cell-node", "name: x\ntopology:\n  cell_nodes: 1\nworkloads:\n  - kind: chaos", "at least 2 Cell nodes"},
+		{"faults-no-chaos", "name: x\nworkloads:\n  - kind: pingpong\nfaults:\n  - kind: crash-node\n    at: 1ms\n    node: 0", "need a chaos workload"},
+		{"bad-imb-pattern", "name: x\nworkloads:\n  - kind: imb\n    pattern: gather", "unknown IMB pattern"},
+		{"bad-type", "name: x\nworkloads:\n  - kind: pingpong\nassertions:\n  - kind: latency\n    type: 9\n    max_one_way_us: 1\n", "out of range"},
+		{"latency-no-pingpong", minimal + "assertions:\n  - kind: latency\n    type: 1\n    max_one_way_us: 1\n", "no pingpong workload"},
+		{"det-one-run", minimal + "assertions:\n  - kind: determinism\n    runs: 1\n", "at least 2"},
+		{"seed-not-swept", minimal + "assertions:\n  - kind: degraded\n    want: true\n    seed: 99\n", "not in the chaos workload's seed list"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuilderMirrorsYAML(t *testing.T) {
+	// The builder and the file format must agree: the same scenario built
+	// both ways validates identically and lowers to the same fault plan.
+	fromYAML, err := Parse([]byte(`
+name: mirror
+seed: 4
+workloads:
+  - kind: chaos
+    reps: 3
+faults:
+  - kind: lossy-link
+    from: 0
+    to: 1
+    drop_prob: 0.1
+`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	built, err := New("mirror").
+		WithSeed(4).
+		AddWorkload(Workload{Kind: KindChaos, Reps: 3}).
+		AddFault(FaultSpec{Kind: FaultLossyLink, From: 0, To: 1, DropProb: 0.1}).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	a, b := fromYAML.lowerFaults(), built.lowerFaults()
+	if len(a.Links) != 1 || len(b.Links) != 1 || a.Links[0] != b.Links[0] || a.Seed != b.Seed {
+		t.Fatalf("lowered plans differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestBuilderRejectsInvalid(t *testing.T) {
+	_, err := New("bad").
+		AddWorkload(Workload{Kind: KindChaos}).
+		AddFault(FaultSpec{Kind: FaultKillSPE, Proc: "nope"}).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "not a chaos SPE stub") {
+		t.Fatalf("want SPE-target error, got %v", err)
+	}
+}

@@ -1,0 +1,348 @@
+// The scenario files are YAML, but the repo is standard-library-only, so
+// this file implements the strict subset the DSL needs: block mappings,
+// block lists ("- " items, including inline "- key: value" openers),
+// inline lists ("[1, 2, 3]"), double-quoted and bare scalars, and "#"
+// comments. No anchors, no flow mappings, no multi-line scalars — a
+// scenario that needs those is a scenario that should be simplified.
+//
+// The parser is the robustness boundary for everything a scenario file
+// can say, so it is written to the fuzz contract of FuzzScenarioParse:
+// any input either yields a well-formed tree or an error naming the
+// offending line; it never panics.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// nodeKind discriminates the three tree shapes.
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	listNode
+	mapNode
+)
+
+// node is one parsed YAML value. Mappings keep key order (keys) so error
+// reporting and re-rendering stay deterministic.
+type node struct {
+	line   int
+	kind   nodeKind
+	scalar string
+	quoted bool // scalar came double-quoted: never reinterpreted as a number
+	list   []*node
+	keys   []string
+	fields map[string]*node
+}
+
+func (n *node) kindName() string {
+	switch n.kind {
+	case scalarNode:
+		return "scalar"
+	case listNode:
+		return "list"
+	default:
+		return "mapping"
+	}
+}
+
+// srcLine is one significant source line after comment stripping.
+type srcLine struct {
+	num    int // 1-based line number in the file
+	indent int
+	text   string
+}
+
+// lex splits the input into significant lines: indentation measured,
+// comments stripped (a "#" at the start of content or preceded by a
+// space, outside double quotes), blanks dropped. Tabs in indentation are
+// rejected — silently treating a tab as one column misnests blocks.
+func lex(data []byte) ([]srcLine, error) {
+	var out []srcLine
+	for num, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", num+1)
+		}
+		text := stripComment(line[indent:])
+		text = strings.TrimRight(text, " \t")
+		if text == "" {
+			continue
+		}
+		if strings.ContainsRune(text, '\t') {
+			return nil, fmt.Errorf("line %d: tab inside content", num+1)
+		}
+		out = append(out, srcLine{num: num + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing comment: "#" outside double quotes, at
+// the start of the content or preceded by whitespace.
+func stripComment(text string) string {
+	inQuote := false
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote && (i == 0 || text[i-1] == ' ') {
+				return text[:i]
+			}
+		}
+	}
+	return text
+}
+
+// parseTree parses a whole document into one node (a mapping at the top
+// level; an empty document parses to an empty mapping).
+func parseTree(data []byte) (*node, error) {
+	lines, err := lex(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return &node{kind: mapNode, fields: map[string]*node{}, line: 0}, nil
+	}
+	if lines[0].indent != 0 {
+		return nil, fmt.Errorf("line %d: top-level content must not be indented", lines[0].num)
+	}
+	p := &parser{lines: lines}
+	n, err := p.block(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("line %d: content outside the document structure", p.lines[p.pos].num)
+	}
+	if n.kind != mapNode {
+		return nil, fmt.Errorf("line %d: the document must be a mapping", n.line)
+	}
+	return n, nil
+}
+
+type parser struct {
+	lines []srcLine
+	pos   int
+}
+
+// block parses the run of lines at exactly the given indent into one
+// list or mapping node.
+func (p *parser) block(indent int) (*node, error) {
+	l := p.lines[p.pos]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.blockList(indent)
+	}
+	if strings.HasPrefix(l.text, "-") {
+		return nil, fmt.Errorf("line %d: list item must be \"- value\" (missing space after -)", l.num)
+	}
+	if _, _, ok := splitKeyVal(l.text); !ok {
+		// A lone scalar line: the content of a "- value" list item (after
+		// blockList's rewrite) or stray top-level text (parseTree then
+		// rejects the non-mapping document).
+		p.pos++
+		n, err := parseInline(l.text, l.num)
+		if err != nil {
+			return nil, err
+		}
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation after scalar", p.lines[p.pos].num)
+		}
+		return n, nil
+	}
+	return p.blockMap(indent)
+}
+
+func (p *parser) blockMap(indent int) (*node, error) {
+	n := &node{kind: mapNode, fields: map[string]*node{}, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "-") {
+			break // a list item at this indent belongs to an enclosing context
+		}
+		key, val, ok := splitKeyVal(l.text)
+		if !ok {
+			return nil, fmt.Errorf("line %d: expected \"key: value\"", l.num)
+		}
+		if !validKey(key) {
+			return nil, fmt.Errorf("line %d: invalid key %q", l.num, key)
+		}
+		if _, dup := n.fields[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		var child *node
+		var err error
+		if val == "" {
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("line %d: key %q has no value", l.num, key)
+			}
+			child, err = p.block(p.lines[p.pos].indent)
+		} else {
+			child, err = parseInline(val, l.num)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, key)
+		n.fields[key] = child
+	}
+	return n, nil
+}
+
+func (p *parser) blockList(indent int) (*node, error) {
+	n := &node{kind: listNode, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			break // back to mapping keys of an enclosing context
+		}
+		var child *node
+		var err error
+		if l.text == "-" {
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("line %d: empty list item", l.num)
+			}
+			child, err = p.block(p.lines[p.pos].indent)
+		} else {
+			// Rewrite "- content" as "content" two columns deeper and
+			// re-parse: continuation lines of an inline-opened item
+			// ("- key: v" followed by "  key2: v") then line up naturally.
+			rest := strings.TrimLeft(l.text[2:], " ")
+			pad := len(l.text) - len(rest)
+			p.lines[p.pos] = srcLine{num: l.num, indent: indent + pad, text: rest}
+			child, err = p.block(indent + pad)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.list = append(n.list, child)
+	}
+	return n, nil
+}
+
+// splitKeyVal splits "key: value" at the first ':' that ends the key (a
+// colon followed by a space or the end of the line).
+func splitKeyVal(text string) (key, val string, ok bool) {
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case ':':
+			if i+1 == len(text) {
+				return strings.TrimSpace(text[:i]), "", true
+			}
+			if text[i+1] == ' ' {
+				return strings.TrimSpace(text[:i]), strings.TrimSpace(text[i+1:]), true
+			}
+		case '"':
+			return "", "", false // a quoted scalar line is not a key line
+		}
+	}
+	return "", "", false
+}
+
+// validKey accepts snake_case / kebab-case identifiers.
+func validKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case i > 0 && (c >= '0' && c <= '9' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInline parses a value that sits on the key's own line: a bare
+// scalar, a double-quoted scalar, or an inline list of scalars.
+func parseInline(val string, line int) (*node, error) {
+	switch {
+	case strings.HasPrefix(val, "["):
+		if !strings.HasSuffix(val, "]") {
+			return nil, fmt.Errorf("line %d: inline list is not closed", line)
+		}
+		inner := strings.TrimSpace(val[1 : len(val)-1])
+		n := &node{kind: listNode, line: line}
+		if inner == "" {
+			return n, nil
+		}
+		for _, part := range strings.Split(inner, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, fmt.Errorf("line %d: empty element in inline list", line)
+			}
+			if strings.ContainsAny(part, "[]\"") {
+				return nil, fmt.Errorf("line %d: inline lists hold bare scalars only", line)
+			}
+			n.list = append(n.list, &node{kind: scalarNode, scalar: part, line: line})
+		}
+		return n, nil
+	case strings.HasPrefix(val, "\""):
+		s, err := unquote(val, line)
+		if err != nil {
+			return nil, err
+		}
+		return &node{kind: scalarNode, scalar: s, quoted: true, line: line}, nil
+	case strings.ContainsAny(val, "{}"):
+		return nil, fmt.Errorf("line %d: flow mappings are not supported", line)
+	default:
+		return &node{kind: scalarNode, scalar: val, line: line}, nil
+	}
+}
+
+// unquote decodes a double-quoted scalar supporting \" and \\ escapes.
+func unquote(val string, line int) (string, error) {
+	var b strings.Builder
+	i := 1
+	for i < len(val) {
+		switch c := val[i]; c {
+		case '"':
+			if i != len(val)-1 {
+				return "", fmt.Errorf("line %d: content after closing quote", line)
+			}
+			return b.String(), nil
+		case '\\':
+			if i+1 >= len(val) {
+				return "", fmt.Errorf("line %d: dangling escape in quoted scalar", line)
+			}
+			switch val[i+1] {
+			case '"', '\\':
+				b.WriteByte(val[i+1])
+			default:
+				return "", fmt.Errorf("line %d: unsupported escape \\%c", line, val[i+1])
+			}
+			i++
+		default:
+			b.WriteByte(c)
+		}
+		i++
+	}
+	return "", fmt.Errorf("line %d: quoted scalar is not closed", line)
+}

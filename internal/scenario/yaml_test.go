@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustTree(t *testing.T, src string) *node {
+	t.Helper()
+	n, err := parseTree([]byte(src))
+	if err != nil {
+		t.Fatalf("parseTree: %v", err)
+	}
+	return n
+}
+
+func TestYAMLBasics(t *testing.T) {
+	n := mustTree(t, `
+name: demo
+seed: 42
+topology:
+  cell_nodes: 3
+list: [1, 2, 3]
+quoted: "a # not a comment"
+nested:
+  - kind: chaos
+    reps: 5
+  - kind: pingpong
+# full-line comment
+trail: 7 # trailing comment
+`)
+	if n.fields["name"].scalar != "demo" {
+		t.Fatalf("name = %q", n.fields["name"].scalar)
+	}
+	if got := n.fields["topology"].fields["cell_nodes"].scalar; got != "3" {
+		t.Fatalf("cell_nodes = %q", got)
+	}
+	if got := len(n.fields["list"].list); got != 3 {
+		t.Fatalf("inline list len = %d", got)
+	}
+	if got := n.fields["quoted"].scalar; got != "a # not a comment" {
+		t.Fatalf("quoted = %q", got)
+	}
+	items := n.fields["nested"].list
+	if len(items) != 2 {
+		t.Fatalf("nested len = %d", len(items))
+	}
+	if items[0].fields["reps"].scalar != "5" {
+		t.Fatalf("nested[0].reps = %q", items[0].fields["reps"].scalar)
+	}
+	if items[1].fields["kind"].scalar != "pingpong" {
+		t.Fatalf("nested[1].kind = %q", items[1].fields["kind"].scalar)
+	}
+	if n.fields["trail"].scalar != "7" {
+		t.Fatalf("trail = %q", n.fields["trail"].scalar)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab-indent", "a:\n\tb: 1", "tab in indentation"},
+		{"tab-content", "a: b\tc", "tab inside content"},
+		{"dup-key", "a: 1\na: 2", "duplicate key"},
+		{"bad-key", "a b: 1", "key"},
+		{"no-value", "a:\nb: 2", `"a" has no value`},
+		{"dangling-dash", "items:\n  -x", "missing space"},
+		{"unclosed-list", "a: [1, 2", "not closed"},
+		{"empty-elem", "a: [1, , 2]", "empty element"},
+		{"flow-map", "a: {b: 1}", "flow mappings"},
+		{"unclosed-quote", `a: "oops`, "not closed"},
+		{"bad-escape", `a: "x\n"`, "unsupported escape"},
+		{"top-indent", "  a: 1", "must not be indented"},
+		{"top-list", "- a\n- b", "must be a mapping"},
+		{"over-indent", "a: 1\n  b: 2", "unexpected indentation"},
+		{"empty-item", "a:\n  -\nb: 1", "empty list item"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseTree([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestYAMLBlockScalarList(t *testing.T) {
+	n := mustTree(t, "seeds:\n  - 3\n  - 14\n  - \"x\"\n")
+	items := n.fields["seeds"].list
+	if len(items) != 3 || items[0].scalar != "3" || items[1].scalar != "14" {
+		t.Fatalf("block scalar list = %+v", items)
+	}
+	if items[2].scalar != "x" || !items[2].quoted {
+		t.Fatalf("quoted item = %+v", items[2])
+	}
+}
+
+func TestYAMLEmptyDoc(t *testing.T) {
+	n := mustTree(t, "\n# only a comment\n")
+	if n.kind != mapNode || len(n.keys) != 0 {
+		t.Fatalf("empty doc should parse to an empty mapping")
+	}
+}
+
+func TestYAMLLineNumbersInErrors(t *testing.T) {
+	_, err := parseTree([]byte("a: 1\nb: 2\nb: 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a line-3 error, got %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"cellpilot/internal/fault"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/trace"
 )
 
 // ChaosConfig describes one seeded chaos run: concurrent pingpong traffic
@@ -51,7 +52,35 @@ type ChaosConfig struct {
 	// instrumented chaos run fingerprints identically to a bare one — the
 	// determinism test relies on exactly that.
 	Host *hostprof.Profiler
+	// Spec overrides the cluster topology (nil = the default two-Cell +
+	// one-Xeon corner). The chaos traffic pins processes to nodes 0, 1 and
+	// 2, so the first two nodes must be Cell blades and a third node of any
+	// kind must exist; larger topologies carry the extra nodes idle.
+	Spec *cluster.Spec
+	// Plan overrides the config-derived fault schedule with an explicit one
+	// (the scenario DSL's lowered product). Seed still names the injector
+	// RNG seed; the plan's own Seed field is ignored.
+	Plan *fault.Plan
+	// Trace, when non-nil, records the run's events and transfer spans
+	// (observation is free in virtual time, so traced chaos runs keep
+	// bit-identical fingerprints).
+	Trace *trace.Recorder
+	// Stats, when non-nil, receives the application's post-run report.
+	// With Trace also attached it includes the critical-path blame
+	// decomposition (Stats.CritPath) and contention pairs.
+	Stats *core.Stats
 }
+
+// ChaosSPEs lists the SPE stub process names a chaos run creates — the
+// valid targets for kill-spe and mailbox fault injection. The scenario
+// DSL validates fault targets against this set before lowering.
+func ChaosSPEs() []string {
+	return []string{"c2e#0", "c3e#1", "c4w#2", "c4r#3", "c5i#4", "c5e#0"}
+}
+
+// ChaosNodes is how many leading cluster nodes the chaos traffic pins
+// processes to (nodes 0 and 1 must be Cell blades; node 2 may be either).
+const ChaosNodes = 3
 
 // ChaosResult is one chaos run's complete observable outcome. Two runs of
 // the same config must produce identical Fingerprints.
@@ -146,14 +175,35 @@ func (c ChaosConfig) plan() fault.Plan {
 // Chaos runs one seeded chaos experiment on a fresh cluster.
 func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 	cfg = cfg.withDefaults()
-	clu, err := cluster.New(cluster.Spec{CellNodes: 2, XeonNodes: 1, Params: cfg.Params, Seed: 7})
+	spec := cluster.Spec{CellNodes: 2, XeonNodes: 1, Params: cfg.Params, Seed: 7}
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+		if spec.Params == nil {
+			spec.Params = cfg.Params
+		}
+		if spec.Seed == 0 {
+			spec.Seed = 7
+		}
+	}
+	if spec.CellNodes < 2 || spec.CellNodes+spec.XeonNodes < ChaosNodes {
+		return ChaosResult{}, fmt.Errorf(
+			"chaos: topology needs at least 2 Cell nodes and %d nodes total, got %d Cell + %d Xeon",
+			ChaosNodes, spec.CellNodes, spec.XeonNodes)
+	}
+	clu, err := cluster.New(spec)
 	if err != nil {
 		return ChaosResult{}, err
 	}
-	inj := fault.NewInjector(cfg.plan())
+	plan := cfg.plan()
+	if cfg.Plan != nil {
+		plan = *cfg.Plan
+		plan.Seed = cfg.Seed
+	}
+	inj := fault.NewInjector(plan)
 	a := core.NewApp(clu, core.Options{Faults: inj, Transfer: cfg.Transfer})
 	a.Metrics = core.NewMeter()
 	a.HostProf = cfg.Host
+	a.Trace = cfg.Trace
 
 	res := ChaosResult{Config: ChaosResult_Config{
 		Seed: cfg.Seed, LossProb: cfg.LossProb, KillSPE: cfg.KillSPE, MailboxDrops: cfg.MailboxDrops,
@@ -307,6 +357,9 @@ func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 		}
 	}
 	sort.Strings(res.MetricsFaultLines)
+	if cfg.Stats != nil {
+		*cfg.Stats = a.Stats()
+	}
 	return res, nil
 }
 

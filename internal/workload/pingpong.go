@@ -88,6 +88,10 @@ type PingPongConfig struct {
 	// (MethodCellPilot only). With Trace also attached it includes the
 	// critical-path blame decomposition (Stats.CritPath).
 	Stats *core.Stats
+	// Spec overrides the simulated cluster (nil = the paper's two-Cell +
+	// one-Xeon corner). The five-type grid pins its endpoints to nodes 0
+	// and 1, so at least two Cell nodes are required; extra nodes idle.
+	Spec *cluster.Spec
 }
 
 // Result is a measured Table II cell.
@@ -204,9 +208,22 @@ func PingPong(cfg PingPongConfig) (Result, error) {
 }
 
 // newPingPongCluster builds the two-Cell + one-Xeon corner of the paper's
-// testbed that the five channel types need.
+// testbed that the five channel types need, or the caller's topology.
 func newPingPongCluster(cfg PingPongConfig) (*cluster.Cluster, error) {
-	return cluster.New(cluster.Spec{CellNodes: 2, XeonNodes: 1, Params: cfg.Params, Seed: 7})
+	spec := cluster.Spec{CellNodes: 2, XeonNodes: 1, Params: cfg.Params, Seed: 7}
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+		if spec.Params == nil {
+			spec.Params = cfg.Params
+		}
+		if spec.Seed == 0 {
+			spec.Seed = 7
+		}
+	}
+	if spec.CellNodes < 2 {
+		return nil, fmt.Errorf("workload: pingpong needs at least 2 Cell nodes, got %d", spec.CellNodes)
+	}
+	return cluster.New(spec)
 }
 
 // pingPongCellPilot runs the full-library benchmark. Endpoint A initiates;

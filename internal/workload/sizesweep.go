@@ -3,6 +3,7 @@ package workload
 import (
 	"sort"
 
+	"cellpilot/internal/cluster"
 	"cellpilot/internal/core"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
@@ -27,6 +28,9 @@ type SizeSweepConfig struct {
 	// Host, when non-nil, accumulates host-side (wall-clock) cost across
 	// every PingPong run of the sweep.
 	Host *hostprof.Profiler
+	// Spec overrides the simulated cluster for every point (nil = the
+	// paper's two-Cell + one-Xeon corner).
+	Spec *cluster.Spec
 }
 
 // SizeSweepPoint is one (type, size, arm) measurement.
@@ -77,7 +81,7 @@ func SizeSweep(cfg SizeSweepConfig) ([]SizeSweepPoint, error) {
 			for _, chunked := range []bool{false, true} {
 				pp := PingPongConfig{
 					Type: typ, Bytes: bytes, Method: MethodCellPilot, Reps: cfg.Reps,
-					Host: cfg.Host,
+					Host: cfg.Host, Spec: cfg.Spec,
 				}
 				if chunked {
 					pp.Transfer = cfg.Transfer
