@@ -57,6 +57,17 @@ ci-scenarios:
 	$(GO) run ./cmd/cellpilot-bench validate
 .PHONY: ci-scenarios
 
+# Timeline gate: the windowed virtual-time telemetry recorder (bucket
+# math, analytics, recovery detection, fingerprints), its core/App and
+# scenario-DSL integrations (temporal assertions, zero-cost contract),
+# then the two scenarios that carry calibrated temporal assertions
+# validated against their golden fingerprints.
+ci-timeline:
+	$(GO) test ./internal/timeline/
+	$(GO) test -run 'Timeline|Temporal|ClockHook' ./internal/sim/ ./internal/core/ ./internal/scenario/
+	$(GO) run ./cmd/cellpilot-bench validate scenarios/az-node-loss.yaml scenarios/hotspot-contention.yaml
+.PHONY: ci-timeline
+
 # Machine-readable benchmark results (BENCH_<exp>.json) under results/.
 bench-json:
 	@mkdir -p results
@@ -98,7 +109,7 @@ ci-host:
 # Deeper sweep (slower): tier-1 plus the race detector, the chaos,
 # observability, scenario-fleet and host-cost gates, the perf-regression
 # guard, and staticcheck when the host has it installed.
-ci-full: ci race ci-chaos ci-obs ci-scenarios bench-guard ci-host
+ci-full: ci race ci-chaos ci-obs ci-scenarios ci-timeline bench-guard ci-host
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

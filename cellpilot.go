@@ -52,6 +52,7 @@ import (
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
 )
 
@@ -173,8 +174,15 @@ type (
 	// Meter (Meter.Registry, Stats.Registry).
 	MetricsRegistry = metrics.Registry
 	// MetricsPublisher serves registry snapshots over HTTP (OpenMetrics
-	// text at /metrics, JSON at /metrics.json) without racing the run.
+	// text at /metrics, JSON at /metrics.json, timeline at
+	// /timeline.json) without racing the run.
 	MetricsPublisher = metrics.Publisher
+	// Timeline records windowed time-series of the run's gauges and
+	// counters against the virtual clock; attach one via App.Timeline.
+	Timeline = timeline.Recorder
+	// TimelineReport is the analyzed timeline (Stats.Timeline): per-series
+	// peak/mean/p95, burst runs and per-fault recovery times.
+	TimelineReport = timeline.Report
 )
 
 // Robustness types (fault injection, timeouts, graceful degradation).
@@ -225,6 +233,10 @@ func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit
 
 // NewMeter creates an empty metrics aggregator for App.Metrics.
 func NewMeter() *Meter { return core.NewMeter() }
+
+// NewTimeline creates a windowed telemetry recorder for App.Timeline
+// (window 0 selects the default 100µs bucket).
+func NewTimeline(window Time) *Timeline { return timeline.New(window) }
 
 // NewProfiler creates an empty virtual-time profiler for App.Profile.
 func NewProfiler() *Profiler { return profile.New() }

@@ -17,10 +17,11 @@
 //	cellpilot-bench -exp all        # everything
 //
 // With -serve ADDR the process exposes OpenMetrics text at /metrics, a
-// JSON snapshot at /metrics.json, Go pprof profiles under /debug/pprof/
-// and expvar at /debug/vars over plain HTTP while the experiments run
-// (the pingpong experiment publishes between batches, so a mid-run scrape
-// watches the counters grow), and keeps serving after they finish.
+// JSON snapshot at /metrics.json, the windowed telemetry timeline at
+// /timeline.json, Go pprof profiles under /debug/pprof/ and expvar at
+// /debug/vars over plain HTTP while the experiments run (the pingpong
+// experiment publishes between batches, so a mid-run scrape watches the
+// counters grow), and keeps serving after they finish.
 //
 // With -out DIR the pingpong experiment additionally writes a
 // machine-readable BENCH_pingpong.json (ops, bytes, latency p50/p99 and
@@ -46,6 +47,7 @@ import (
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
 	"cellpilot/internal/workload"
 )
@@ -239,16 +241,25 @@ func runPingPongGrid(reps int, pub *metrics.Publisher, outDir string) {
 				Metrics: meter,
 			}
 			var st core.Stats
+			var tl *timeline.Recorder
 			if b == 0 {
 				// Trace the first batch only: recording is free in virtual
 				// time, so the timings match the untraced batches exactly,
 				// and one batch of spans is enough for the blame baseline.
+				// The timeline rides along for /timeline.json.
 				cfg.Trace = trace.NewRecorder(0)
 				cfg.Stats = &st
+				tl = timeline.New(0)
+				cfg.Timeline = tl
 			}
 			res, err := workload.PingPong(cfg)
 			if err != nil {
 				log.Fatal(err)
+			}
+			if tl != nil && pub != nil {
+				if data, err := json.Marshal(tl); err == nil {
+					pub.PublishTimeline(append(data, '\n'))
+				}
 			}
 			if b == 0 && st.CritPath != nil {
 				f := st.CritPath.ToFile("pingpong", 1600, n)

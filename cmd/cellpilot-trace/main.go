@@ -10,6 +10,11 @@
 //	cellpilot-trace -json out.jsonl     # event timeline as JSON lines
 //	cellpilot-trace -metrics out.json   # metric registry as JSON
 //	cellpilot-trace -top                # utilization: procs, channels, links
+//	cellpilot-trace -timeline           # windowed telemetry sparklines
+//
+// -timeline also folds per-window counter tracks into the -chrome export,
+// so Perfetto renders backlog, utilization and saturation as counter
+// graphs above the span tracks.
 //
 // With -host BASE,NEW the command instead renders two host-cost benchmark
 // artifacts (BENCH_hostbench.json, written by cellpilot-bench -exp
@@ -26,6 +31,7 @@ import (
 
 	"cellpilot"
 	"cellpilot/internal/hostbench"
+	"cellpilot/internal/trace"
 )
 
 // writeOut opens path for an exporter ("-" = stdout) and runs fn on it.
@@ -55,6 +61,8 @@ func main() {
 	critpathOn := flag.Bool("critpath", false, "print the critical-path blame report (per-stage service vs queueing)")
 	folded := flag.String("folded", "", "with -critpath: write folded critical-path stacks to this file (\"-\" = stdout)")
 	host := flag.String("host", "", "render two BENCH_hostbench.json files as a host-cost trend table: BASE,NEW")
+	timelineOn := flag.Bool("timeline", false, "record and print the windowed telemetry timeline (sparklines, peaks, recovery)")
+	timelineWindow := flag.Duration("timeline-window", 0, "with -timeline: virtual-time bucket width (0 = 100µs)")
 	flag.Parse()
 
 	if *host != "" {
@@ -71,6 +79,11 @@ func main() {
 	app.Trace = rec
 	meter := cellpilot.NewMeter()
 	app.Metrics = meter
+	var tl *cellpilot.Timeline
+	if *timelineOn {
+		tl = cellpilot.NewTimeline(cellpilot.Time(timelineWindow.Nanoseconds()))
+		app.Timeline = tl
+	}
 
 	// One channel pair of each Table I flavour: type 1 (PPE↔remote PPE),
 	// type 2 (PPE↔local SPE), type 3 (PPE↔remote SPE), type 4 (SPE↔SPE
@@ -149,6 +162,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if tl != nil {
+		// Fold the timeline's window samples into the Chrome export as
+		// counter tracks; the recorder renders them as ph:"C" events.
+		var pts []trace.CounterPoint
+		for _, p := range tl.Points() {
+			pts = append(pts, trace.CounterPoint{At: p.At, Name: p.Series, Value: p.Value})
+		}
+		rec.SetCounters(pts)
+	}
 	if *chrome != "" {
 		writeOut(*chrome, rec.WriteChrome)
 		if *chrome != "-" {
@@ -200,6 +222,10 @@ func main() {
 	fmt.Println()
 	st := app.Stats()
 	fmt.Print(st)
+	if st.Timeline != nil {
+		fmt.Println()
+		fmt.Print(st.Timeline.String())
+	}
 	if *top {
 		fmt.Println()
 		printTop(st)

@@ -15,6 +15,7 @@ import (
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
 )
 
@@ -60,6 +61,10 @@ type Options struct {
 	// value disables it and keeps the virtual timeline bit-identical to the
 	// pre-engine paths.
 	Transfer TransferOptions
+	// FlightDepth sizes the always-on flight-recorder ring of recent
+	// phase events stitched into fault diagnostics (0 selects
+	// trace.DefaultFlightDepth; negative is a configuration error).
+	FlightDepth int
 }
 
 type phase int
@@ -153,6 +158,12 @@ type App struct {
 	// the virtual timeline — virtual results and chaos fingerprints stay
 	// bit-for-bit identical with it attached. Attach before Run.
 	HostProf *hostprof.Profiler
+	// Timeline, when set, buckets live telemetry (Co-Pilot utilization,
+	// link saturation, per-type backlog, fault counters, ...) into fixed
+	// virtual-time windows via the kernel's clock hook
+	// (internal/timeline), surfaced through Stats().Timeline. Also free
+	// of virtual-time cost. Attach before Run.
+	Timeline *timeline.Recorder
 }
 
 // NewApp starts the configuration phase on a cluster. The PI_MAIN process
@@ -168,7 +179,10 @@ func NewApp(c *cluster.Cluster, opts Options) *App {
 		copilotRank: map[copilotKey]int{},
 		spePosts:    map[int]spePost{},
 		speDone:     map[int]int64{},
-		flight:      trace.NewFlight(0),
+		flight:      trace.NewFlight(opts.FlightDepth),
+	}
+	if opts.FlightDepth < 0 {
+		panic(usageError(callerLoc(1), "NewApp", "FlightDepth must be >= 0 (0 selects the default depth)"))
 	}
 	if opts.SPEDeadlock && !opts.DeadlockDetection {
 		panic(usageError(callerLoc(1), "NewApp", "SPEDeadlock requires DeadlockDetection"))
@@ -262,6 +276,16 @@ func (a *App) SetHostProf(p *hostprof.Profiler) error {
 		return err
 	}
 	a.HostProf = p
+	return nil
+}
+
+// SetTimeline attaches the windowed telemetry recorder, with the same
+// configuration-phase check as SetTrace.
+func (a *App) SetTimeline(tl *timeline.Recorder) error {
+	if err := a.attachErr("SetTimeline"); err != nil {
+		return err
+	}
+	a.Timeline = tl
 	return nil
 }
 
@@ -414,7 +438,7 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 	// Freeze the observability sinks: everything recorded during the run
 	// goes through this snapshot, so writing the public fields after this
 	// point cannot race with recording (see SetTrace et al.).
-	a.obs = obsSinks{trace: a.Trace, meter: a.Metrics, prof: a.Profile, flight: a.flight, host: a.HostProf}
+	a.obs = obsSinks{trace: a.Trace, meter: a.Metrics, prof: a.Profile, flight: a.flight, host: a.HostProf, tline: a.Timeline}
 	// Wire the host-cost profiler into the kernel's probe hooks. Guarded:
 	// a typed-nil assigned into the HostProbe interface would defeat the
 	// kernel's `host != nil` fast path.
@@ -422,6 +446,9 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 		a.K.SetHostProbe(a.obs.host)
 		a.Clu.Net.SetHostProf(a.obs.host)
 	}
+	// Wire the timeline recorder into the kernel's clock hook (guarded
+	// for the same typed-nil reason as the host probe).
+	a.installTimeline()
 
 	// Rank layout: regular processes first (PI_MAIN = 0), then Co-Pilots,
 	// then the deadlock service.
@@ -515,6 +542,8 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 	// Close still-open profiler lifetimes (killed procs, service loops
 	// that never observed shutdown) at the final virtual clock.
 	a.obs.prof.Finish(a.K.Now())
+	// Close the timeline's trailing partial window at the final clock.
+	a.obs.tline.Finish(a.K.Now())
 	if err == nil {
 		err = a.faultSummary()
 	}

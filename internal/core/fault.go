@@ -276,6 +276,13 @@ func (a *App) recoverFault(proc *Process) {
 
 // applyFault is the injector's OnEvent callback (scheduler context).
 func (a *App) applyFault(e fault.Event) {
+	if tl := a.obs.tline; tl != nil {
+		target := e.Proc
+		if e.Kind != fault.KillSPE {
+			target = fmt.Sprintf("node%d", e.Node)
+		}
+		tl.NoteFault(a.K.Now(), fmt.Sprintf("%s(%s)", e.Kind, target))
+	}
 	switch e.Kind {
 	case fault.KillSPE:
 		for _, p := range a.procs {

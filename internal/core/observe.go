@@ -5,6 +5,7 @@ import (
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
 )
 
@@ -106,6 +107,7 @@ type obsSinks struct {
 	prof   *profile.Profiler
 	flight *trace.Flight
 	host   *hostprof.Profiler
+	tline  *timeline.Recorder
 }
 
 // newXfer allocates the next transfer id (ids are 1-based; 0 means

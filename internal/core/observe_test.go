@@ -10,6 +10,7 @@ import (
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
 )
 
@@ -33,12 +34,19 @@ func runFiveTypesOpts(t *testing.T, rounds int, rec *trace.Recorder, meter *Mete
 // plus explicit Options.
 func runFiveTypesFull(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, prof *profile.Profiler, host *hostprof.Profiler, opts Options) (*App, sim.Time) {
 	t.Helper()
+	return runFiveTypesSinks(t, rounds, rec, meter, prof, host, nil, opts)
+}
+
+// runFiveTypesSinks additionally attaches a timeline recorder.
+func runFiveTypesSinks(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, prof *profile.Profiler, host *hostprof.Profiler, tl *timeline.Recorder, opts Options) (*App, sim.Time) {
+	t.Helper()
 	c := newTestCluster(t)
 	a := NewApp(c, opts)
 	a.Trace = rec
 	a.Metrics = meter
 	a.Profile = prof
 	a.HostProf = host
+	a.Timeline = tl
 
 	var t1d, t1u, t2d, t2u, t3d, t3u, t4ab, t4ba, t5ab, t5ba *Channel
 	mkEcho := func(down, up **Channel) *SPEProgram {
@@ -130,6 +138,12 @@ func TestObservabilityZeroCost(t *testing.T) {
 	hostApp, withHost := runFiveTypesFull(t, 2, nil, nil, nil, hostA, Options{})
 	hostAll := hostprof.New(1)
 	_, withHostAll := runFiveTypesFull(t, 2, trace.NewRecorder(0), NewMeter(), profile.New(), hostAll, Options{})
+	// Timeline arms: the windowed recorder samples via the kernel clock
+	// hook but never schedules, so attached or detached the virtual
+	// timeline must match the bare run bit for bit.
+	tlA := timeline.New(0)
+	tlApp, withTimeline := runFiveTypesSinks(t, 2, nil, nil, nil, nil, tlA, Options{})
+	_, withEverything := runFiveTypesSinks(t, 2, trace.NewRecorder(0), NewMeter(), profile.New(), hostprof.New(1), timeline.New(0), Options{})
 
 	if bare != withRec || bare != withMeter || bare != withBoth {
 		t.Fatalf("virtual time diverged: bare=%v rec=%v meter=%v both=%v",
@@ -142,6 +156,18 @@ func TestObservabilityZeroCost(t *testing.T) {
 	if bare != withHost || bare != withHostAll {
 		t.Fatalf("virtual time diverged with host profiler: bare=%v host=%v host+all=%v",
 			bare, withHost, withHostAll)
+	}
+	if bare != withTimeline || bare != withEverything {
+		t.Fatalf("virtual time diverged with timeline: bare=%v timeline=%v all-sinks=%v",
+			bare, withTimeline, withEverything)
+	}
+	// The timeline actually observed the run and surfaces through Stats.
+	tlStats := tlApp.Stats()
+	if tlStats.Timeline == nil || tlStats.Timeline.Windows == 0 || len(tlStats.Timeline.Series) == 0 {
+		t.Fatalf("timeline recorded nothing: %+v", tlStats.Timeline)
+	}
+	if bareApp.Stats().Timeline != nil {
+		t.Fatal("Stats().Timeline populated without a recorder attached")
 	}
 	// The host profiler actually observed the run (events, slices, and
 	// subsystem attribution for the Co-Pilot/MPI/interconnect/fmtmsg code

@@ -10,6 +10,7 @@ import (
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 )
 
 // CoPilotStats counts one Co-Pilot's service activity.
@@ -145,12 +146,19 @@ type Stats struct {
 	// counters plus per-subsystem host-time shares. Populated only when
 	// App.HostProf was attached; nil otherwise.
 	Host *hostprof.Snapshot
+	// Timeline is the windowed telemetry report (per-window series plus
+	// peak/mean/p95/burst/recovery analytics). Populated only when
+	// App.Timeline was attached; nil otherwise.
+	Timeline *timeline.Report
 }
 
 // Stats collects the utilization report. Call it after Run returns.
 func (a *App) Stats() Stats {
 	st := Stats{VirtualTime: a.K.Now()}
 	st.NetworkMessages, st.NetworkBytes = a.Clu.Net.Stats()
+	if a.obs.tline != nil {
+		st.Timeline = a.obs.tline.Report()
+	}
 	elapsed := float64(st.VirtualTime)
 	keys := make([]copilotKey, 0, len(a.copilots))
 	for k := range a.copilots {

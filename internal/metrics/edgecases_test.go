@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"math"
 	"net/http/httptest"
@@ -224,5 +225,78 @@ func TestPublisherEndpoint(t *testing.T) {
 	pub.Publish(nil)
 	if pub.Snapshot().Counter("scrapes").Value() != 7 {
 		t.Fatal("Publish(nil) replaced the snapshot")
+	}
+}
+
+// The JSON snapshot must emit keys in sorted order — not merely be
+// deterministic — so /metrics.json diffs line up across snapshots.
+func TestMarshalJSONKeyOrder(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid/dle"} {
+		r.Counter("c/" + n).Inc()
+		r.Gauge("g/" + n).Set(2)
+		r.Histogram("h/"+n, []float64{1}).Observe(0.5)
+	}
+	data, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("invalid JSON: %s", data)
+	}
+	// The three name families appear with their members sorted, in the
+	// raw byte stream (encoding/json would hide ordering after decode).
+	for _, section := range []string{"c/", "g/", "h/"} {
+		want := []string{section + "alpha", section + "mid/dle", section + "zeta"}
+		last := -1
+		for _, name := range want {
+			at := bytes.Index(data, []byte(`"`+name+`"`))
+			if at < 0 {
+				t.Fatalf("key %q missing from %s", name, data)
+			}
+			if at < last {
+				t.Fatalf("key %q out of sorted order in %s", name, data)
+			}
+			last = at
+		}
+	}
+	// The top-level sections are ordered too.
+	ci := bytes.Index(data, []byte(`"counters"`))
+	gi := bytes.Index(data, []byte(`"gauges"`))
+	hi := bytes.Index(data, []byte(`"histograms"`))
+	if !(ci < gi && gi < hi) {
+		t.Fatalf("section order counters=%d gauges=%d histograms=%d", ci, gi, hi)
+	}
+}
+
+// /timeline.json serves "{}" until a timeline is published, then the
+// exact bytes handed to PublishTimeline.
+func TestPublisherTimelineEndpoint(t *testing.T) {
+	pub := NewPublisher()
+	srv := httptest.NewServer(pub.Handler())
+	defer srv.Close()
+
+	get := func() string {
+		resp, err := srv.Client().Get(srv.URL + "/timeline.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type = %q", ct)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if got := strings.TrimSpace(get()); got != "{}" {
+		t.Fatalf("pre-publish timeline = %q, want {}", got)
+	}
+	pub.PublishTimeline([]byte(`{"windows":3}`))
+	if got := get(); got != `{"windows":3}` {
+		t.Fatalf("published timeline = %q", got)
+	}
+	pub.PublishTimeline(nil)
+	if got := strings.TrimSpace(get()); got != "{}" {
+		t.Fatalf("reset timeline = %q, want {}", got)
 	}
 }

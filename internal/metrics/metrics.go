@@ -10,6 +10,7 @@
 package metrics
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -269,6 +270,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 // LookupHistogram returns the named histogram, or nil.
 func (r *Registry) LookupHistogram(name string) *Histogram { return r.hists[name] }
 
+// LookupCounter returns an existing counter or nil, never creating one —
+// for read-only samplers that must not mutate the registry.
+func (r *Registry) LookupCounter(name string) *Counter { return r.counters[name] }
+
 // LookupGauge returns the named gauge, or nil.
 func (r *Registry) LookupGauge(name string) *Gauge { return r.gauges[name] }
 
@@ -353,26 +358,50 @@ type histogramJSON struct {
 }
 
 // MarshalJSON renders the registry as
-// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
-// encoding/json sorts map keys, so the output is deterministic.
+// {"counters": {...}, "gauges": {...}, "histograms": {...}} with the keys
+// of every object emitted in explicit sorted order, so two snapshots of
+// the same state are byte-identical and diffable — goldens built on
+// /metrics.json never churn from map-iteration order.
 func (r *Registry) MarshalJSON() ([]byte, error) {
-	counters := map[string]int64{}
-	for name, c := range r.counters {
-		counters[name] = c.Value()
+	var b bytes.Buffer
+	b.WriteString(`{"counters":{`)
+	for i, name := range r.CounterNames() {
+		writeKey(&b, i, name)
+		fmt.Fprintf(&b, "%d", r.counters[name].Value())
 	}
-	gauges := map[string]float64{}
-	for name, g := range r.gauges {
-		gauges[name] = g.Value()
+	b.WriteString(`},"gauges":{`)
+	for i, name := range r.GaugeNames() {
+		writeKey(&b, i, name)
+		v, err := json.Marshal(r.gauges[name].Value())
+		if err != nil {
+			return nil, err
+		}
+		b.Write(v)
 	}
-	hists := map[string]histogramJSON{}
-	for name, h := range r.hists {
-		hists[name] = histogramJSON{
+	b.WriteString(`},"histograms":{`)
+	for i, name := range r.HistogramNames() {
+		writeKey(&b, i, name)
+		h := r.hists[name]
+		v, err := json.Marshal(histogramJSON{
 			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
 			Mean: h.Mean(), P50: h.Quantile(0.5), P99: h.Quantile(0.99),
 			Bounds: h.Bounds(), Counts: h.Counts(),
+		})
+		if err != nil {
+			return nil, err
 		}
+		b.Write(v)
 	}
-	return json.Marshal(map[string]any{
-		"counters": counters, "gauges": gauges, "histograms": hists,
-	})
+	b.WriteString("}}")
+	return b.Bytes(), nil
+}
+
+// writeKey emits the separator and quoted key for the i-th object member.
+func writeKey(b *bytes.Buffer, i int, name string) {
+	if i > 0 {
+		b.WriteByte(',')
+	}
+	k, _ := json.Marshal(name)
+	b.Write(k)
+	b.WriteByte(':')
 }

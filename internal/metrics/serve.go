@@ -15,7 +15,8 @@ import (
 // through an atomic.Value, so the live registry is never shared and needs
 // no locks.
 type Publisher struct {
-	v atomic.Value // *Registry (always a private clone)
+	v  atomic.Value // *Registry (always a private clone)
+	tl atomic.Value // []byte: pre-rendered timeline JSON
 }
 
 // NewPublisher creates a publisher with an empty initial snapshot, so the
@@ -23,6 +24,7 @@ type Publisher struct {
 func NewPublisher() *Publisher {
 	p := &Publisher{}
 	p.v.Store(NewRegistry())
+	p.tl.Store([]byte("{}\n"))
 	return p
 }
 
@@ -42,10 +44,27 @@ func (p *Publisher) Snapshot() *Registry {
 	return p.v.Load().(*Registry)
 }
 
+// PublishTimeline stores pre-rendered timeline JSON (an internal/timeline
+// report) for /timeline.json. Raw bytes keep this package independent of
+// the timeline package; callers marshal on the simulation side and hand
+// over an immutable buffer. Empty or nil data resets to "{}".
+func (p *Publisher) PublishTimeline(data []byte) {
+	if len(data) == 0 {
+		data = []byte("{}\n")
+	}
+	p.tl.Store(data)
+}
+
+// TimelineJSON returns the most recently published timeline bytes.
+func (p *Publisher) TimelineJSON() []byte {
+	return p.tl.Load().([]byte)
+}
+
 // Handler serves the published snapshot:
 //
-//	GET /metrics       Prometheus/OpenMetrics text exposition
-//	GET /metrics.json  JSON snapshot of counters, gauges, histograms
+//	GET /metrics        Prometheus/OpenMetrics text exposition
+//	GET /metrics.json   JSON snapshot of counters, gauges, histograms
+//	GET /timeline.json  windowed telemetry timeline ("{}" until published)
 //
 // Any other path redirects to /metrics.
 func (p *Publisher) Handler() http.Handler {
@@ -57,6 +76,10 @@ func (p *Publisher) Handler() http.Handler {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(p.Snapshot())
+	})
+	mux.HandleFunc("/timeline.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(p.TimelineJSON())
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		http.Redirect(w, req, "/metrics", http.StatusFound)

@@ -116,8 +116,124 @@ func checkOne(out *Outcome, a Assertion) []string {
 			}
 			return nil
 		})
+	case AssertWindow:
+		return eachChaos(out, a, func(r ChaosRun) []string {
+			return checkWindow(r, a)
+		})
+	case AssertPeakBacklog:
+		return eachChaos(out, a, func(r ChaosRun) []string {
+			return checkPeakBacklog(r, a)
+		})
+	case AssertRecoveryWithin:
+		return eachChaos(out, a, func(r ChaosRun) []string {
+			return checkRecovery(r, a)
+		})
 	}
 	return nil
+}
+
+// checkWindow bounds every window of a series over a virtual-time range
+// (max) and/or requires the series to reach a level somewhere in the range
+// (min_peak).
+func checkWindow(r ChaosRun, a Assertion) []string {
+	tl := r.Timeline
+	if tl == nil {
+		return []string{fmt.Sprintf("seed %d: run recorded no timeline", r.Seed)}
+	}
+	vals, ok := tl.Range(a.Series, a.From, a.To)
+	if !ok {
+		return []string{fmt.Sprintf("seed %d: timeline has no series %q (have: %s)",
+			r.Seed, a.Series, strings.Join(tl.SeriesNames(), ", "))}
+	}
+	rangeEnd := a.To
+	if rangeEnd == 0 {
+		rangeEnd = tl.End()
+	}
+	var vs []string
+	peak, peakAt := 0.0, sim.Time(0)
+	w := tl.Window()
+	base := int(a.From / w)
+	for i, v := range vals {
+		if v > peak || i == 0 {
+			peak, peakAt = v, sim.Time(base+i)*w
+		}
+		if a.MaxValue > 0 && v > a.MaxValue {
+			vs = append(vs, fmt.Sprintf("seed %d: %s = %g in window [%s, %s) exceeds bound %g",
+				r.Seed, a.Series, v, sim.Time(base+i)*w, sim.Time(base+i+1)*w, a.MaxValue))
+		}
+	}
+	if a.MinPeak > 0 && peak < a.MinPeak {
+		vs = append(vs, fmt.Sprintf("seed %d: %s peaked at %g (window starting %s) over [%s, %s), bound ≥ %g",
+			r.Seed, a.Series, peak, peakAt, a.From, rangeEnd, a.MinPeak))
+	}
+	return vs
+}
+
+// checkPeakBacklog bounds the whole-run peak of a backlog series.
+func checkPeakBacklog(r ChaosRun, a Assertion) []string {
+	tl := r.Timeline
+	if tl == nil {
+		return []string{fmt.Sprintf("seed %d: run recorded no timeline", r.Seed)}
+	}
+	name := "backlog/total"
+	if a.Type > 0 {
+		name = fmt.Sprintf("backlog/type%d", a.Type)
+	}
+	vals, ok := tl.Range(name, 0, 0)
+	if !ok {
+		return []string{fmt.Sprintf("seed %d: timeline has no series %q", r.Seed, name)}
+	}
+	peak, peakAt := 0.0, sim.Time(0)
+	for i, v := range vals {
+		if v > peak {
+			peak, peakAt = v, sim.Time(i)*tl.Window()
+		}
+	}
+	var vs []string
+	if peak > a.MaxBacklog {
+		vs = append(vs, fmt.Sprintf("seed %d: %s peaked at %g (window starting %s), bound ≤ %g",
+			r.Seed, name, peak, peakAt, a.MaxBacklog))
+	}
+	if a.MinBacklog > 0 && peak < a.MinBacklog {
+		vs = append(vs, fmt.Sprintf("seed %d: %s peaked at %g, bound ≥ %g — the workload never queued",
+			r.Seed, name, peak, a.MinBacklog))
+	}
+	return vs
+}
+
+// checkRecovery bounds the settle time of a series after every injected
+// fault the timeline marked.
+func checkRecovery(r ChaosRun, a Assertion) []string {
+	tl := r.Timeline
+	if tl == nil {
+		return []string{fmt.Sprintf("seed %d: run recorded no timeline", r.Seed)}
+	}
+	series := a.Series
+	if series == "" {
+		series = "backlog/total"
+	}
+	if _, ok := tl.Range(series, 0, 0); !ok {
+		return []string{fmt.Sprintf("seed %d: timeline has no series %q (have: %s)",
+			r.Seed, series, strings.Join(tl.SeriesNames(), ", "))}
+	}
+	marks := tl.Faults()
+	if len(marks) == 0 {
+		return []string{fmt.Sprintf("seed %d: the run injected no fault the timeline marked — nothing to recover from", r.Seed)}
+	}
+	var vs []string
+	for _, f := range marks {
+		d, ok := tl.Recovery(series, f.At)
+		if !ok {
+			vs = append(vs, fmt.Sprintf("seed %d: %s never recovered after %s at %s (bound %s)%s",
+				r.Seed, series, f.Label, f.At, a.MaxRecovery, chaosContext(r)))
+			continue
+		}
+		if d > a.MaxRecovery {
+			vs = append(vs, fmt.Sprintf("seed %d: %s took %s to recover after %s at %s, bound %s%s",
+				r.Seed, series, d, f.Label, f.At, a.MaxRecovery, chaosContext(r)))
+		}
+	}
+	return vs
 }
 
 // pingType finds a channel type's pingpong measurement.

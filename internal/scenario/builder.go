@@ -4,6 +4,11 @@ package scenario
 // code — tests and ad-hoc tools get the same Validate gate as files, so
 // the two entry points cannot drift.
 
+import (
+	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
+)
+
 // Builder accumulates a Scenario fluently; Build runs Validate.
 type Builder struct {
 	s Scenario
@@ -30,6 +35,16 @@ func (b *Builder) WithSeed(seed int64) *Builder {
 // WithTopology sets the cluster shape.
 func (b *Builder) WithTopology(cellNodes, cellsPerNode, xeonNodes int) *Builder {
 	b.s.Topology = Topology{CellNodes: cellNodes, CellsPerNode: cellsPerNode, XeonNodes: xeonNodes}
+	return b
+}
+
+// WithTimeline attaches a telemetry timeline (window 0 = the default
+// 100µs) to every chaos run, even without temporal assertions.
+func (b *Builder) WithTimeline(window sim.Time) *Builder {
+	if window == 0 {
+		window = timeline.DefaultWindow
+	}
+	b.s.Timeline = TimelineSpec{Window: window}
 	return b
 }
 

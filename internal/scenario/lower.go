@@ -46,6 +46,12 @@ func (s *Scenario) Validate() error {
 	if len(s.Faults) > 0 && !s.hasWorkload(KindChaos) {
 		return fmt.Errorf("faults need a chaos workload entry to bite on (pingpong/sizesweep/imb run unhardened and would hang)")
 	}
+	if s.Timeline.Window < 0 {
+		return fmt.Errorf("timeline: window must be non-negative, got %s", s.Timeline.Window)
+	}
+	if (s.Timeline.Window > 0 || s.hasTemporalAssertion()) && !s.hasWorkload(KindChaos) {
+		return fmt.Errorf("timeline: the telemetry recorder attaches to chaos runs — add a chaos workload entry")
+	}
 	for i, f := range s.Faults {
 		if err := s.validateFault(i, f); err != nil {
 			return err
@@ -263,6 +269,8 @@ func (s *Scenario) validateAssertion(i int, a Assertion) error {
 		AssertCompleted: KindChaos, AssertFaults: KindChaos,
 		AssertDegraded: KindChaos, AssertVirtualTime: KindChaos,
 		AssertBlame: KindChaos, AssertContention: KindChaos,
+		AssertWindow: KindChaos, AssertPeakBacklog: KindChaos,
+		AssertRecoveryWithin: KindChaos,
 	}
 	if kind, ok := bind[a.Kind]; ok {
 		if a.Workload != "" && a.Workload != kind {
@@ -348,6 +356,44 @@ func (s *Scenario) validateAssertion(i int, a Assertion) error {
 		if a.MaxVirtual <= 0 {
 			return fmt.Errorf("%s: set a positive max", what)
 		}
+	case AssertWindow:
+		if a.Series == "" {
+			return fmt.Errorf("%s: name the timeline series to bound", what)
+		}
+		if err := checkSeries(what, a.Series); err != nil {
+			return err
+		}
+		if a.To != 0 && a.To <= a.From {
+			return fmt.Errorf("%s: empty window range [%s, %s) (to must exceed from, or 0 for end of run)", what, a.From, a.To)
+		}
+		if a.MaxValue <= 0 && a.MinPeak <= 0 {
+			return fmt.Errorf("%s: set max and/or min_peak", what)
+		}
+		if a.MaxValue > 0 && a.MinPeak > a.MaxValue {
+			return fmt.Errorf("%s: bounds are empty (min_peak %g > max %g)", what, a.MinPeak, a.MaxValue)
+		}
+	case AssertPeakBacklog:
+		if a.Type < 0 || a.Type > 5 {
+			return fmt.Errorf("%s: channel type %d out of range 0..5 (0 = total)", what, a.Type)
+		}
+		if a.MaxBacklog <= 0 {
+			return fmt.Errorf("%s: max must be positive", what)
+		}
+		if a.MinBacklog < 0 || a.MinBacklog > a.MaxBacklog {
+			return fmt.Errorf("%s: bounds are empty (min %g, max %g)", what, a.MinBacklog, a.MaxBacklog)
+		}
+	case AssertRecoveryWithin:
+		if a.Series != "" {
+			if err := checkSeries(what, a.Series); err != nil {
+				return err
+			}
+		}
+		if a.MaxRecovery <= 0 {
+			return fmt.Errorf("%s: set a positive max recovery time", what)
+		}
+		if !s.hasEventFault() {
+			return fmt.Errorf("%s: recovery is measured from an injected fault — schedule at least one timed fault (crash-node, kill-spe, kill-copilot)", what)
+		}
 	default:
 		return fmt.Errorf("%s: unknown assertion kind", what)
 	}
@@ -368,6 +414,54 @@ func (s *Scenario) validateAssertion(i int, a Assertion) error {
 		}
 	}
 	return nil
+}
+
+// checkSeries vets a timeline series name at validate time. Exact series
+// names depend on the topology (link and mailbox series embed node and
+// proc names), so the check is a vocabulary gate: the backlog series are
+// matched exactly, everything else by its family prefix. A series that
+// validates but never materializes in the run is an assertion violation,
+// not a config error.
+func checkSeries(what, name string) error {
+	if name == "backlog/total" {
+		return nil
+	}
+	for t := 1; t <= 5; t++ {
+		if name == fmt.Sprintf("backlog/type%d", t) {
+			return nil
+		}
+	}
+	for _, prefix := range []string{"copilot/", "link/", "mailbox/", "fault/", "chan/", "net/"} {
+		if strings.HasPrefix(name, prefix) && len(name) > len(prefix) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: unknown timeline series %q (valid: backlog/total, backlog/type1..5, or a copilot/, link/, mailbox/, fault/, chan/ or net/ series)", what, name)
+}
+
+// hasEventFault reports whether the schedule contains a timed fault event
+// the timeline marks (link policies and mailbox faults degrade throughput
+// but do not anchor a recovery measurement).
+func (s *Scenario) hasEventFault() bool {
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case FaultCrashNode, FaultKillSPE, FaultKillCoPilot:
+			return true
+		}
+	}
+	return false
+}
+
+// hasTemporalAssertion reports whether any assertion reads the timeline —
+// which forces a recorder onto every chaos run.
+func (s *Scenario) hasTemporalAssertion() bool {
+	for _, a := range s.Assertions {
+		switch a.Kind {
+		case AssertWindow, AssertPeakBacklog, AssertRecoveryWithin:
+			return true
+		}
+	}
+	return false
 }
 
 // lowerFaults compiles the scenario's fault schedule into the injector's

@@ -9,6 +9,7 @@ import (
 	"cellpilot/internal/core"
 	"cellpilot/internal/critpath"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
 	"cellpilot/internal/workload"
 )
@@ -68,6 +69,9 @@ type ChaosRun struct {
 	Seed   int64
 	Result workload.ChaosResult
 	Stats  core.Stats
+	// Timeline is the run's telemetry recorder, attached when the scenario
+	// declares a timeline block or any temporal assertion; nil otherwise.
+	Timeline *timeline.Recorder
 }
 
 // Run executes a validated scenario: every workload entry in order on the
@@ -142,23 +146,34 @@ func runOnce(s *Scenario, opt Options) (*Outcome, error) {
 			}
 		case KindChaos:
 			co := &ChaosOutcome{Reps: w.Reps}
+			wantTimeline := s.Timeline.Window > 0 || s.hasTemporalAssertion()
 			for _, seed := range w.Seeds {
 				rec := trace.NewRecorder(0)
 				var st core.Stats
+				var tl *timeline.Recorder
+				if wantTimeline {
+					tl = timeline.New(s.Timeline.Window)
+				}
 				res, err := workload.Chaos(workload.ChaosConfig{
 					Seed: seed, Reps: w.Reps, Bytes: w.Bytes,
 					SoftTimeout: w.SoftTimeout, Transfer: w.Transfer,
 					Spec: spec(), Plan: plan, Trace: rec, Stats: &st,
+					Timeline: tl,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("workloads[%d] chaos seed %d: %w", i, seed, err)
 				}
-				co.Runs = append(co.Runs, ChaosRun{Seed: seed, Result: res, Stats: st})
+				co.Runs = append(co.Runs, ChaosRun{Seed: seed, Result: res, Stats: st, Timeline: tl})
 				fmt.Fprintf(&fp, "chaos seed=%d\n", seed)
 				for _, line := range strings.Split(strings.TrimRight(res.Fingerprint(), "\n"), "\n") {
 					fmt.Fprintf(&fp, "  %s\n", line)
 				}
 				writeBlameLines(&fp, st.CritPath)
+				if tl != nil {
+					for _, line := range strings.Split(strings.TrimRight(tl.Fingerprint(), "\n"), "\n") {
+						fmt.Fprintf(&fp, "  %s\n", line)
+					}
+				}
 			}
 			if out.Chaos == nil {
 				out.Chaos = co

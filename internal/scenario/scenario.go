@@ -42,8 +42,21 @@ type Scenario struct {
 	// Faults is the timed fault schedule, lowered onto a fault.Plan and
 	// injected into the chaos workload entries.
 	Faults []FaultSpec
+	// Timeline configures the windowed telemetry recorder chaos runs
+	// attach. A recorder is also attached implicitly (at the default
+	// window) whenever a temporal assertion is present.
+	Timeline TimelineSpec
 	// Assertions are checked against the run's outcome.
 	Assertions []Assertion
+}
+
+// TimelineSpec configures the per-chaos-run telemetry timeline.
+type TimelineSpec struct {
+	// Window is the virtual-time bucket width (0 = the timeline package's
+	// default, 100µs). Setting it attaches a recorder to every chaos run
+	// even without temporal assertions, folding the timeline fingerprint
+	// into the scenario fingerprint and goldens.
+	Window sim.Time
 }
 
 // Topology describes the simulated cluster.
@@ -150,6 +163,11 @@ const (
 	AssertContention  = "contention"
 	AssertDeterminism = "determinism"
 	AssertVirtualTime = "virtual-time"
+	// Temporal assertion kinds: checked against the chaos runs' telemetry
+	// timeline (attached automatically when any of these is present).
+	AssertWindow         = "window"
+	AssertPeakBacklog    = "peak_backlog"
+	AssertRecoveryWithin = "recovery_within"
 )
 
 // Assertion is one post-run check. Kind selects the check; Workload
@@ -196,6 +214,25 @@ type Assertion struct {
 	// MaxVirtual bounds a chaos run's final virtual clock (virtual-time) —
 	// degradation must complete, not hang until a timeout horizon.
 	MaxVirtual sim.Time
+	// Series names the timeline series a temporal check reads (window,
+	// recovery_within; see validSeries for the vocabulary). recovery_within
+	// defaults to backlog/total.
+	Series string
+	// From/To bound the virtual-time range a window check covers
+	// (To 0 = end of run).
+	From, To sim.Time
+	// MaxValue bounds every window value in [From, To) from above (window).
+	MaxValue float64
+	// MinPeak requires at least one window in [From, To) to reach this
+	// value (window) — proves the series actually moved.
+	MinPeak float64
+	// MaxBacklog / MinBacklog bound the whole-run peak of a backlog series
+	// (peak_backlog; Type selects backlog/typeN, 0 = backlog/total).
+	MaxBacklog float64
+	MinBacklog float64
+	// MaxRecovery bounds how long after each injected fault the Series
+	// takes to settle back to its pre-fault baseline (recovery_within).
+	MaxRecovery sim.Time
 	// Seed restricts a chaos-bound check to one seed (0 = every seed).
 	Seed int64
 }
@@ -271,6 +308,11 @@ func decodeScenario(tree *node) (*Scenario, error) {
 			s.Faults = append(s.Faults, f)
 		}
 	}
+	if n := m.get("timeline"); n != nil {
+		if err := decodeTimeline(n, &s.Timeline); err != nil {
+			return nil, err
+		}
+	}
 	if n := m.get("assertions"); n != nil {
 		if n.kind != listNode {
 			return nil, fmt.Errorf("line %d: assertions must be a list", n.line)
@@ -296,6 +338,17 @@ func decodeTopology(n *node, t *Topology) error {
 		m.intField("cells_per_node", &t.CellsPerNode),
 		m.intField("xeon_nodes", &t.XeonNodes),
 	); err != nil {
+		return err
+	}
+	return m.finish()
+}
+
+func decodeTimeline(n *node, t *TimelineSpec) error {
+	m, err := newMapReader(n, "timeline")
+	if err != nil {
+		return err
+	}
+	if err := m.durField("window", &t.Window); err != nil {
 		return err
 	}
 	return m.finish()
@@ -491,6 +544,25 @@ func decodeAssertion(n *node, idx int) (Assertion, error) {
 		errs = append(errs,
 			m.durField("max", &a.MaxVirtual),
 			m.int64Field("seed", &a.Seed))
+	case AssertWindow:
+		errs = append(errs,
+			m.strField("series", &a.Series),
+			m.durField("from", &a.From),
+			m.durField("to", &a.To),
+			m.floatField("max", &a.MaxValue),
+			m.floatField("min_peak", &a.MinPeak),
+			m.int64Field("seed", &a.Seed))
+	case AssertPeakBacklog:
+		errs = append(errs,
+			m.intField("type", &a.Type),
+			m.floatField("max", &a.MaxBacklog),
+			m.floatField("min", &a.MinBacklog),
+			m.int64Field("seed", &a.Seed))
+	case AssertRecoveryWithin:
+		errs = append(errs,
+			m.strField("series", &a.Series),
+			m.durField("max", &a.MaxRecovery),
+			m.int64Field("seed", &a.Seed))
 	default:
 		return Assertion{}, fmt.Errorf("line %d: %s: unknown assertion kind %q (valid: %s)",
 			n.line, what, a.Kind, strings.Join(assertionKinds(), ", "))
@@ -504,7 +576,8 @@ func decodeAssertion(n *node, idx int) (Assertion, error) {
 func assertionKinds() []string {
 	return []string{AssertLatency, AssertBandwidth, AssertSpeedup, AssertCompleted,
 		AssertFaults, AssertDegraded, AssertBlame, AssertContention,
-		AssertDeterminism, AssertVirtualTime}
+		AssertDeterminism, AssertVirtualTime,
+		AssertWindow, AssertPeakBacklog, AssertRecoveryWithin}
 }
 
 func decodeCounterMap(m *mapReader, what, key string) (map[string]int64, error) {

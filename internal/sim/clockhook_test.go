@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// The clock hook must see every distinct clock advance, monotonically,
+// before the event at that time dispatches.
+func TestClockHookObservesAdvances(t *testing.T) {
+	k := NewKernel(1)
+	var hookTimes []Time
+	dispatched := map[Time]bool{}
+	k.SetClockHook(func(now Time) {
+		hookTimes = append(hookTimes, now)
+		if dispatched[now] {
+			t.Errorf("hook at t=%d fired after the event at that time dispatched", now)
+		}
+	})
+	k.Spawn("p", func(p *Proc) {
+		for _, d := range []Time{10, 20, 5} {
+			p.Advance(d)
+			dispatched[k.Now()] = true
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hookTimes) == 0 {
+		t.Fatal("clock hook never fired")
+	}
+	last := Time(-1)
+	for _, at := range hookTimes {
+		if at < last {
+			t.Fatalf("clock hook went backwards: %d after %d", at, last)
+		}
+		last = at
+	}
+	if last != 35 {
+		t.Fatalf("final hook time = %d, want 35", last)
+	}
+}
+
+// Reaching a RunUntil deadline advances the clock; the hook must see it.
+func TestClockHookDeadline(t *testing.T) {
+	k := NewKernel(1)
+	var last Time
+	k.SetClockHook(func(now Time) { last = now })
+	k.Spawn("p", func(p *Proc) { p.Advance(1000) })
+	if err := k.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	if last != 100 {
+		t.Fatalf("hook saw t=%d at deadline, want 100", last)
+	}
+	k.SetClockHook(nil) // detaching must be safe mid-run
+	if err := k.RunUntil(Forever); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,9 +17,10 @@ type Kernel struct {
 	seq  uint64
 	pq   eventHeap
 	ctl  chan struct{} // running proc -> scheduler: "I parked or exited"
-	rng  *rand.Rand
-	trac Tracer
-	host HostProbe // wall-clock instrumentation; nil disables
+	rng   *rand.Rand
+	trac  Tracer
+	host  HostProbe // wall-clock instrumentation; nil disables
+	clock ClockHook // observes virtual-clock advances; nil disables
 
 	procs    []*Proc
 	live     int // procs spawned and not yet finished
@@ -83,6 +84,19 @@ func (k *Kernel) SetTracer(t Tracer) { k.trac = t }
 // Run; the probe observes wall-clock cost only and cannot perturb the
 // virtual timeline, so instrumented runs stay bit-for-bit deterministic.
 func (k *Kernel) SetHostProbe(h HostProbe) { k.host = h }
+
+// ClockHook observes every virtual-clock advance. It fires after the
+// clock moves to a popped event's timestamp but before that event
+// dispatches, so the hook sees exactly the state produced by all events
+// strictly before the new time — the contract the timeline recorder's
+// windowing relies on. A hook must only read: it must never schedule
+// events or touch procs, or it would perturb the deterministic timeline.
+type ClockHook func(now Time)
+
+// SetClockHook attaches a clock-advance observer (nil detaches). Attach
+// before Run. The only event-loop cost when detached is a nil check per
+// dispatched event, mirroring SetHostProbe.
+func (k *Kernel) SetClockHook(h ClockHook) { k.clock = h }
 
 func (k *Kernel) tracef(format string, args ...any) {
 	if k.trac != nil {
@@ -171,10 +185,16 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		}
 		if k.pq[0].at > deadline {
 			k.now = deadline
+			if k.clock != nil {
+				k.clock(k.now)
+			}
 			return nil
 		}
 		ev := heap.Pop(&k.pq).(*event)
 		k.now = ev.at
+		if k.clock != nil {
+			k.clock(k.now)
+		}
 		if k.host != nil {
 			k.host.HeapPop()
 			k.host.Event()

@@ -1,0 +1,95 @@
+package timeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs; zero windows render as '·' so a
+// quiet series reads as a dotted line rather than a solid floor.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders the values into a fixed-width sparkline scaled to their
+// peak. Wider inputs downsample by taking the max of each bucket, so
+// short spikes survive compression.
+func Spark(vals []float64, width int) string {
+	if width <= 0 || len(vals) == 0 {
+		return ""
+	}
+	if width > len(vals) {
+		width = len(vals)
+	}
+	peak := 0.0
+	for _, v := range vals {
+		if v > peak {
+			peak = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		lo, hi := i*len(vals)/width, (i+1)*len(vals)/width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		bucket := 0.0
+		for _, v := range vals[lo:hi] {
+			if v > bucket {
+				bucket = v
+			}
+		}
+		if peak <= 0 || bucket <= 0 {
+			b.WriteRune('·')
+			continue
+		}
+		lvl := int(bucket / peak * float64(len(sparkLevels)-1))
+		if lvl >= len(sparkLevels) {
+			lvl = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[lvl])
+	}
+	return b.String()
+}
+
+// String renders the report as the cellpilot-trace -timeline table:
+// windowing header, one sparkline row per series with peak/mean/p95/burst
+// columns, and the fault table with the recovery column.
+func (rep *Report) String() string {
+	const sparkWidth = 48
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d windows × %s (end %s)", rep.Windows, rep.Window, rep.End)
+	if rep.Truncated {
+		b.WriteString("  [truncated]")
+	}
+	b.WriteByte('\n')
+	if len(rep.Series) == 0 {
+		b.WriteString("  (no series recorded)\n")
+		return b.String()
+	}
+	nameW := len("series")
+	for _, s := range rep.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s  %-*s  %10s %10s %10s  %s\n",
+		nameW, "series", sparkWidth, "windows", "peak", "mean", "p95", "bursts")
+	for _, s := range rep.Series {
+		fmt.Fprintf(&b, "  %-*s  %-*s  %10s %10s %10s  %d\n",
+			nameW, s.Name, sparkWidth, Spark(s.Values, sparkWidth),
+			fnum(s.Peak), fnum(s.Mean), fnum(s.P95), s.Bursts)
+	}
+	if len(rep.Faults) > 0 {
+		fmt.Fprintf(&b, "  faults (recovery vs %s):\n", rep.Faults[0].Series)
+		for _, f := range rep.Faults {
+			rec := "never recovered"
+			if f.Recovered {
+				rec = fmt.Sprintf("recovered in %s", f.Recovery)
+			}
+			if f.Series == "" {
+				rec = "no recovery series"
+			}
+			fmt.Fprintf(&b, "    %-12s %-28s %s\n", f.At.String(), f.Label, rec)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package timeline
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+// fakeState drives a recorder by hand: the sampler reads these fields.
+type fakeState struct {
+	backlog float64 // gauge
+	bytes   float64 // cumulative counter
+	busy    float64 // cumulative busy ns
+}
+
+func (f *fakeState) sample(s *Sample) {
+	s.Add("backlog/total", Gauge, f.backlog)
+	s.Add("net/bytes", Counter, f.bytes)
+	s.Add("copilot/x/utilization", Busy, f.busy)
+}
+
+func TestWindowingAndKinds(t *testing.T) {
+	f := &fakeState{}
+	r := New(100)
+	r.SetSampler(f.sample)
+
+	// Window 0: backlog 3, 500 bytes, 50ns busy.
+	f.backlog, f.bytes, f.busy = 3, 500, 50
+	r.Observe(100) // closes window 0
+	// Window 1: backlog drops to 1, 300 more bytes, fully busy.
+	f.backlog, f.bytes, f.busy = 1, 800, 150
+	r.Observe(250) // closes window 1 (clock inside window 2)
+	// Nothing happens until t=730: windows 2..6 close against frozen state.
+	r.Observe(730)
+	// The final partial window [700, 730) samples the state at Finish.
+	f.backlog = 4
+	r.Finish(730)
+
+	if got := r.Windows(); got != 8 {
+		t.Fatalf("Windows() = %d, want 8", got)
+	}
+	if r.End() != 730 {
+		t.Fatalf("End() = %d, want 730", r.End())
+	}
+
+	wantBacklog := []float64{3, 1, 1, 1, 1, 1, 1, 4}
+	wantBytes := []float64{500, 300, 0, 0, 0, 0, 0, 0}
+	wantBusy := []float64{0.5, 1, 0, 0, 0, 0, 0, 0}
+	checkVals(t, r, "backlog/total", wantBacklog)
+	checkVals(t, r, "net/bytes", wantBytes)
+	checkVals(t, r, "copilot/x/utilization", wantBusy)
+}
+
+func checkVals(t *testing.T, r *Recorder, name string, want []float64) {
+	t.Helper()
+	got, ok := r.Range(name, 0, 0)
+	if !ok {
+		t.Fatalf("series %q missing", name)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("series %q: %d windows, want %d (%v)", name, len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("series %q window %d = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestLateSeriesZeroBackfill(t *testing.T) {
+	n := 0
+	r := New(10)
+	r.SetSampler(func(s *Sample) {
+		s.Add("always", Gauge, 1)
+		if n >= 2 {
+			s.Add("late", Gauge, 7)
+		}
+		n++
+	})
+	r.Observe(10)
+	r.Observe(20)
+	r.Observe(30)
+	r.Finish(30)
+	checkVals(t, r, "late", []float64{0, 0, 7})
+	checkVals(t, r, "always", []float64{1, 1, 1})
+}
+
+func TestRangeBounds(t *testing.T) {
+	f := &fakeState{}
+	r := New(100)
+	r.SetSampler(f.sample)
+	for i := 1; i <= 5; i++ {
+		f.backlog = float64(i)
+		r.Observe(sim.Time(i) * 100)
+	}
+	r.Finish(500)
+	got, ok := r.Range("backlog/total", 100, 300)
+	if !ok || len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Range[100,300) = %v ok=%v, want [2 3]", got, ok)
+	}
+	if _, ok := r.Range("no/such", 0, 0); ok {
+		t.Fatal("Range on unknown series reported ok")
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	vals := []float64{2, 2, 2, 2, 9, 9, 5, 2, 2, 2}
+	r := replay(t, vals, 100)
+	// Fault at t=390 (window 3). Baseline = mean(2,2,2) = 2, threshold 2.5.
+	// Disturbed in window 4, back under threshold in window 7 → recovery
+	// ends at t=800, i.e. 410 after the fault.
+	d, ok := r.Recovery("s", 390)
+	if !ok || d != 410 {
+		t.Fatalf("Recovery = %v ok=%v, want 410 true", d, ok)
+	}
+	// A fault that never disturbs the series recovers immediately.
+	quiet := replay(t, []float64{2, 2, 2, 2, 2}, 100)
+	if d, ok := quiet.Recovery("s", 150); !ok || d != 0 {
+		t.Fatalf("quiet Recovery = %v ok=%v, want 0 true", d, ok)
+	}
+	// A disturbance that never settles does not recover.
+	stuck := replay(t, []float64{1, 1, 8, 8, 8}, 100)
+	if _, ok := stuck.Recovery("s", 150); ok {
+		t.Fatal("stuck series reported recovered")
+	}
+	// Beyond the recording: unknown.
+	if _, ok := r.Recovery("s", 5_000_000); ok {
+		t.Fatal("fault beyond recording reported recovered")
+	}
+}
+
+// replay builds a recorder whose series "s" holds exactly vals, one per
+// window of the given width.
+func replay(t *testing.T, vals []float64, window sim.Time) *Recorder {
+	t.Helper()
+	i := 0
+	r := New(window)
+	r.SetSampler(func(s *Sample) {
+		s.Add("s", Gauge, vals[i])
+		i++
+	})
+	for w := range vals {
+		r.Observe(sim.Time(w+1) * window)
+	}
+	r.Finish(sim.Time(len(vals)) * window)
+	return r
+}
+
+func TestReportAnalytics(t *testing.T) {
+	r := replay(t, []float64{1, 1, 9, 9, 1, 1, 8, 1}, 100)
+	r.NoteFault(150, "kill-spe(c2e#0)")
+	rep := r.Report()
+	if len(rep.Series) != 1 {
+		t.Fatalf("series count = %d", len(rep.Series))
+	}
+	s := rep.Series[0]
+	if s.Peak != 9 || s.PeakAt != 200 {
+		t.Errorf("peak = %v at %d, want 9 at 200", s.Peak, s.PeakAt)
+	}
+	if s.Mean != 3.875 {
+		t.Errorf("mean = %v, want 3.875", s.Mean)
+	}
+	if s.Bursts != 2 || s.LongestBurst != 2 {
+		t.Errorf("bursts = %d longest %d, want 2/2", s.Bursts, s.LongestBurst)
+	}
+	if len(rep.Faults) != 1 {
+		t.Fatalf("faults = %d, want 1", len(rep.Faults))
+	}
+	// No backlog/total series here, so no recovery series is bound.
+	if rep.Faults[0].Series != "" {
+		t.Errorf("recovery series = %q, want empty", rep.Faults[0].Series)
+	}
+}
+
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	build := func(spike float64) string {
+		r := replay(t, []float64{1, 2, spike, 2}, 50)
+		r.NoteFault(120, "crash-node(node1)")
+		return r.Fingerprint()
+	}
+	a, b := build(7), build(7)
+	if a != b {
+		t.Fatalf("same inputs, different fingerprints:\n%s\nvs\n%s", a, b)
+	}
+	if c := build(8); c == a {
+		t.Fatal("different window values, identical fingerprint")
+	}
+	for _, want := range []string{"timeline window_ns=50", "series s kind=gauge", "fault at_ns=120"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("fingerprint missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	r := New(1)
+	r.SetSampler(func(s *Sample) { s.Add("s", Gauge, 1) })
+	r.Observe(sim.Time(MaxWindows) + 100)
+	r.Finish(sim.Time(MaxWindows) + 100)
+	if !r.Truncated() {
+		t.Fatal("recorder not truncated")
+	}
+	if r.Windows() != MaxWindows {
+		t.Fatalf("Windows() = %d, want %d", r.Windows(), MaxWindows)
+	}
+}
+
+func TestPointsSortedAndStamped(t *testing.T) {
+	r := New(10)
+	r.SetSampler(func(s *Sample) {
+		s.Add("b", Gauge, 2)
+		s.Add("a", Gauge, 1)
+	})
+	r.Observe(10)
+	r.Observe(20)
+	r.Finish(25)
+	pts := r.Points()
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	if pts[0].Series != "a" || pts[0].At != 10 || pts[1].Series != "b" {
+		t.Errorf("first window points out of order: %+v", pts[:2])
+	}
+	if last := pts[len(pts)-1]; last.At != 25 {
+		t.Errorf("final partial window stamped at %d, want 25", last.At)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Spark([]float64{0, 1, 2, 4}, 4); got != "·▂▄█" {
+		t.Errorf("Spark = %q, want ·▂▄█", got)
+	}
+	// Downsampling keeps spikes: max per bucket.
+	if got := Spark([]float64{0, 0, 9, 0, 0, 0, 0, 0}, 4); got != "·█··" {
+		t.Errorf("Spark downsample = %q, want ·█··", got)
+	}
+	if Spark(nil, 10) != "" {
+		t.Error("Spark(nil) not empty")
+	}
+}
+
+func TestReportStringAndJSON(t *testing.T) {
+	r := replay(t, []float64{1, 5, 1}, 100)
+	r.NoteFault(50, "kill-copilot(node0/cell1)")
+	rep := r.Report()
+	out := rep.String()
+	for _, want := range []string{"3 windows", "series", "peak", "kill-copilot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["windows"].(float64) != 3 {
+		t.Errorf("json windows = %v", decoded["windows"])
+	}
+	again, _ := json.Marshal(r)
+	if string(again) != string(data) {
+		t.Error("MarshalJSON not deterministic")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Observe(100)
+	r.Finish(100)
+	r.NoteFault(1, "x")
+}

@@ -94,6 +94,17 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			Args: map[string]any{"channel": ev.Channel, "bytes": ev.Bytes, "xfer": ev.Xfer},
 		})
 	}
+	// Counter ("C") events: one per (series, window) sample. Perfetto
+	// renders each distinct name as its own counter track under the pid.
+	for _, cp := range r.counters {
+		events = append(events, chromeEvent{
+			Name: cp.Name,
+			Cat:  "counter",
+			Ph:   "C", Pid: chromePid,
+			Ts:   usec(cp.At),
+			Args: map[string]any{"value": cp.Value},
+		})
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{
 		"traceEvents":     events,

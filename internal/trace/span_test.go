@@ -156,3 +156,44 @@ func TestWriteJSONL(t *testing.T) {
 		t.Fatalf("first line: %+v", first)
 	}
 }
+
+// SetCounters adds "C" (counter) events to the Chrome export, one per
+// sample, under the shared pid.
+func TestWriteChromeCounterEvents(t *testing.T) {
+	r := NewRecorder(0)
+	us := sim.Microsecond
+	r.RecordPhase(PhaseEvent{Xfer: 1, Phase: PhaseMPISend, Proc: "main(rank0@node0)", Channel: 0, ChanType: 1, Bytes: 8, Start: 1 * us, End: 2 * us})
+	r.SetCounters([]CounterPoint{
+		{At: 1 * us, Name: "backlog/total", Value: 3},
+		{At: 2 * us, Name: "backlog/total", Value: 1},
+		{At: 2 * us, Name: "net/bytes", Value: 512},
+	})
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var counters int
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "C" {
+			continue
+		}
+		counters++
+		if _, ok := ev.Args["value"]; !ok {
+			t.Fatalf("counter event %q lacks args.value", ev.Name)
+		}
+	}
+	if counters != 3 {
+		t.Fatalf("counter events = %d, want 3", counters)
+	}
+}

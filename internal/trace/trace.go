@@ -65,6 +65,8 @@ type Recorder struct {
 
 	sampleEvery int
 	sampledOut  int
+
+	counters []CounterPoint
 }
 
 // NewRecorder creates a recorder keeping at most limit events
@@ -211,3 +213,17 @@ func (r *Recorder) Summary() string {
 	}
 	return b.String()
 }
+
+// CounterPoint is one sample of a named counter track for the Chrome
+// exporter's "C" (counter) events — typically a timeline series window
+// value stamped at the window's end.
+type CounterPoint struct {
+	At    sim.Time
+	Name  string
+	Value float64
+}
+
+// SetCounters attaches counter tracks to the Chrome export (replacing any
+// previous set). Points must already be in deterministic order; the
+// timeline recorder's Points() satisfies that.
+func (r *Recorder) SetCounters(pts []CounterPoint) { r.counters = pts }

@@ -11,6 +11,7 @@ import (
 	"cellpilot/internal/fault"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
 )
 
@@ -69,6 +70,11 @@ type ChaosConfig struct {
 	// With Trace also attached it includes the critical-path blame
 	// decomposition (Stats.CritPath) and contention pairs.
 	Stats *core.Stats
+	// Timeline, when non-nil, records windowed time-series of the run's
+	// gauges and counters (backlog, utilization, fault counters). Like the
+	// other sinks it only reads, so a chaos run with a timeline attached
+	// keeps a bit-identical fingerprint.
+	Timeline *timeline.Recorder
 }
 
 // ChaosSPEs lists the SPE stub process names a chaos run creates — the
@@ -204,6 +210,7 @@ func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 	a.Metrics = core.NewMeter()
 	a.HostProf = cfg.Host
 	a.Trace = cfg.Trace
+	a.Timeline = cfg.Timeline
 
 	res := ChaosResult{Config: ChaosResult_Config{
 		Seed: cfg.Seed, LossProb: cfg.LossProb, KillSPE: cfg.KillSPE, MailboxDrops: cfg.MailboxDrops,

@@ -15,6 +15,7 @@ import (
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sdk"
 	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
 )
 
@@ -84,6 +85,10 @@ type PingPongConfig struct {
 	// Host, when non-nil, measures the run's host-side (wall-clock) cost
 	// (MethodCellPilot only). It never perturbs the virtual timeline.
 	Host *hostprof.Profiler
+	// Timeline, when non-nil, records windowed time-series of the run's
+	// gauges and counters (MethodCellPilot only; observation is free in
+	// virtual time).
+	Timeline *timeline.Recorder
 	// Stats, when non-nil, receives the application's post-run report
 	// (MethodCellPilot only). With Trace also attached it includes the
 	// critical-path blame decomposition (Stats.CritPath).
@@ -238,6 +243,7 @@ func pingPongCellPilot(cfg PingPongConfig) (sim.Time, error) {
 	a.Metrics = cfg.Metrics
 	a.Profile = cfg.Profile
 	a.HostProf = cfg.Host
+	a.Timeline = cfg.Timeline
 	format, mk, rd := payloadFormat(cfg.Bytes)
 
 	var ab, ba *core.Channel
