@@ -68,6 +68,24 @@ ci-timeline:
 	$(GO) run ./cmd/cellpilot-bench validate scenarios/az-node-loss.yaml scenarios/hotspot-contention.yaml
 .PHONY: ci-timeline
 
+# Kernel microbenchmarks, both event-queue implementations side by side:
+# push/pop, steady-state churn and the cancel/purge path on the calendar
+# queue vs the retained heap, plus the allocation-free dispatch/handoff
+# paths (-benchmem makes a pooling regression visible as allocs/op).
+bench-kernel:
+	$(GO) test -run '^$$' -bench 'HeapPushPop|QueueChurn|TimerCancelPurge|EventThroughput|QueueHandoff' -benchmem ./internal/sim/
+.PHONY: bench-kernel
+
+# Parallel-kernel gate: the sharded runtime's determinism suites under
+# the race detector — the sim-layer LP protocol tests, the kiloscale
+# seq-vs-par fingerprint equivalence, and the scenario fleet driven
+# through the sharded runtime.
+ci-parallel:
+	$(GO) test -race -run 'TestSharded|TestQueueDifferential|TestKernelQueueKinds|TestCancelCompaction' ./internal/sim/
+	$(GO) test -race -run 'Kiloscale|KernelArms' ./internal/workload/
+	$(GO) test -race -run 'TestScenarioFleet' ./internal/scenario/
+.PHONY: ci-parallel
+
 # Machine-readable benchmark results (BENCH_<exp>.json) under results/.
 bench-json:
 	@mkdir -p results
@@ -109,7 +127,7 @@ ci-host:
 # Deeper sweep (slower): tier-1 plus the race detector, the chaos,
 # observability, scenario-fleet and host-cost gates, the perf-regression
 # guard, and staticcheck when the host has it installed.
-ci-full: ci race ci-chaos ci-obs ci-scenarios ci-timeline bench-guard ci-host
+ci-full: ci race ci-chaos ci-obs ci-scenarios ci-timeline ci-parallel bench-guard ci-host
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

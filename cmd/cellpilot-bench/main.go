@@ -14,6 +14,7 @@
 //	cellpilot-bench -exp sizesweep  # 64B..1MB grid, chunk engine off vs on
 //	cellpilot-bench -exp guard      # regression gate vs results/BENCH_pingpong.json
 //	cellpilot-bench -exp hostbench  # host-cost suite -> results/BENCH_hostbench.json
+//	cellpilot-bench -exp kiloscale  # 1000-node sharded fleet, seq vs parallel arms
 //	cellpilot-bench -exp all        # everything
 //
 // With -serve ADDR the process exposes OpenMetrics text at /metrics, a
@@ -38,8 +39,10 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"cellpilot/internal/core"
 	"cellpilot/internal/critpath"
@@ -52,13 +55,14 @@ import (
 	"cellpilot/internal/workload"
 )
 
-// experiments is every value -exp accepts. guard and hostbench run only
-// when named explicitly (guard needs a committed baseline; hostbench is
-// a long wall-clock measurement), so "all" excludes them.
+// experiments is every value -exp accepts, alphabetized ("all" last).
+// guard, hostbench and kiloscale run only when named explicitly (guard
+// needs a committed baseline; the other two are long wall-clock
+// measurements), so "all" excludes them.
 var experiments = []string{
-	"table2", "fig5", "fig6", "loc", "footprint", "ablations", "imb", "cml",
-	"phases", "chaos", "pingpong", "profile", "sizesweep", "guard",
-	"hostbench", "all",
+	"ablations", "chaos", "cml", "fig5", "fig6", "footprint", "guard",
+	"hostbench", "imb", "kiloscale", "loc", "phases", "pingpong", "profile",
+	"sizesweep", "table2", "all",
 }
 
 // validateExp rejects unknown experiment names up front — a typo must
@@ -95,7 +99,8 @@ func main() {
 	hostBaseline := flag.String("host-baseline", "results/BENCH_hostbench.json", "guard/hostbench: committed host-cost baseline")
 	tolerance := flag.Float64("tolerance", 0.10, "guard: relative regression tolerance (0.10 = +10%)")
 	iters := flag.Int("iters", 0, "hostbench/guard: iterations per suite (0 = 3 for hostbench, 2 for the guard's re-measure)")
-	quick := flag.Bool("quick", false, "hostbench: shrink workloads for CI")
+	quick := flag.Bool("quick", false, "hostbench/kiloscale: shrink workloads for CI")
+	shards := flag.Int("shards", 0, "kiloscale: host worker shards for the parallel arm (0 = one shard per host core)")
 	burn := flag.Int("burn-alloc", 0, "hostbench/guard: deliberately allocate N bytes per kernel event (guard self-test: the gate must trip and blame a subsystem)")
 	gateWall := flag.Bool("gate-wall", false, "guard: make wall-clock metrics fatal, not advisory (use on quiet dedicated runners)")
 	listScen := flag.Bool("list-scenarios", false, "print the scenario library with one-line descriptions and exit")
@@ -193,6 +198,9 @@ func main() {
 	}
 	if *exp == "hostbench" { // explicit only: a long wall-clock measurement
 		runHostBench(*outDir, *iters, *quick)
+	}
+	if *exp == "kiloscale" { // explicit only: a long wall-clock measurement
+		runKiloscale(*shards, *seed, *quick)
 	}
 	if serving {
 		fmt.Println("experiments done; still serving metrics (interrupt to exit)")
@@ -482,6 +490,54 @@ func runHostBench(outDir string, iters int, quick bool) {
 		log.Fatal(err)
 	}
 	fmt.Printf("results written to %s\n", path)
+}
+
+// runKiloscale runs the thousand-node sharded fleet: for each workload it
+// times a sequential reference arm (1 worker) and a parallel arm (-shards
+// workers, 0 = one per host core), checks the two arms' fingerprints are
+// bit-for-bit identical — the parallel-kernel determinism contract at full
+// scale — and prints the wall-clock speedup the host actually delivered.
+func runKiloscale(shards int, seed int64, quick bool) {
+	workers := shards
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	nodes, ppReps, chReps := 1000, 10, 2
+	if quick {
+		nodes, ppReps, chReps = 120, 5, 2
+	}
+	fmt.Printf("kiloscale: %d simulated nodes as independent 3-node replicas, 1 vs %d host workers\n", nodes, workers)
+	for _, wl := range []string{"pingpong", "chaos"} {
+		reps := ppReps
+		if wl == "chaos" {
+			reps = chReps
+		}
+		arm := func(w int) (workload.KiloscaleResult, time.Duration) {
+			t0 := time.Now()
+			res, err := workload.Kiloscale(workload.KiloscaleConfig{
+				Nodes: nodes, Workload: wl, Workers: w, Seed: seed, Reps: reps,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res, time.Since(t0)
+		}
+		seq, seqWall := arm(1)
+		par, parWall := arm(workers)
+		match := "MATCH"
+		if seq.Fingerprint != par.Fingerprint {
+			match = "MISMATCH"
+		}
+		fmt.Printf("  %-8s %d replicas, %d events, vt %s\n", wl, par.Replicas, par.Events, par.VirtualTime)
+		fmt.Printf("           seq %8.0fms (%8.0f events/s)  par %8.0fms (%8.0f events/s)  speedup %.2fx\n",
+			float64(seqWall.Milliseconds()), float64(seq.Events)/seqWall.Seconds(),
+			float64(parWall.Milliseconds()), float64(par.Events)/parWall.Seconds(),
+			float64(seqWall)/float64(parWall))
+		fmt.Printf("           fingerprint %s vs %s: %s\n", seq.Fingerprint, par.Fingerprint, match)
+		if match == "MISMATCH" {
+			log.Fatalf("kiloscale: %s seq/par fingerprints diverge — parallel determinism broken", wl)
+		}
+	}
 }
 
 // runHostGuard is the host-cost half of the regression gate: it re-runs

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -44,5 +45,18 @@ func TestExceedsTolerance(t *testing.T) {
 		if got := exceedsTolerance(c.ref, c.got, c.tol); got != c.want {
 			t.Errorf("exceedsTolerance(%v, %v, %v) = %v, want %v", c.ref, c.got, c.tol, got, c.want)
 		}
+	}
+}
+
+// TestExperimentsAlphabetized: the -exp list stays sorted (with the "all"
+// catch-all last) so the usage text and the validateExp error read as a
+// directory, not an accretion log.
+func TestExperimentsAlphabetized(t *testing.T) {
+	if experiments[len(experiments)-1] != "all" {
+		t.Fatalf("experiments must end with %q, got %q", "all", experiments[len(experiments)-1])
+	}
+	named := experiments[:len(experiments)-1]
+	if !sort.StringsAreSorted(named) {
+		t.Fatalf("experiment names not alphabetized: %v", named)
 	}
 }

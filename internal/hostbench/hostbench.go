@@ -24,7 +24,9 @@ import (
 
 // Schema is the artifact's schema version. Bump on any incompatible
 // change to File; the guard refuses to compare mismatched schemas.
-const Schema = 1
+// Schema 2 added the sharded-run columns (SuiteResult.Shards and
+// SuiteResult.ParallelSpeedup) and the kiloscale suite.
+const Schema = 2
 
 // Env captures the host environment a benchmark ran on — the context a
 // reader (or the guard's tolerance floors) needs to judge comparability.
@@ -80,6 +82,15 @@ type SuiteResult struct {
 	// the same normalized to the total sampled time.
 	SubsysNs    map[string]int64   `json:"subsys_ns"`
 	SubsysShare map[string]float64 `json:"subsys_share"`
+	// Shards is the per-shard profiler count the suite's runs merged
+	// (hostprof.Snapshot.Shards); 0 for single-kernel suites.
+	Shards int `json:"shards,omitempty"`
+	// ParallelSpeedup is the suite's sequential-arm wall time over the
+	// median parallel-arm wall time, recorded only for suites with a
+	// sequential reference (Suite.RunSeq). On a single-core host it
+	// honestly reads ~1.0 — the ledger records what the machine did, not
+	// what a bigger one would.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 }
 
 // File is the BENCH_hostbench.json artifact.
@@ -98,6 +109,12 @@ type File struct {
 type Suite struct {
 	Name string
 	Run  func(h *hostprof.Profiler) (sim.Time, error)
+	// RunSeq, when non-nil, is the same workload pinned to one host
+	// worker — the sequential reference arm. Run times it once per suite
+	// to fill the ParallelSpeedup column, and its virtual result must
+	// equal the parallel arm's bit for bit (the seq-vs-par determinism
+	// contract, enforced at measurement time).
+	RunSeq func(h *hostprof.Profiler) (sim.Time, error)
 }
 
 // Suites returns the fixed benchmark suite in ledger order: PingPong over
@@ -163,6 +180,23 @@ func Suites(quick bool) []Suite {
 			return res.AvgTime, err
 		},
 	})
+	kiloNodes, kiloReps := 300, 10
+	if quick {
+		kiloNodes, kiloReps = 60, 3
+	}
+	kiloRun := func(workers int) func(h *hostprof.Profiler) (sim.Time, error) {
+		return func(h *hostprof.Profiler) (sim.Time, error) {
+			res, err := workload.Kiloscale(workload.KiloscaleConfig{
+				Nodes: kiloNodes, Reps: kiloReps, Workers: workers, Seed: 9, Host: h,
+			})
+			return res.VirtualTime, err
+		}
+	}
+	suites = append(suites, Suite{
+		Name:   "kiloscale",
+		Run:    kiloRun(0), // one worker per host core
+		RunSeq: kiloRun(1),
+	})
 	return suites
 }
 
@@ -188,6 +222,9 @@ func Run(suites []Suite, iters int, logf func(format string, args ...any)) (File
 					s.Name, i, it.VirtualUs, sr.Iters[0].VirtualUs)
 			}
 			sr.Iters = append(sr.Iters, it)
+			if i == 0 {
+				sr.Shards = snap.Shards
+			}
 			for _, sh := range snap.Subsystems {
 				sr.SubsysNs[sh.Name] += sh.SampledNs
 			}
@@ -198,9 +235,34 @@ func Run(suites []Suite, iters int, logf func(format string, args ...any)) (File
 				sr.SubsysShare[name] = float64(ns) / float64(totalNs)
 			}
 		}
+		if s.RunSeq != nil {
+			// One timed sequential-reference run fills the speedup column;
+			// its virtual result doubles as the seq-vs-par determinism
+			// check — the parallel iterations above must have produced the
+			// exact same virtual clock.
+			hseq := hostprof.New(0)
+			hseq.BurnAllocBytes = BurnAllocBytes
+			t0 := time.Now()
+			virt, err := s.RunSeq(hseq)
+			seqWall := time.Since(t0)
+			if err != nil {
+				return File{}, fmt.Errorf("hostbench: suite %s sequential arm: %w", s.Name, err)
+			}
+			if virt.Micros() != sr.Iters[0].VirtualUs {
+				return File{}, fmt.Errorf("hostbench: suite %s: sequential arm's virtual time %v differs from parallel's %v — seq/par determinism broken",
+					s.Name, virt.Micros(), sr.Iters[0].VirtualUs)
+			}
+			if med := Median(metricValues(sr, MetricWallNs)); med > 0 {
+				sr.ParallelSpeedup = float64(seqWall.Nanoseconds()) / med
+			}
+		}
 		if logf != nil {
-			logf("hostbench: %-12s %d iters, median %.0f events/sec, %.1f allocs/event",
-				s.Name, iters, Median(metricValues(sr, MetricEventsPerSec)), Median(metricValues(sr, MetricAllocsPerEvent)))
+			extra := ""
+			if sr.ParallelSpeedup > 0 {
+				extra = fmt.Sprintf(", %dx shards %.2fx speedup", sr.Shards, sr.ParallelSpeedup)
+			}
+			logf("hostbench: %-12s %d iters, median %.0f events/sec, %.1f allocs/event%s",
+				s.Name, iters, Median(metricValues(sr, MetricEventsPerSec)), Median(metricValues(sr, MetricAllocsPerEvent)), extra)
 		}
 		f.Suites = append(f.Suites, sr)
 	}

@@ -299,3 +299,40 @@ func TestFormatTrend(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSeqFillsSpeedupColumn: a suite with a sequential reference arm
+// gets the shard count and speedup columns, and a sequential arm whose
+// virtual result diverges fails the run (the seq/par determinism check).
+func TestRunSeqFillsSpeedupColumn(t *testing.T) {
+	kilo := func(workers int) func(h *hostprof.Profiler) (sim.Time, error) {
+		return func(h *hostprof.Profiler) (sim.Time, error) {
+			res, err := workload.Kiloscale(workload.KiloscaleConfig{
+				Nodes: 12, Reps: 2, Workers: workers, Seed: 5, Host: h,
+			})
+			return res.VirtualTime, err
+		}
+	}
+	f, err := Run([]Suite{{Name: "kilo-tiny", Run: kilo(2), RunSeq: kilo(1)}}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := f.Suites[0]
+	if sr.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4 replicas", sr.Shards)
+	}
+	if sr.ParallelSpeedup <= 0 {
+		t.Fatalf("ParallelSpeedup not recorded: %+v", sr)
+	}
+	// A sequential arm that computes something else must fail loudly.
+	bad := []Suite{{
+		Name: "bad",
+		Run:  kilo(2),
+		RunSeq: func(h *hostprof.Profiler) (sim.Time, error) {
+			v, err := kilo(1)(h)
+			return v + 1, err
+		},
+	}}
+	if _, err := Run(bad, 1, nil); err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Fatalf("diverging sequential arm not rejected: %v", err)
+	}
+}

@@ -127,6 +127,10 @@ type Profiler struct {
 
 	subsys [NumSubsystems]subsysAcc
 
+	// absorbed counts per-shard snapshots merged in via Absorb; a plain
+	// single-kernel run leaves it zero.
+	absorbed int
+
 	tags    map[int]*procTags
 	scratch *procTags // scheduler-callback stack (proc -1); never spans a slice
 	cur     *procTags
@@ -292,6 +296,53 @@ func (p *Profiler) Exit() {
 	}
 }
 
+// --- shard aggregation ---
+
+// subsysByName inverts Subsystem.String for Absorb's name-keyed merge.
+func subsysByName(name string) (Subsystem, bool) {
+	for i := Subsystem(0); i < NumSubsystems; i++ {
+		if i.String() == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Absorb merges another profiler's snapshot into this one — the
+// aggregation path for sharded runs, where each logical process carries
+// its own confined Profiler and the driver folds them into a fleet-wide
+// view after Run. Counters and sampled time add; the heap-depth watermark
+// takes the max (it is a per-kernel depth, so the merged value reads as
+// "deepest queue any shard saw"). Subsystem buckets merge by name, so a
+// snapshot from an older schema with fewer buckets still lands correctly.
+// Safe on a nil receiver.
+func (p *Profiler) Absorb(s Snapshot) {
+	if p == nil {
+		return
+	}
+	p.events += s.Events
+	p.pushes += s.HeapPushes
+	p.pops += s.HeapPops
+	p.purged += s.CancelPurged
+	if s.MaxHeapDepth > p.maxDepth {
+		p.maxDepth = s.MaxHeapDepth
+	}
+	p.slices += s.Slices
+	p.sampled += s.SampledSlices
+	p.sampledNs += s.SampledNs
+	for _, sh := range s.Subsystems {
+		if i, ok := subsysByName(sh.Name); ok {
+			p.subsys[i].calls += sh.Calls
+			p.subsys[i].ns += sh.SampledNs
+		}
+	}
+	if s.Shards > 0 {
+		p.absorbed += s.Shards
+	} else {
+		p.absorbed++
+	}
+}
+
 // --- reporting ---
 
 // SubsysShare is one bucket's slice of the sampled host time.
@@ -323,6 +374,9 @@ type Snapshot struct {
 	// NsPerSlice is the mean sampled wall cost of one execution slice —
 	// the sampled estimate of host ns per kernel event.
 	NsPerSlice float64 `json:"ns_per_slice"`
+	// Shards counts the per-shard profilers merged into this snapshot via
+	// Absorb; 0 means a plain single-kernel run.
+	Shards int `json:"shards,omitempty"`
 	// Subsystems is the per-bucket attribution, largest share first.
 	Subsystems []SubsysShare `json:"subsystems"`
 }
@@ -337,6 +391,7 @@ func (p *Profiler) Snapshot() Snapshot {
 		Events: p.events, HeapPushes: p.pushes, HeapPops: p.pops,
 		CancelPurged: p.purged, MaxHeapDepth: p.maxDepth,
 		Slices: p.slices, SampledSlices: p.sampled, SampledNs: p.sampledNs,
+		Shards: p.absorbed,
 	}
 	if p.sampled > 0 {
 		s.NsPerSlice = float64(p.sampledNs) / float64(p.sampled)
@@ -381,6 +436,9 @@ func (s Snapshot) PublishTo(reg *metrics.Registry) {
 	reg.Gauge("host/max_heap_depth").Set(float64(s.MaxHeapDepth))
 	reg.Gauge("host/slices").Set(float64(s.Slices))
 	reg.Gauge("host/ns_per_event_sampled").Set(s.NsPerSlice)
+	if s.Shards > 0 {
+		reg.Gauge("host/shards").Set(float64(s.Shards))
+	}
 	for _, sh := range s.Subsystems {
 		reg.Gauge("host/subsys/" + sh.Name + "/share").Set(sh.Share)
 	}
@@ -392,6 +450,9 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "host: %d events, heap push/pop %d/%d (max depth %d, %d cancels purged)\n",
 		s.Events, s.HeapPushes, s.HeapPops, s.MaxHeapDepth, s.CancelPurged)
 	fmt.Fprintf(&b, "  sampled %d/%d slices, %.0fns/event\n", s.SampledSlices, s.Slices, s.NsPerSlice)
+	if s.Shards > 0 {
+		fmt.Fprintf(&b, "  merged from %d shards\n", s.Shards)
+	}
 	for _, sh := range s.Subsystems {
 		fmt.Fprintf(&b, "  %-13s %6.1f%%  (%d frames)\n", sh.Name, 100*sh.Share, sh.Calls)
 	}

@@ -205,3 +205,52 @@ func busy() {
 		sink += i
 	}
 }
+
+func TestAbsorbMergesShardSnapshots(t *testing.T) {
+	mk := func(events uint64, depth int, subsys Subsystem, ns int64) Snapshot {
+		p := New(1)
+		for i := uint64(0); i < events; i++ {
+			p.HeapPush(depth)
+			p.HeapPop()
+			p.Event()
+		}
+		s := p.Snapshot()
+		s.Subsystems = append(s.Subsystems, SubsysShare{Name: subsys.String(), Calls: 2, SampledNs: ns})
+		return s
+	}
+	agg := New(1)
+	agg.Absorb(mk(10, 3, SubsysMPI, 100))
+	agg.Absorb(mk(7, 9, SubsysMPI, 50))
+	agg.Absorb(mk(5, 2, SubsysCoPilot, 25))
+	s := agg.Snapshot()
+	if s.Events != 22 || s.HeapPushes != 22 || s.HeapPops != 22 {
+		t.Fatalf("merged counters wrong: %+v", s)
+	}
+	if s.MaxHeapDepth != 9 {
+		t.Fatalf("merged max depth = %d, want 9 (max, not sum)", s.MaxHeapDepth)
+	}
+	if s.Shards != 3 {
+		t.Fatalf("Shards = %d, want 3", s.Shards)
+	}
+	shares := map[string]int64{}
+	for _, sh := range s.Subsystems {
+		shares[sh.Name] = sh.SampledNs
+	}
+	if shares["mpi"] != 150 || shares["copilot"] != 25 {
+		t.Fatalf("subsystem merge wrong: %v", shares)
+	}
+	// Absorbing an already-merged snapshot carries its shard count through.
+	agg2 := New(1)
+	agg2.Absorb(s)
+	if got := agg2.Snapshot().Shards; got != 3 {
+		t.Fatalf("re-absorbed Shards = %d, want 3", got)
+	}
+	if !strings.Contains(s.String(), "merged from 3 shards") {
+		t.Fatalf("String() missing shard note:\n%s", s)
+	}
+	reg := metrics.NewRegistry()
+	s.PublishTo(reg)
+	if v := reg.Gauge("host/shards").Value(); v != 3 {
+		t.Fatalf("host/shards gauge = %v, want 3", v)
+	}
+}

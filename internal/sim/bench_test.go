@@ -57,14 +57,54 @@ func BenchmarkContextSwitch(b *testing.B) {
 	}
 }
 
-// BenchmarkHeapPushPop measures the event-queue heap alone: schedule b.N
-// staggered callbacks, then drain them in timestamp order.
+// BenchmarkHeapPushPop measures the event queue alone: schedule b.N
+// staggered callbacks, then drain them in timestamp order. The /calendar
+// and /heap variants run the identical workload on each queue kind — the
+// `make bench-kernel` comparison pair.
 func BenchmarkHeapPushPop(b *testing.B) {
-	k := NewKernel(1)
+	b.Run("calendar", func(b *testing.B) { benchPushPop(b, QueueCalendar) })
+	b.Run("heap", func(b *testing.B) { benchPushPop(b, QueueHeap) })
+}
+
+func benchPushPop(b *testing.B, kind QueueKind) {
+	k := NewKernelQueue(1, kind)
 	for i := 0; i < b.N; i++ {
-		// Staggered deadlines exercise real sift-up/sift-down work rather
-		// than the sorted-append fast path.
-		k.After(Time((i*7919)%1000)*Microsecond, func() {})
+		// Staggered deadlines exercise real resort work rather than the
+		// sorted-append fast path; the horizon grows with b.N so event
+		// density per unit of virtual time stays constant — the shape a
+		// simulator generates — instead of piling every event the bench
+		// harness adds onto the same thousand timestamps.
+		at := Time(i/1000)*Millisecond + Time((i*7919)%1000)*Microsecond
+		k.After(at, func() {})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueChurn measures steady-state scheduling — a bounded
+// population of in-flight timers with constant arm/fire churn, the shape
+// Co-Pilot scan loops generate — on both queue kinds.
+func BenchmarkQueueChurn(b *testing.B) {
+	b.Run("calendar", func(b *testing.B) { benchChurn(b, QueueCalendar) })
+	b.Run("heap", func(b *testing.B) { benchChurn(b, QueueHeap) })
+}
+
+func benchChurn(b *testing.B, kind QueueKind) {
+	k := NewKernelQueue(1, kind)
+	const fanout = 256
+	n := b.N
+	var arm func()
+	fired := 0
+	arm = func() {
+		fired++
+		if fired < n {
+			k.After(Time(((fired*7919)%997)+1)*Microsecond, arm)
+		}
+	}
+	for i := 0; i < fanout && i < n; i++ {
+		k.After(Time(((i*6271)%997)+1)*Microsecond, arm)
 	}
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
@@ -74,9 +114,14 @@ func BenchmarkHeapPushPop(b *testing.B) {
 
 // BenchmarkTimerCancelPurge measures the cancelled-timer path: every
 // timer is armed and cancelled before it fires, so the run is pure
-// schedule + purge with no callback ever executing.
+// schedule + purge/compact with no callback ever executing.
 func BenchmarkTimerCancelPurge(b *testing.B) {
-	k := NewKernel(1)
+	b.Run("calendar", func(b *testing.B) { benchCancelPurge(b, QueueCalendar) })
+	b.Run("heap", func(b *testing.B) { benchCancelPurge(b, QueueHeap) })
+}
+
+func benchCancelPurge(b *testing.B, kind QueueKind) {
+	k := NewKernelQueue(1, kind)
 	for i := 0; i < b.N; i++ {
 		k.AfterTimer(Time(i)*Microsecond, func() { b.Error("cancelled timer fired") }).Cancel()
 	}

@@ -1,34 +1,112 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync/atomic"
+)
 
 // event is a scheduled kernel action: either waking a parked proc or
 // running a callback inside the scheduler.
 type event struct {
-	at    Time
-	seq   uint64 // tie-breaker: insertion order, for determinism
+	at  Time
+	seq uint64 // tie-breaker: insertion order, for determinism
+	// src identifies where the event came from: localSrc for everything a
+	// kernel schedules itself, or the sending LP's id for a cross-shard
+	// message delivered by a Sharded run. It participates in the total
+	// order (see eventLess) so message execution order is independent of
+	// when the conservative protocol happened to integrate the message.
+	src int32
+	// gen is the pool generation. It increments every time the event
+	// object is recycled, so a stale Timer handle (cancelled after its
+	// timer fired and the event was reused) can detect it points at a
+	// different logical event and turn into a no-op.
+	gen   uint32
 	p     *Proc  // proc to wake, or nil
 	epoch uint64 // p's wake epoch at scheduling; stale events are skipped
 	fn    func() // callback to run in the scheduler, or nil
-	// cancelled events are discarded at the top of the heap without
+	// cancelled events are discarded without running and without
 	// advancing the clock — a cancelled timeout must not extend a run's
-	// final virtual time.
+	// final virtual time. They are purged lazily when they surface at the
+	// head of the queue, or in bulk when they outnumber half of the live
+	// entries (Kernel.noteCancel).
 	cancelled bool
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
+// localSrc is the src of every locally scheduled event. It sorts before
+// any cross-shard message source, so at equal timestamps local events run
+// first and messages run in (sender id, sender seq) order.
+const localSrc int32 = -1
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess is the kernel's total order: timestamp, then source, then
+// per-source sequence number. For a plain sequential kernel every event
+// has src == localSrc, so the order reduces to the original (at, seq)
+// pair and existing determinism fingerprints are unchanged.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// eventQueue is the scheduler's priority queue: Pop removes and returns
+// the eventLess-minimum, Peek returns it without removing. Two
+// implementations exist — calQueue (calendar queue, the default) and
+// heapQueue (the original container/heap queue, retained behind
+// QueueHeap for differential testing) — and both yield the exact same
+// pop order, so runs are bit-for-bit identical under either.
+type eventQueue interface {
+	Push(*event)
+	Pop() *event
+	Peek() *event
+	Len() int
+	// Compact removes every cancelled event, calling onPurge for each.
+	Compact(onPurge func(*event))
+	// Clear drops all events (kernel shutdown).
+	Clear()
+}
+
+// QueueKind selects the event-queue implementation behind a kernel.
+type QueueKind int32
+
+const (
+	// QueueCalendar is the calendar queue (O(1) amortized push/pop for
+	// the bursty short-horizon timer mix the simulator generates).
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the original container/heap binary heap, kept for
+	// differential testing and as a fallback.
+	QueueHeap
+)
+
+// defaultQueueKind is what NewKernel uses; atomic so tests can flip it
+// while parallel (-race) suites run.
+var defaultQueueKind atomic.Int32
+
+// DefaultQueueKind reports the queue implementation NewKernel selects.
+func DefaultQueueKind() QueueKind { return QueueKind(defaultQueueKind.Load()) }
+
+// SetDefaultQueueKind changes the queue implementation NewKernel selects
+// and returns the previous one. Differential suites flip it around a run
+// to execute the identical workload on the other queue.
+func SetDefaultQueueKind(kind QueueKind) QueueKind {
+	return QueueKind(defaultQueueKind.Swap(int32(kind)))
+}
+
+func newEventQueue(kind QueueKind) eventQueue {
+	if kind == QueueHeap {
+		return &heapQueue{}
+	}
+	return newCalQueue()
+}
+
+// eventHeap is a min-heap in eventLess order (the QueueHeap backend).
+type eventHeap []*event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 
 func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
 
@@ -41,20 +119,109 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// heapQueue adapts eventHeap to the eventQueue interface.
+type heapQueue struct{ h eventHeap }
+
+func (q *heapQueue) Push(ev *event) { heap.Push(&q.h, ev) }
+func (q *heapQueue) Len() int       { return len(q.h) }
+
+func (q *heapQueue) Pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*event)
+}
+
+func (q *heapQueue) Peek() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *heapQueue) Compact(onPurge func(*event)) {
+	kept := q.h[:0]
+	for _, ev := range q.h {
+		if ev.cancelled {
+			onPurge(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(q.h); i++ {
+		q.h[i] = nil
+	}
+	q.h = kept
+	heap.Init(&q.h)
+}
+
+func (q *heapQueue) Clear() { q.h = nil }
+
+// maxFreeEvents bounds the per-kernel event free list so a burst (a huge
+// fan-out of timers) does not pin its high-water mark of event objects
+// forever.
+const maxFreeEvents = 1 << 14
+
+// newEvent takes an event from the kernel's free list, or allocates one.
+// Events never migrate between kernels: a Timer handle may touch its
+// event's gen field from this kernel's execution context at any later
+// point, so recycling through a cross-kernel pool would race under a
+// parallel Sharded run.
+func (k *Kernel) newEvent() *event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// freeEvent recycles a popped event. Bumping gen invalidates any Timer
+// handle still pointing here.
+func (k *Kernel) freeEvent(ev *event) {
+	ev.gen++
+	ev.p = nil
+	ev.fn = nil
+	ev.epoch = 0
+	ev.cancelled = false
+	if len(k.free) < maxFreeEvents {
+		k.free = append(k.free, ev)
+	}
+}
+
 func (k *Kernel) schedule(at Time, p *Proc, fn func()) *event {
 	if at < k.now {
 		at = k.now
 	}
 	k.seq++
-	ev := &event{at: at, seq: k.seq, p: p, fn: fn}
+	ev := k.newEvent()
+	ev.at, ev.seq, ev.src, ev.p, ev.fn = at, k.seq, localSrc, p, fn
 	if p != nil {
 		ev.epoch = p.epoch
 	}
-	heap.Push(&k.pq, ev)
+	k.pq.Push(ev)
 	if k.host != nil {
-		k.host.HeapPush(len(k.pq))
+		k.host.HeapPush(k.pq.Len())
 	}
 	return ev
+}
+
+// scheduleMessage inserts a cross-shard message delivered at `at`, keyed
+// by the sending LP's identity so execution order does not depend on when
+// the conservative protocol integrated it. The safe-time protocol
+// guarantees messages are integrated before the local clock reaches their
+// delivery time; a violation is a protocol bug, not a recoverable state.
+func (k *Kernel) scheduleMessage(at Time, src int32, seq uint64, fn func()) {
+	if at < k.now {
+		panic("sim: cross-shard message delivered in the local past (lookahead protocol violated)")
+	}
+	ev := k.newEvent()
+	ev.at, ev.seq, ev.src, ev.fn = at, seq, src, fn
+	k.pq.Push(ev)
+	if k.host != nil {
+		k.host.HeapPush(k.pq.Len())
+	}
 }
 
 // After schedules fn to run inside the scheduler after delay d. It must be
@@ -67,22 +234,41 @@ func (k *Kernel) After(d Time, fn func()) {
 // needs cancellation: an armed-but-never-fired deadline must leave no
 // trace in the virtual timeline once the guarded operation completes.
 type Timer struct {
-	ev *event
+	k   *Kernel
+	ev  *event
+	gen uint32
 }
 
 // AfterTimer is After returning a handle that can cancel the callback.
 func (k *Kernel) AfterTimer(d Time, fn func()) *Timer {
-	return &Timer{ev: k.schedule(k.now+d, nil, fn)}
+	t := k.afterTimer(d, fn)
+	return &t
 }
 
-// Cancel discards the timer. The event stays in the heap but is purged
-// without running or advancing the clock. Safe to call more than once and
-// after the timer fired.
+// afterTimer is AfterTimer by value, for internal callers (GetCtl/PutCtl)
+// that arm and cancel a deadline on every bounded operation and must not
+// allocate a Timer each time.
+func (k *Kernel) afterTimer(d Time, fn func()) Timer {
+	ev := k.schedule(k.now+d, nil, fn)
+	return Timer{k: k, ev: ev, gen: ev.gen}
+}
+
+// Cancel discards the timer. The event stays queued but is purged without
+// running or advancing the clock — lazily when it reaches the head, or in
+// bulk once cancelled entries outnumber half the live ones. Safe to call
+// more than once and after the timer fired.
 func (t *Timer) Cancel() {
 	if t == nil || t.ev == nil {
 		return
 	}
-	t.ev.cancelled = true
-	t.ev.fn = nil
+	ev := t.ev
 	t.ev = nil
+	if ev.gen != t.gen || ev.cancelled {
+		// The timer already fired (the event was recycled, possibly into
+		// a new role) or was already cancelled.
+		return
+	}
+	ev.cancelled = true
+	ev.fn = nil
+	t.k.noteCancel()
 }

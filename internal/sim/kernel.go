@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -15,12 +14,24 @@ import (
 type Kernel struct {
 	now  Time
 	seq  uint64
-	pq   eventHeap
+	pq   eventQueue
+	free []*event // recycled event objects, never shared across kernels
 	ctl  chan struct{} // running proc -> scheduler: "I parked or exited"
 	rng   *rand.Rand
 	trac  Tracer
 	host  HostProbe // wall-clock instrumentation; nil disables
 	clock ClockHook // observes virtual-clock advances; nil disables
+
+	// nCancelled counts cancelled events still sitting in the queue; when
+	// they outnumber half the live entries the queue is compacted.
+	nCancelled int
+
+	// gov/grant attach this kernel to a Sharded run as one logical
+	// process. grant is the safe-time horizon: events strictly below it
+	// may dispatch without coordination. A detached kernel has grant ==
+	// Forever, so the gate costs one comparison on the hot path.
+	gov   *LP
+	grant Time
 
 	procs    []*Proc
 	live     int // procs spawned and not yet finished
@@ -62,12 +73,44 @@ type HostProbe interface {
 }
 
 // NewKernel returns a kernel with the virtual clock at zero. The seed feeds
-// the kernel RNG used by procs; identical seeds give identical runs.
+// the kernel RNG used by procs; identical seeds give identical runs. The
+// event queue is the process-wide default kind (see SetDefaultQueueKind).
 func NewKernel(seed int64) *Kernel {
+	return NewKernelQueue(seed, DefaultQueueKind())
+}
+
+// NewKernelQueue is NewKernel with an explicit event-queue implementation,
+// for differential testing: both kinds produce the identical pop order, so
+// same-seed runs are bit-for-bit equal under either.
+func NewKernelQueue(seed int64, kind QueueKind) *Kernel {
 	return &Kernel{
-		ctl: make(chan struct{}),
-		rng: rand.New(rand.NewSource(seed)),
+		pq:    newEventQueue(kind),
+		ctl:   make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		grant: Forever,
 	}
+}
+
+// noteCancel accounts one newly cancelled in-queue event and compacts the
+// queue once cancelled entries exceed half of the live ones (3c > len ⇔
+// c > (len-c)/2), so heavy GetTimeout churn cannot bloat the queue between
+// the lazy at-the-head purges.
+func (k *Kernel) noteCancel() {
+	k.nCancelled++
+	if n := k.pq.Len(); n >= 64 && 3*k.nCancelled > n {
+		k.compact()
+	}
+}
+
+func (k *Kernel) compact() {
+	k.pq.Compact(func(ev *event) {
+		if k.host != nil {
+			k.host.HeapPop()
+			k.host.CancelPurge()
+		}
+		k.freeEvent(ev)
+	})
+	k.nCancelled = 0
 }
 
 // Now reports the current virtual time.
@@ -172,25 +215,47 @@ func (k *Kernel) RunUntil(deadline Time) error {
 	if k.running != nil {
 		panic("sim: RunUntil called from proc context")
 	}
-	for len(k.pq) > 0 && !k.shutdown {
-		if k.pq[0].cancelled {
+	for !k.shutdown {
+		ev := k.pq.Peek()
+		if ev == nil {
+			// Out of local work. An attached LP parks in the safe-time
+			// protocol and may be handed cross-shard messages; a detached
+			// kernel is simply done.
+			if k.gov != nil && k.gov.awaitWork(k) {
+				continue
+			}
+			break
+		}
+		if ev.cancelled {
 			// Purged before the deadline check and before the clock moves:
 			// a cancelled timer must not stretch the run's final time.
-			heap.Pop(&k.pq)
+			k.pq.Pop()
+			if k.nCancelled > 0 {
+				k.nCancelled--
+			}
 			if k.host != nil {
 				k.host.HeapPop()
 				k.host.CancelPurge()
 			}
+			k.freeEvent(ev)
 			continue
 		}
-		if k.pq[0].at > deadline {
+		if k.gov != nil && ev.at >= k.grant {
+			// Conservative gate: the next event is not yet proven safe.
+			// awaitGrant blocks until the safe horizon extends past it or
+			// earlier cross-shard messages arrive (then re-examine), or
+			// aborts the kernel when the Sharded run is stopping.
+			k.gov.awaitGrant(k, ev.at)
+			continue
+		}
+		if ev.at > deadline {
 			k.now = deadline
 			if k.clock != nil {
 				k.clock(k.now)
 			}
 			return nil
 		}
-		ev := heap.Pop(&k.pq).(*event)
+		k.pq.Pop()
 		k.now = ev.at
 		if k.clock != nil {
 			k.clock(k.now)
@@ -201,17 +266,26 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		}
 		switch {
 		case ev.fn != nil:
+			fn := ev.fn
+			// Recycle before running: if fn cancels its own (already
+			// fired) timer, the bumped generation makes that a no-op
+			// instead of a miscount.
+			k.freeEvent(ev)
 			if k.host != nil {
 				k.host.SliceStart(-1)
-				ev.fn()
+				fn()
 				k.host.SliceEnd(-1)
 			} else {
-				ev.fn()
+				fn()
 			}
 		case ev.p != nil:
-			if ev.epoch == ev.p.epoch {
-				k.resume(ev.p)
+			p, epoch := ev.p, ev.epoch
+			k.freeEvent(ev)
+			if epoch == p.epoch {
+				k.resume(p)
 			}
+		default:
+			k.freeEvent(ev)
 		}
 	}
 	if k.shutdown {
@@ -262,7 +336,8 @@ func (k *Kernel) drain() {
 			break
 		}
 	}
-	k.pq = nil
+	k.pq.Clear()
+	k.nCancelled = 0
 }
 
 // ErrDeadlock is wrapped by the error Run returns when the simulation
@@ -291,7 +366,13 @@ func (k *Kernel) deadlockError() error {
 	e := &ErrDeadlock{At: k.now}
 	for _, p := range k.procs {
 		if p.state == procParked {
-			e.Blocked = append(e.Blocked, BlockedProc{Name: p.name, Reason: p.waitReason})
+			reason := p.waitReason
+			if reason == "advancing" && p.waitTarget != 0 {
+				// Formatted lazily here so the Advance hot path does not
+				// build the string on every park.
+				reason = fmt.Sprintf("advancing to %s", p.waitTarget)
+			}
+			e.Blocked = append(e.Blocked, BlockedProc{Name: p.name, Reason: reason})
 		}
 	}
 	sort.Slice(e.Blocked, func(i, j int) bool { return e.Blocked[i].Name < e.Blocked[j].Name })

@@ -26,7 +26,15 @@ type Proc struct {
 	wake       chan struct{}
 	state      procState
 	waitReason string
+	// waitTarget qualifies waitReason for Advance parks ("advancing to
+	// <target>"): the formatted string is built lazily in deadlock
+	// reports, keeping the Advance hot path allocation-free.
+	waitTarget Time
 	rng        *rand.Rand
+	// readySelf is the cached "wake me if parked" callback handed to
+	// deadline timers, built once per proc instead of once per bounded
+	// operation.
+	readySelf func()
 	// epoch increments on every resume; wake events remember the epoch
 	// they were scheduled under so stale wakes (the proc was resumed by
 	// another source meanwhile) are discarded.
@@ -87,6 +95,16 @@ func (p *Proc) Rand() *rand.Rand {
 	return p.rng
 }
 
+// readyCB returns the proc's cached self-wake callback for deadline
+// timers: equivalent to func() { p.k.ReadyIfParked(p) } but allocated
+// once per proc.
+func (p *Proc) readyCB() func() {
+	if p.readySelf == nil {
+		p.readySelf = func() { p.k.ReadyIfParked(p) }
+	}
+	return p.readySelf
+}
+
 // checkRunning panics if a kernel primitive is invoked from a goroutine
 // other than the currently running proc — the classic way to corrupt a
 // cooperative simulation.
@@ -131,11 +149,13 @@ func (p *Proc) Advance(d Time) {
 	for p.k.now < target || d == 0 {
 		d = -1 // a zero advance still yields exactly once
 		p.state = procParked
-		p.waitReason = fmt.Sprintf("advancing to %s", target)
+		p.waitReason = "advancing"
+		p.waitTarget = target
 		p.k.schedule(target, p, nil)
 		p.k.ctl <- struct{}{}
 		<-p.wake
 		p.waitReason = ""
+		p.waitTarget = 0
 		if p.k.shutdown {
 			panic(shutdownSentinel{})
 		}

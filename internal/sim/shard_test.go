@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// shardPingRun wires two linked LPs that bounce a token back and forth
+// `rounds` times over links with the given latency, returning each LP's
+// receipt log and final clock.
+func shardPingRun(t *testing.T, workers, rounds int, lat Time) [2][]string {
+	t.Helper()
+	var logs [2][]string
+	var ks [2]*Kernel
+	var qs [2]*Queue[int]
+	for i := range ks {
+		ks[i] = NewKernel(int64(100 + i))
+		qs[i] = NewQueue[int](ks[i], "in", 64)
+	}
+	s := NewSharded(workers)
+	var lps [2]*LP
+	body := func(i int) func(*LP) error {
+		return func(lp *LP) error {
+			k := ks[i]
+			lp.Attach(k)
+			peer := lps[1-i]
+			k.Spawn("player", func(p *Proc) {
+				for r := 0; r < rounds; r++ {
+					if i == 0 {
+						v := r
+						lp.Post(peer, lat, func() { qs[1].TryPut(1000 + v) })
+					}
+					got := qs[i].Get(p)
+					logs[i] = append(logs[i], fmt.Sprintf("t=%s got %d", k.Now(), got))
+					if i == 1 {
+						v := got
+						lp.Post(peer, lat, func() { qs[0].TryPut(v + 1000) })
+					}
+				}
+			})
+			if err := k.Run(); err != nil {
+				return err
+			}
+			logs[i] = append(logs[i], fmt.Sprintf("end t=%s", k.Now()))
+			return nil
+		}
+	}
+	lps[0] = s.AddLP("a", body(0))
+	lps[1] = s.AddLP("b", body(1))
+	s.Link(lps[0], lps[1], lat)
+	s.Link(lps[1], lps[0], lat)
+	if err := s.Run(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return logs
+}
+
+// TestShardedPingPongEquivalence is the core parallel-determinism gate at
+// the sim layer: the same linked two-LP run must produce identical logs
+// under 1 worker (the sequential reference) and 4 workers.
+func TestShardedPingPongEquivalence(t *testing.T) {
+	seqLogs := shardPingRun(t, 1, 200, 3*Microsecond)
+	parLogs := shardPingRun(t, 4, 200, 3*Microsecond)
+	for i := range seqLogs {
+		if len(seqLogs[i]) != len(parLogs[i]) {
+			t.Fatalf("lp%d: log lengths differ: seq=%d par=%d", i, len(seqLogs[i]), len(parLogs[i]))
+		}
+		for j := range seqLogs[i] {
+			if seqLogs[i][j] != parLogs[i][j] {
+				t.Fatalf("lp%d diverges at %d: seq=%q par=%q", i, j, seqLogs[i][j], parLogs[i][j])
+			}
+		}
+	}
+	// And the timing itself must be exact: each hop costs lat, token
+	// returns every 2 hops, 200 rounds.
+	want := fmt.Sprintf("end t=%s", Time(200*2*3*Microsecond))
+	if got := seqLogs[0][len(seqLogs[0])-1]; got != want {
+		t.Fatalf("final clock: got %q want %q", got, want)
+	}
+}
+
+// TestShardedRing circulates a token around a 5-LP ring: progress proves
+// the safe-time solver jumps horizons through the cycle instead of
+// stalling or creeping.
+func TestShardedRing(t *testing.T) {
+	const n, laps = 5, 40
+	lat := 2 * Microsecond
+	var ks [n]*Kernel
+	var qs [n]*Queue[int]
+	for i := range ks {
+		ks[i] = NewKernel(int64(i))
+		qs[i] = NewQueue[int](ks[i], "ring", 4)
+	}
+	s := NewSharded(3)
+	var lps [n]*LP
+	var hops atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		lps[i] = s.AddLP(fmt.Sprintf("n%d", i), func(lp *LP) error {
+			k := ks[i]
+			lp.Attach(k)
+			next := lps[(i+1)%n]
+			k.Spawn("relay", func(p *Proc) {
+				if i == 0 {
+					ni := (i + 1) % n
+					lp.Post(next, lat, func() { qs[ni].TryPut(1) })
+				}
+				for lap := 0; lap < laps; lap++ {
+					v := qs[i].Get(p)
+					hops.Add(1)
+					if i == 0 && lap == laps-1 {
+						return // token retired after the last lap
+					}
+					ni := (i + 1) % n
+					lp.Post(next, lat, func() { qs[ni].TryPut(v + 1) })
+				}
+			})
+			return k.Run()
+		})
+	}
+	for i := 0; i < n; i++ {
+		s.Link(lps[i], lps[(i+1)%n], lat)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The token visits every LP once per lap (the initial post plus n0's
+	// laps-1 forwards each sweep the ring), so every LP receives exactly
+	// laps times and the last delivery — the n*laps-th hop — lands at n0.
+	if got := hops.Load(); got != n*laps {
+		t.Fatalf("hops = %d, want %d", got, n*laps)
+	}
+	if now := ks[0].Now(); now != Time(n*laps)*lat {
+		t.Fatalf("final clock at n0 = %s, want %s", now, Time(n*laps)*lat)
+	}
+}
+
+// TestShardedSameInstantOrdering posts from two senders so both messages
+// arrive at the receiver at the same virtual instant: execution order
+// must follow (sender idx, sender seq), not host scheduling.
+func TestShardedSameInstantOrdering(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		var order []int
+		kc := NewKernel(9)
+		s := NewSharded(3)
+		var sender [2]*LP
+		var recv *LP
+		for i := 0; i < 2; i++ {
+			i := i
+			sender[i] = s.AddLP(fmt.Sprintf("s%d", i), func(lp *LP) error {
+				k := NewKernel(int64(i))
+				lp.Attach(k)
+				k.Spawn("post", func(p *Proc) {
+					// Stagger local clocks; deliveries still collide at 10us.
+					p.Advance(Time(i) * Microsecond)
+					d := Time(10-i) * Microsecond
+					for j := 0; j < 3; j++ {
+						j := j
+						lp.Post(recv, d, func() { order = append(order, i*10+j) })
+					}
+				})
+				return k.Run()
+			})
+		}
+		recv = s.AddLP("recv", func(lp *LP) error {
+			lp.Attach(kc)
+			return kc.Run()
+		})
+		s.Link(sender[0], recv, Microsecond)
+		s.Link(sender[1], recv, Microsecond)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := "[0 1 2 10 11 12]"
+		if got := fmt.Sprint(order); got != want {
+			t.Fatalf("trial %d: delivery order %s, want %s", trial, got, want)
+		}
+	}
+}
+
+// TestShardedUnlinked runs independent LPs with no links: no protocol
+// overhead, full completion, deterministic per-LP results.
+func TestShardedUnlinked(t *testing.T) {
+	const n = 8
+	var finals [n]Time
+	s := NewSharded(4)
+	for i := 0; i < n; i++ {
+		i := i
+		s.AddLP(fmt.Sprintf("r%d", i), func(lp *LP) error {
+			k := NewKernel(int64(i))
+			k.Spawn("work", func(p *Proc) {
+				for j := 0; j < 1000; j++ {
+					p.Advance(Time(p.Rand().Intn(100)) * Nanosecond)
+				}
+			})
+			if err := k.Run(); err != nil {
+				return err
+			}
+			finals[i] = k.Now()
+			return nil
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var again [n]Time
+	s2 := NewSharded(1)
+	for i := 0; i < n; i++ {
+		i := i
+		s2.AddLP(fmt.Sprintf("r%d", i), func(lp *LP) error {
+			k := NewKernel(int64(i))
+			k.Spawn("work", func(p *Proc) {
+				for j := 0; j < 1000; j++ {
+					p.Advance(Time(p.Rand().Intn(100)) * Nanosecond)
+				}
+			})
+			if err := k.Run(); err != nil {
+				return err
+			}
+			again[i] = k.Now()
+			return nil
+		})
+	}
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finals != again {
+		t.Fatalf("parallel %v != sequential %v", finals, again)
+	}
+}
+
+// TestShardedErrorStopsFleet: one failing body stops the whole run; the
+// reported error is the root cause, not the induced shard stops.
+func TestShardedErrorStopsFleet(t *testing.T) {
+	boom := errors.New("boom")
+	s := NewSharded(2)
+	var lps [2]*LP
+	lps[0] = s.AddLP("bad", func(lp *LP) error {
+		k := NewKernel(1)
+		lp.Attach(k)
+		k.Spawn("fail", func(p *Proc) {
+			p.Advance(Microsecond)
+			p.Fatalf("boom")
+		})
+		if err := k.Run(); err != nil {
+			return fmt.Errorf("%w: %v", boom, err)
+		}
+		return nil
+	})
+	lps[1] = s.AddLP("waiter", func(lp *LP) error {
+		k := NewKernel(2)
+		lp.Attach(k)
+		q := NewQueue[int](k, "never", 1)
+		k.Spawn("wait", func(p *Proc) { q.Get(p) })
+		return k.Run()
+	})
+	s.Link(lps[0], lps[1], Microsecond)
+	s.Link(lps[1], lps[0], Microsecond)
+	err := s.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want the root-cause failure", err)
+	}
+	if lps[1].err == nil {
+		t.Fatal("surviving LP was not stopped")
+	}
+	if !errors.Is(lps[1].err, ErrShardStopped) && !strings.Contains(lps[1].err.Error(), "deadlock") {
+		t.Fatalf("survivor error = %v, want induced stop", lps[1].err)
+	}
+}
+
+// TestShardedLocalDeadlock: a linked LP whose procs can never run again
+// quiesces globally and surfaces the standard per-LP deadlock report.
+func TestShardedLocalDeadlock(t *testing.T) {
+	s := NewSharded(2)
+	var lps [2]*LP
+	lps[0] = s.AddLP("stuck", func(lp *LP) error {
+		k := NewKernel(1)
+		lp.Attach(k)
+		q := NewQueue[int](k, "q", 0)
+		k.Spawn("blocked", func(p *Proc) { q.Get(p) })
+		return k.Run()
+	})
+	lps[1] = s.AddLP("fine", func(lp *LP) error {
+		k := NewKernel(2)
+		lp.Attach(k)
+		k.Spawn("quick", func(p *Proc) { p.Advance(Microsecond) })
+		return k.Run()
+	})
+	s.Link(lps[0], lps[1], Microsecond)
+	s.Link(lps[1], lps[0], Microsecond)
+	err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("Run error = %v, want deadlock report", err)
+	}
+	if !strings.Contains(err.Error(), "get on queue q") {
+		t.Fatalf("deadlock report lost the park reason: %v", err)
+	}
+}
+
+// TestShardedPostValidation: protocol misuse fails loudly.
+func TestShardedPostValidation(t *testing.T) {
+	s := NewSharded(1)
+	var a, b *LP
+	a = s.AddLP("a", func(lp *LP) error {
+		k := NewKernel(1)
+		lp.Attach(k)
+		k.Spawn("p", func(p *Proc) {
+			defer func() {
+				if recover() == nil {
+					p.Fatalf("Post below link latency did not panic")
+				}
+			}()
+			lp.Post(b, Nanosecond, func() {}) // latency is 1us: must panic
+		})
+		return k.Run()
+	})
+	b = s.AddLP("b", func(lp *LP) error {
+		k := NewKernel(2)
+		lp.Attach(k)
+		return k.Run()
+	})
+	s.Link(a, b, Microsecond)
+	s.Link(b, a, Microsecond)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := func() (ok bool, err error) {
+		defer func() {
+			if recover() == nil {
+				err = errors.New("zero-latency Link did not panic")
+			}
+		}()
+		NewSharded(1).Link(a, b, 0)
+		return
+	}(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,14 @@ type Queue[T any] struct {
 	puts []*qwaiter[T]
 	gets []*qwaiter[T]
 	high int
+	// Park reasons are prebuilt at construction: blocking operations park
+	// on every handoff and must not rebuild the same string each time.
+	getReason string
+	putReason string
+	// wfree recycles qwaiter records between blocking operations on this
+	// queue (single-owner lifecycle: the blocking call that takes one
+	// returns it before completing).
+	wfree []*qwaiter[T]
 }
 
 type qwaiter[T any] struct {
@@ -35,7 +43,45 @@ func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
 	if capacity < 0 {
 		panic("sim: negative queue capacity")
 	}
-	return &Queue[T]{k: k, name: name, cap: capacity}
+	return &Queue[T]{
+		k: k, name: name, cap: capacity,
+		getReason: "get on queue " + name,
+		putReason: "put on queue " + name,
+	}
+}
+
+// waiter takes a qwaiter from the queue's free list, or allocates one.
+func (q *Queue[T]) waiter() *qwaiter[T] {
+	if n := len(q.wfree); n > 0 {
+		w := q.wfree[n-1]
+		q.wfree[n-1] = nil
+		q.wfree = q.wfree[:n-1]
+		return w
+	}
+	return &qwaiter[T]{}
+}
+
+// popWaiter removes the head of a waiter list in place, keeping the
+// backing array so the steady put/get handoff cycle never reallocates
+// (the old `list = list[1:]` reslice leaked capacity one element per
+// handoff). Waiter lists are short — one or two entries — so the
+// copy-down is cheaper than a ring.
+func popWaiter[T any](list *[]*qwaiter[T]) {
+	s := *list
+	copy(s, s[1:])
+	s[len(s)-1] = nil
+	*list = s[:len(s)-1]
+}
+
+// recycle returns a waiter whose blocking operation completed. Waiters
+// abandoned by killed procs (the park panics out) are never recycled —
+// they die with their owner's stack.
+func (q *Queue[T]) recycle(w *qwaiter[T]) {
+	var zero T
+	w.p, w.v, w.rdy, w.served = nil, zero, false, false
+	if len(q.wfree) < 16 {
+		q.wfree = append(q.wfree, w)
+	}
 }
 
 // Len reports the number of buffered items.
@@ -62,11 +108,13 @@ func (q *Queue[T]) Put(p *Proc, v T) {
 	if q.TryPut(v) {
 		return
 	}
-	w := &qwaiter[T]{p: p, v: v}
+	w := q.waiter()
+	w.p, w.v = p, v
 	q.puts = append(q.puts, w)
 	for !w.served {
-		p.park(fmt.Sprintf("put on queue %s", q.name))
+		p.park(q.putReason)
 	}
+	q.recycle(w)
 }
 
 // TryPut enqueues v without blocking; it reports false if the queue is full
@@ -74,7 +122,7 @@ func (q *Queue[T]) Put(p *Proc, v T) {
 func (q *Queue[T]) TryPut(v T) bool {
 	for len(q.gets) > 0 {
 		g := q.gets[0]
-		q.gets = q.gets[1:]
+		popWaiter(&q.gets)
 		if g.p.Gone() {
 			continue // killed mid-wait; never hand it a value
 		}
@@ -94,12 +142,15 @@ func (q *Queue[T]) Get(p *Proc) T {
 	if v, ok := q.TryGet(); ok {
 		return v
 	}
-	w := &qwaiter[T]{p: p}
+	w := q.waiter()
+	w.p = p
 	q.gets = append(q.gets, w)
 	for !w.rdy {
-		p.park(fmt.Sprintf("get on queue %s", q.name))
+		p.park(q.getReason)
 	}
-	return w.v
+	v := w.v
+	q.recycle(w)
+	return v
 }
 
 // TryGet dequeues without blocking; ok is false if nothing is available.
@@ -113,7 +164,7 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 	}
 	for len(q.puts) > 0 { // rendezvous, or cap exceeded by blocked putters
 		w := q.puts[0]
-		q.puts = q.puts[1:]
+		popWaiter(&q.puts)
 		if w.p.Gone() {
 			continue // a killed putter's value dies with it
 		}
@@ -128,7 +179,7 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 func (q *Queue[T]) refill() {
 	for len(q.puts) > 0 && len(q.buf) < q.cap {
 		w := q.puts[0]
-		q.puts = q.puts[1:]
+		popWaiter(&q.puts)
 		if w.p.Gone() {
 			continue
 		}
@@ -162,14 +213,15 @@ func (q *Queue[T]) GetCtl(p *Proc, deadline Time, stop func() error) (T, error) 
 	if v, ok := q.TryGet(); ok {
 		return v, nil
 	}
-	w := &qwaiter[T]{p: p}
+	w := q.waiter()
+	w.p = p
 	q.gets = append(q.gets, w)
-	var tm *Timer
+	var tm Timer
 	if deadline > 0 {
-		tm = p.k.AfterTimer(deadline-p.k.now, func() { p.k.ReadyIfParked(p) })
+		tm = p.k.afterTimer(deadline-p.k.now, p.readyCB())
 	}
 	for !w.rdy {
-		p.park(fmt.Sprintf("get on queue %s", q.name))
+		p.park(q.getReason)
 		if w.rdy {
 			break
 		}
@@ -181,11 +233,14 @@ func (q *Queue[T]) GetCtl(p *Proc, deadline Time, stop func() error) (T, error) 
 				}
 			}
 			tm.Cancel()
+			q.recycle(w)
 			return zero, err
 		}
 	}
 	tm.Cancel()
-	return w.v, nil
+	v := w.v
+	q.recycle(w)
+	return v, nil
 }
 
 // GetTimeout is GetCtl with only a relative timeout; ok reports whether a
@@ -217,14 +272,15 @@ func (q *Queue[T]) PutCtl(p *Proc, v T, deadline Time, stop func() error) error 
 	if q.TryPut(v) {
 		return nil
 	}
-	w := &qwaiter[T]{p: p, v: v}
+	w := q.waiter()
+	w.p, w.v = p, v
 	q.puts = append(q.puts, w)
-	var tm *Timer
+	var tm Timer
 	if deadline > 0 {
-		tm = p.k.AfterTimer(deadline-p.k.now, func() { p.k.ReadyIfParked(p) })
+		tm = p.k.afterTimer(deadline-p.k.now, p.readyCB())
 	}
 	for !w.served {
-		p.park(fmt.Sprintf("put on queue %s", q.name))
+		p.park(q.putReason)
 		if w.served {
 			break
 		}
@@ -236,10 +292,12 @@ func (q *Queue[T]) PutCtl(p *Proc, v T, deadline Time, stop func() error) error 
 				}
 			}
 			tm.Cancel()
+			q.recycle(w)
 			return err
 		}
 	}
 	tm.Cancel()
+	q.recycle(w)
 	return nil
 }
 

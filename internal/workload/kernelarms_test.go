@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+
+	"cellpilot/internal/core"
+	"cellpilot/internal/sim"
+	"cellpilot/internal/timeline"
+)
+
+// chaosArmRun executes the reference chaos scenario with the stats and
+// timeline sinks attached, returning every observable the kernel-arm
+// determinism contract covers: the chaos fingerprint, the rendered
+// post-run App.Stats() report, and the windowed telemetry fingerprint.
+func chaosArmRun() (fp, stats, tlFP string, err error) {
+	var st core.Stats
+	tl := timeline.New(200 * sim.Microsecond)
+	r, err := Chaos(ChaosConfig{
+		Seed: 11, LossProb: 0.1, KillSPE: true, MailboxDrops: 3,
+		Stats: &st, Timeline: tl,
+	})
+	if err != nil {
+		return "", "", "", err
+	}
+	return r.Fingerprint(), st.String(), tl.Fingerprint(), nil
+}
+
+// TestChaosKernelArmsDeterminism is the kernel-replacement acceptance
+// check at the workload layer: the reference chaos run must produce
+// bit-identical fingerprints, stats reports and timeline series under
+// (1) the default calendar queue, (2) the original heap queue, and
+// (3) the sharded parallel driver with a concurrent neighbour LP
+// competing for host workers.
+func TestChaosKernelArmsDeterminism(t *testing.T) {
+	fp, st, tlfp, err := chaosArmRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm: the retained heap queue must reproduce the calendar result.
+	prev := sim.SetDefaultQueueKind(sim.QueueHeap)
+	hfp, hst, htl, err := chaosArmRun()
+	sim.SetDefaultQueueKind(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hfp != fp {
+		t.Fatalf("heap-queue chaos fingerprint diverges:\n--- calendar ---\n%s\n--- heap ---\n%s", fp, hfp)
+	}
+	if hst != st {
+		t.Fatalf("heap-queue stats report diverges:\n--- calendar ---\n%s\n--- heap ---\n%s", st, hst)
+	}
+	if htl != tlfp {
+		t.Fatalf("heap-queue timeline fingerprint diverges:\n--- calendar ---\n%s\n--- heap ---\n%s", tlfp, htl)
+	}
+
+	// Arm: the same run inside a 2-worker sharded fleet, racing a noisy
+	// neighbour replica for the worker tokens.
+	var sfp, sst, stl string
+	s := sim.NewSharded(2)
+	s.AddLP("chaos", func(lp *sim.LP) error {
+		var err error
+		sfp, sst, stl, err = chaosArmRun()
+		return err
+	})
+	s.AddLP("noise", func(lp *sim.LP) error {
+		_, err := PingPong(PingPongConfig{Type: 1, Bytes: 256, Method: MethodCellPilot, Reps: 20})
+		return err
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sfp != fp {
+		t.Fatalf("sharded chaos fingerprint diverges:\n--- sequential ---\n%s\n--- sharded ---\n%s", fp, sfp)
+	}
+	if sst != st {
+		t.Fatalf("sharded stats report diverges:\n--- sequential ---\n%s\n--- sharded ---\n%s", st, sst)
+	}
+	if stl != tlfp {
+		t.Fatalf("sharded timeline fingerprint diverges:\n--- sequential ---\n%s\n--- sharded ---\n%s", tlfp, stl)
+	}
+}
