@@ -68,6 +68,19 @@ ci-timeline:
 	$(GO) run ./cmd/cellpilot-bench validate scenarios/az-node-loss.yaml scenarios/hotspot-contention.yaml
 .PHONY: ci-timeline
 
+# Flow-observatory gate: the flowmap unit suite (bounded exact table,
+# overflow bucket, fingerprint stability, matrix growth), the
+# zero-virtual-cost proof with the flowmap arm, the kernel-arm
+# determinism check (flow tables bit-identical across calendar/heap/
+# sharded drivers), the scenario-DSL `flow` assertion suites, and the
+# relay-hotspot scenario validated against its golden fingerprint.
+ci-flows:
+	$(GO) test ./internal/flowmap/
+	$(GO) test -run 'ObservabilityZeroCost|KernelArms' ./internal/core/ ./internal/workload/
+	$(GO) test -run 'TestFlow' ./internal/scenario/
+	$(GO) run ./cmd/cellpilot-bench validate scenarios/relay-hotspot.yaml
+.PHONY: ci-flows
+
 # Kernel microbenchmarks, both event-queue implementations side by side:
 # push/pop, steady-state churn and the cancel/purge path on the calendar
 # queue vs the retained heap, plus the allocation-free dispatch/handoff
@@ -127,7 +140,7 @@ ci-host:
 # Deeper sweep (slower): tier-1 plus the race detector, the chaos,
 # observability, scenario-fleet and host-cost gates, the perf-regression
 # guard, and staticcheck when the host has it installed.
-ci-full: ci race ci-chaos ci-obs ci-scenarios ci-timeline ci-parallel bench-guard ci-host
+ci-full: ci race ci-chaos ci-obs ci-scenarios ci-timeline ci-flows ci-parallel bench-guard ci-host
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -48,6 +48,7 @@ import (
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/core"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/fmtmsg"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
@@ -183,6 +184,15 @@ type (
 	// TimelineReport is the analyzed timeline (Stats.Timeline): per-series
 	// peak/mean/p95, burst runs and per-fault recovery times.
 	TimelineReport = timeline.Report
+	// Flowmap classifies every delivery into a flow (src, dst, channel
+	// type, route) and aggregates the node×node traffic matrix, per-hop
+	// attribution, and heavy-hitter table; attach one via App.Flows.
+	Flowmap = flowmap.Map
+	// FlowReport is the analyzed flow observatory (Stats.Flows): traffic
+	// matrix, top-K flows, per-route and per-resource breakdowns.
+	FlowReport = flowmap.Report
+	// FlowKey identifies one flow.
+	FlowKey = flowmap.Key
 )
 
 // Robustness types (fault injection, timeouts, graceful degradation).
@@ -237,6 +247,11 @@ func NewMeter() *Meter { return core.NewMeter() }
 // NewTimeline creates a windowed telemetry recorder for App.Timeline
 // (window 0 selects the default 100µs bucket).
 func NewTimeline(window Time) *Timeline { return timeline.New(window) }
+
+// NewFlowmap creates a flow observatory for App.Flows (maxFlows 0 selects
+// the default bounded flow-table size; overflow past the bound folds into
+// one exact overflow bucket, totals stay exact).
+func NewFlowmap(maxFlows int) *Flowmap { return flowmap.New(maxFlows) }
 
 // NewProfiler creates an empty virtual-time profiler for App.Profile.
 func NewProfiler() *Profiler { return profile.New() }

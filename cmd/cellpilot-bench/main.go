@@ -46,6 +46,7 @@ import (
 
 	"cellpilot/internal/core"
 	"cellpilot/internal/critpath"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/hostbench"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
@@ -250,15 +251,19 @@ func runPingPongGrid(reps int, pub *metrics.Publisher, outDir string) {
 			}
 			var st core.Stats
 			var tl *timeline.Recorder
+			var fl *flowmap.Map
 			if b == 0 {
 				// Trace the first batch only: recording is free in virtual
 				// time, so the timings match the untraced batches exactly,
 				// and one batch of spans is enough for the blame baseline.
-				// The timeline rides along for /timeline.json.
+				// The timeline and flow observatory ride along for
+				// /timeline.json and /flows.json.
 				cfg.Trace = trace.NewRecorder(0)
 				cfg.Stats = &st
 				tl = timeline.New(0)
 				cfg.Timeline = tl
+				fl = flowmap.New(0)
+				cfg.Flows = fl
 			}
 			res, err := workload.PingPong(cfg)
 			if err != nil {
@@ -267,6 +272,11 @@ func runPingPongGrid(reps int, pub *metrics.Publisher, outDir string) {
 			if tl != nil && pub != nil {
 				if data, err := json.Marshal(tl); err == nil {
 					pub.PublishTimeline(append(data, '\n'))
+				}
+			}
+			if fl != nil && pub != nil {
+				if data, err := json.Marshal(fl); err == nil {
+					pub.PublishFlows(append(data, '\n'))
 				}
 			}
 			if b == 0 && st.CritPath != nil {

@@ -11,6 +11,7 @@
 //	cellpilot-trace -metrics out.json   # metric registry as JSON
 //	cellpilot-trace -top                # utilization: procs, channels, links
 //	cellpilot-trace -timeline           # windowed telemetry sparklines
+//	cellpilot-trace -flows              # traffic heatmap + top-K flow table
 //
 // -timeline also folds per-window counter tracks into the -chrome export,
 // so Perfetto renders backlog, utilization and saturation as counter
@@ -63,6 +64,7 @@ func main() {
 	host := flag.String("host", "", "render two BENCH_hostbench.json files as a host-cost trend table: BASE,NEW")
 	timelineOn := flag.Bool("timeline", false, "record and print the windowed telemetry timeline (sparklines, peaks, recovery)")
 	timelineWindow := flag.Duration("timeline-window", 0, "with -timeline: virtual-time bucket width (0 = 100µs)")
+	flowsOn := flag.Bool("flows", false, "record and print the flow observatory (node×node traffic heatmap, top-K flows, per-resource breakdown)")
 	flag.Parse()
 
 	if *host != "" {
@@ -83,6 +85,9 @@ func main() {
 	if *timelineOn {
 		tl = cellpilot.NewTimeline(cellpilot.Time(timelineWindow.Nanoseconds()))
 		app.Timeline = tl
+	}
+	if *flowsOn {
+		app.Flows = cellpilot.NewFlowmap(0)
 	}
 
 	// One channel pair of each Table I flavour: type 1 (PPE↔remote PPE),
@@ -225,6 +230,10 @@ func main() {
 	if st.Timeline != nil {
 		fmt.Println()
 		fmt.Print(st.Timeline.String())
+	}
+	if st.Flows != nil {
+		fmt.Println()
+		fmt.Print(st.Flows.String())
 	}
 	if *top {
 		fmt.Println()

@@ -11,6 +11,7 @@ import (
 	"cellpilot/internal/cellbe"
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/mpi"
 	"cellpilot/internal/profile"
@@ -164,6 +165,12 @@ type App struct {
 	// (internal/timeline), surfaced through Stats().Timeline. Also free
 	// of virtual-time cost. Attach before Run.
 	Timeline *timeline.Recorder
+	// Flows, when set, classifies every delivered message into a flow
+	// (src proc, dst proc, channel type, route) and aggregates the
+	// node×node traffic matrix, per-hop attribution, and heavy-hitter
+	// table (internal/flowmap), surfaced through Stats().Flows. Also free
+	// of virtual-time cost. Attach before Run.
+	Flows *flowmap.Map
 }
 
 // NewApp starts the configuration phase on a cluster. The PI_MAIN process
@@ -286,6 +293,16 @@ func (a *App) SetTimeline(tl *timeline.Recorder) error {
 		return err
 	}
 	a.Timeline = tl
+	return nil
+}
+
+// SetFlows attaches the flow observatory, with the same
+// configuration-phase check as SetTrace.
+func (a *App) SetFlows(f *flowmap.Map) error {
+	if err := a.attachErr("SetFlows"); err != nil {
+		return err
+	}
+	a.Flows = f
 	return nil
 }
 
@@ -438,7 +455,7 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 	// Freeze the observability sinks: everything recorded during the run
 	// goes through this snapshot, so writing the public fields after this
 	// point cannot race with recording (see SetTrace et al.).
-	a.obs = obsSinks{trace: a.Trace, meter: a.Metrics, prof: a.Profile, flight: a.flight, host: a.HostProf, tline: a.Timeline}
+	a.obs = obsSinks{trace: a.Trace, meter: a.Metrics, prof: a.Profile, flight: a.flight, host: a.HostProf, tline: a.Timeline, flow: a.Flows}
 	// Wire the host-cost profiler into the kernel's probe hooks. Guarded:
 	// a typed-nil assigned into the HostProbe interface would defeat the
 	// kernel's `host != nil` fast path.
@@ -487,6 +504,14 @@ func (a *App) Run(mainBody func(ctx *Ctx)) error {
 	a.world = world
 	world.Faults = a.opts.Faults
 	world.Host = a.obs.host
+	// Wire the flow observatory into the layers that see node→node and
+	// wire-level traffic: every delivered MPI message fills the matrix,
+	// every frame the interconnect carries is tallied per link.
+	if f := a.obs.flow; f != nil {
+		f.SetNodes(len(a.Clu.Nodes))
+		world.Flow = f.Node
+		a.Clu.Net.SetFlowHook(f.Wire)
+	}
 
 	// Co-Pilot service processes, spawned in rank order (deterministic).
 	for _, key := range a.copilotOrder {
@@ -613,13 +638,18 @@ func (a *App) logf(p *sim.Proc, proc *Process, format string, args ...any) {
 	}
 }
 
-// record feeds the optional trace recorder and the meter's per-channel
-// backlog watermark.
-func (a *App) record(p *sim.Proc, kind trace.Kind, proc *Process, ch *Channel, bytes int, xfer int64) {
+// record feeds the optional trace recorder, the meter's per-channel
+// backlog watermark, and — on the delivery (read) side — the flow
+// observatory. dur is the operation's blocked time, which the flow layer
+// uses as the delivery latency sample.
+func (a *App) record(p *sim.Proc, kind trace.Kind, proc *Process, ch *Channel, bytes int, xfer int64, dur sim.Time) {
 	if m := a.obs.meter; m != nil {
 		m.noteBacklog(ch.id, kind)
 	}
 	if a.obs.trace != nil {
 		a.obs.trace.Record(trace.Event{At: p.Now(), Kind: kind, Proc: proc.String(), Channel: ch.id, Bytes: bytes, Xfer: xfer})
+	}
+	if kind == trace.KindRead {
+		a.flowDeliver(ch, bytes, dur)
 	}
 }

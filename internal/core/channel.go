@@ -68,6 +68,10 @@ type Channel struct {
 	// App.failChannel when an endpoint or its Co-Pilot dies, or when a
 	// hard-deadline operation dies mid-protocol).
 	fault *ChannelFault
+
+	// flow caches the channel's flow classification (key + hop lists),
+	// computed lazily at first delivery (flow.go). Nil until then.
+	flow *chanFlow
 }
 
 // Fault reports the poisoning fault, or nil while the channel is healthy.

@@ -129,7 +129,7 @@ func (c *Ctx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft boo
 		c.app.spanPhase(xfer, trace.PhaseCopy, self, ch, len(wire), copyStart, c.P.Now())
 		c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-copyStart)
 		c.app.meterOp(ch, len(wire), c.P.Now()-opStart)
-		c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
+		c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer, c.P.Now()-opStart)
 		return nil
 	}
 
@@ -169,7 +169,7 @@ func (c *Ctx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft boo
 	c.app.spanPhase(xfer, trace.PhaseMPISend, self, ch, len(wire), sendStart, c.P.Now())
 	c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
 	c.app.meterOp(ch, len(wire), c.P.Now()-opStart)
-	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
+	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer, c.P.Now()-opStart)
 	return nil
 }
 
@@ -298,7 +298,7 @@ func (c *Ctx) readFrom(loc, api string, ch *Channel, timeout sim.Time, soft bool
 	}
 	c.app.spanPhase(xfer, trace.PhasePack, self, ch, size, unpackStart, c.P.Now())
 	c.app.meterOp(ch, size, c.P.Now()-opStart)
-	c.app.record(c.P, trace.KindRead, c.Self, ch, size, xfer)
+	c.app.record(c.P, trace.KindRead, c.Self, ch, size, xfer, c.P.Now()-opStart)
 	return nil
 }
 
@@ -384,7 +384,7 @@ func (c *Ctx) writeChunked(loc, api string, ch *Channel, spec *fmtmsg.Spec, wire
 	c.app.spanPhase(xfer, trace.PhaseChunkRelay, self, ch, len(wire), sendStart, c.P.Now())
 	c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
 	c.app.meterOp(ch, len(wire), c.P.Now()-opStart)
-	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
+	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer, c.P.Now()-opStart)
 	return nil
 }
 
@@ -473,7 +473,7 @@ func (c *Ctx) readChunked(loc, api string, ch *Channel, spec *fmtmsg.Spec, expec
 	}
 	c.app.spanPhase(xfer, trace.PhasePack, self, ch, size, unpackStart, c.P.Now())
 	c.app.meterOp(ch, size, c.P.Now()-opStart)
-	c.app.record(c.P, trace.KindRead, c.Self, ch, size, xfer)
+	c.app.record(c.P, trace.KindRead, c.Self, ch, size, xfer, c.P.Now()-opStart)
 	return nil
 }
 
@@ -588,7 +588,7 @@ func (c *Ctx) Broadcast(b *Bundle, format string, args ...any) {
 		c.app.spanPhase(xfer, trace.PhaseMPISend, c.Self.String(), ch, len(wire), sendStart, c.P.Now())
 		c.app.meterBlocked(c.Self, blockWrite, c.P.Now()-sendStart)
 		c.app.meterOp(ch, len(wire), c.P.Now()-sendStart)
-		c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
+		c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer, c.P.Now()-sendStart)
 	}
 }
 
@@ -643,7 +643,7 @@ func (c *Ctx) Gather(b *Bundle, format string, out any) {
 		c.app.spanPhase(st.Xfer, trace.PhaseMPIWait, c.Self.String(), ch, len(data)-hdrSize, waitStart, c.P.Now())
 		c.app.meterBlocked(c.Self, blockRead, c.P.Now()-waitStart)
 		c.app.meterOp(ch, len(data)-hdrSize, c.P.Now()-waitStart)
-		c.app.record(c.P, trace.KindRead, c.Self, ch, len(data)-hdrSize, st.Xfer)
+		c.app.record(c.P, trace.KindRead, c.Self, ch, len(data)-hdrSize, st.Xfer, c.P.Now()-waitStart)
 		sig, size := parseHeader(data)
 		if sig != spec.Signature() || size != perWriter {
 			c.fail(loc, "PI_Gather", "writer on %s sent %d bytes with a different format; expected %q (%d bytes)",

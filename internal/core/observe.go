@@ -1,6 +1,9 @@
 package core
 
 import (
+	"strings"
+
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/profile"
@@ -108,6 +111,7 @@ type obsSinks struct {
 	flight *trace.Flight
 	host   *hostprof.Profiler
 	tline  *timeline.Recorder
+	flow   *flowmap.Map
 }
 
 // newXfer allocates the next transfer id (ids are 1-based; 0 means
@@ -137,6 +141,16 @@ func (a *App) spanPhase(xfer int64, phase trace.PhaseKind, proc string, ch *Chan
 	}
 	if a.obs.prof != nil {
 		a.profAttribute(pe)
+	}
+	// Flow observatory: a copy/relay span executed by a Co-Pilot is that
+	// hop's measured occupancy on behalf of the channel's flow.
+	if f := a.obs.flow; f != nil {
+		switch phase {
+		case trace.PhaseCopy, trace.PhaseRelay, trace.PhaseChunkRelay:
+			if strings.HasPrefix(proc, copilotLabelPrefix) {
+				f.HopBusy(proc, a.flowInfo(ch).key, end-start)
+			}
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cellpilot/internal/fault"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/profile"
 	"cellpilot/internal/sim"
@@ -40,6 +41,12 @@ func runFiveTypesFull(t *testing.T, rounds int, rec *trace.Recorder, meter *Mete
 // runFiveTypesSinks additionally attaches a timeline recorder.
 func runFiveTypesSinks(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, prof *profile.Profiler, host *hostprof.Profiler, tl *timeline.Recorder, opts Options) (*App, sim.Time) {
 	t.Helper()
+	return runFiveTypesAllSinks(t, rounds, rec, meter, prof, host, tl, nil, opts)
+}
+
+// runFiveTypesAllSinks additionally attaches a flow observatory.
+func runFiveTypesAllSinks(t *testing.T, rounds int, rec *trace.Recorder, meter *Meter, prof *profile.Profiler, host *hostprof.Profiler, tl *timeline.Recorder, fl *flowmap.Map, opts Options) (*App, sim.Time) {
+	t.Helper()
 	c := newTestCluster(t)
 	a := NewApp(c, opts)
 	a.Trace = rec
@@ -47,6 +54,7 @@ func runFiveTypesSinks(t *testing.T, rounds int, rec *trace.Recorder, meter *Met
 	a.Profile = prof
 	a.HostProf = host
 	a.Timeline = tl
+	a.Flows = fl
 
 	var t1d, t1u, t2d, t2u, t3d, t3u, t4ab, t4ba, t5ab, t5ba *Channel
 	mkEcho := func(down, up **Channel) *SPEProgram {
@@ -143,7 +151,12 @@ func TestObservabilityZeroCost(t *testing.T) {
 	// timeline must match the bare run bit for bit.
 	tlA := timeline.New(0)
 	tlApp, withTimeline := runFiveTypesSinks(t, 2, nil, nil, nil, nil, tlA, Options{})
-	_, withEverything := runFiveTypesSinks(t, 2, trace.NewRecorder(0), NewMeter(), profile.New(), hostprof.New(1), timeline.New(0), Options{})
+	// Flow arms: the flow observatory classifies deliveries and attributes
+	// hop occupancy entirely from observed values — attached or detached
+	// (nil flowmap) the virtual timeline must match the bare run bit for bit.
+	flA := flowmap.New(0)
+	flApp, withFlows := runFiveTypesAllSinks(t, 2, nil, nil, nil, nil, nil, flA, Options{})
+	_, withEverything := runFiveTypesAllSinks(t, 2, trace.NewRecorder(0), NewMeter(), profile.New(), hostprof.New(1), timeline.New(0), flowmap.New(0), Options{})
 
 	if bare != withRec || bare != withMeter || bare != withBoth {
 		t.Fatalf("virtual time diverged: bare=%v rec=%v meter=%v both=%v",
@@ -160,6 +173,23 @@ func TestObservabilityZeroCost(t *testing.T) {
 	if bare != withTimeline || bare != withEverything {
 		t.Fatalf("virtual time diverged with timeline: bare=%v timeline=%v all-sinks=%v",
 			bare, withTimeline, withEverything)
+	}
+	if bare != withFlows {
+		t.Fatalf("virtual time diverged with flowmap: bare=%v flows=%v", bare, withFlows)
+	}
+	// The flow observatory actually observed the run: every one of the
+	// seven canonical routes appears (the workload drives all five channel
+	// types, types 2 and 3 in both directions), and Stats surfaces the
+	// report only when a flowmap is attached.
+	flStats := flApp.Stats()
+	if flStats.Flows == nil || flStats.Flows.FlowCount == 0 || flStats.Flows.TotalMsgs == 0 {
+		t.Fatalf("flowmap recorded nothing: %+v", flStats.Flows)
+	}
+	if got, want := len(flStats.Flows.Routes), len(flowmap.Routes()); got != want {
+		t.Fatalf("flowmap saw %d routes, want all %d: %+v", got, want, flStats.Flows.Routes)
+	}
+	if bareApp.Stats().Flows != nil {
+		t.Fatal("Stats().Flows populated without a flowmap attached")
 	}
 	// The timeline actually observed the run and surfaces through Stats.
 	tlStats := tlApp.Stats()

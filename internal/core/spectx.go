@@ -314,7 +314,7 @@ func (c *SPECtx) writeFrom(loc, api string, ch *Channel, timeout sim.Time, soft 
 	c.app.spanPhase(xfer, trace.PhaseMailboxWait, self, ch, len(wire), postEnd, c.P.Now())
 	c.app.meterBlocked(c.Self, blockMailbox, c.P.Now()-postStart)
 	c.app.meterOp(ch, len(wire), c.P.Now()-packStart)
-	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer)
+	c.app.record(c.P, trace.KindWrite, c.Self, ch, len(wire), xfer, c.P.Now()-packStart)
 	if err := ls.Release(); err != nil {
 		c.fail(loc, api, "%v", err)
 	}
@@ -440,7 +440,7 @@ func (c *SPECtx) readFrom(loc, api string, ch *Channel, timeout sim.Time, soft b
 	c.app.spanPhase(xfer, trace.PhasePack, self, ch, expected, waitEnd, c.P.Now())
 	c.app.meterBlocked(c.Self, blockMailbox, waitEnd-postStart)
 	c.app.meterOp(ch, expected, c.P.Now()-postStart)
-	c.app.record(c.P, trace.KindRead, c.Self, ch, expected, xfer)
+	c.app.record(c.P, trace.KindRead, c.Self, ch, expected, xfer, c.P.Now()-postStart)
 	if err := ls.Release(); err != nil {
 		c.fail(loc, api, "%v", err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"cellpilot/internal/critpath"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/metrics"
 	"cellpilot/internal/sim"
@@ -150,6 +151,11 @@ type Stats struct {
 	// peak/mean/p95/burst/recovery analytics). Populated only when
 	// App.Timeline was attached; nil otherwise.
 	Timeline *timeline.Report
+	// Flows is the flow observatory report: node×node traffic matrix,
+	// top-K heavy-hitter flows, per-route aggregates, and per-resource
+	// (NIC/Co-Pilot) contribution breakdowns. Populated only when
+	// App.Flows was attached; nil otherwise.
+	Flows *flowmap.Report
 }
 
 // Stats collects the utilization report. Call it after Run returns.
@@ -158,6 +164,9 @@ func (a *App) Stats() Stats {
 	st.NetworkMessages, st.NetworkBytes = a.Clu.Net.Stats()
 	if a.obs.tline != nil {
 		st.Timeline = a.obs.tline.Report()
+	}
+	if f := a.obs.flow; f != nil {
+		st.Flows = f.Report(0)
 	}
 	elapsed := float64(st.VirtualTime)
 	keys := make([]copilotKey, 0, len(a.copilots))
@@ -313,6 +322,15 @@ func (a *App) pushTelemetryGauges(reg *metrics.Registry, st Stats) {
 	if st.Host != nil {
 		st.Host.PublishTo(reg)
 	}
+	if fr := st.Flows; fr != nil {
+		reg.Gauge("flow/flows").Set(float64(fr.FlowCount))
+		reg.Gauge("flow/messages_total").Set(float64(fr.TotalMsgs))
+		reg.Gauge("flow/bytes_total").Set(float64(fr.TotalBytes))
+		for _, rt := range fr.Routes {
+			reg.Gauge("flow/route/" + rt.Route + "/bytes").Set(float64(rt.Bytes))
+			reg.Gauge("flow/route/" + rt.Route + "/messages").Set(float64(rt.Msgs))
+		}
+	}
 }
 
 // pushFaultMetrics publishes the injector's counters into the metrics
@@ -410,6 +428,10 @@ func (s Stats) String() string {
 	if h := s.Host; h != nil && h.Events > 0 {
 		fmt.Fprintf(&b, "  host: %d events, %.0fns/event sampled, max heap depth %d\n",
 			h.Events, h.NsPerSlice, h.MaxHeapDepth)
+	}
+	if fr := s.Flows; fr != nil {
+		fmt.Fprintf(&b, "  flows: %d flows, %d messages (%d bytes) across %d routes\n",
+			fr.FlowCount, fr.TotalMsgs, fr.TotalBytes, len(fr.Routes))
 	}
 	if cp := s.CritPath; cp != nil && cp.CritTotal > 0 {
 		fmt.Fprintf(&b, "  critical path: %d traced transfers, %v summed, %v queueing behind other transfers\n",

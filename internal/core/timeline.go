@@ -31,8 +31,17 @@ func (a *App) timelineSample(s *timeline.Sample) {
 	for _, ls := range a.Clu.Net.LinkStats() {
 		s.Add("link/"+ls.Name+"/saturation", timeline.Busy, float64(ls.Busy))
 	}
-	_, bytes := a.Clu.Net.Stats()
+	msgs, bytes := a.Clu.Net.Stats()
 	s.Add("net/bytes", timeline.Counter, float64(bytes))
+	s.Add("net/messages", timeline.Counter, float64(msgs))
+	if f := a.obs.flow; f != nil {
+		// Per-route delivered-byte counters. RouteNames is sorted, so
+		// series creation order — and with it the timeline fingerprint —
+		// is deterministic.
+		for _, r := range f.RouteNames() {
+			s.Add("flow/"+r, timeline.Counter, float64(f.RouteBytes(r)))
+		}
+	}
 	for _, p := range a.procs {
 		if p.IsSPE() && p.sctx != nil {
 			s.Add("mailbox/"+p.String()+"/in_highwater", timeline.Gauge, float64(p.sctx.SPE.InMbox.HighWater()))

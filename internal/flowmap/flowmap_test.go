@@ -1,0 +1,218 @@
+package flowmap
+
+import (
+	"strings"
+	"testing"
+
+	"cellpilot/internal/sim"
+)
+
+func key(src, dst string, typ int, route string) Key {
+	return Key{Src: src, Dst: dst, Type: typ, Route: route}
+}
+
+// A nil map must be a complete no-op: every hook and every reader is
+// called on the detached (nil) sink by the runtime.
+func TestNilReceiverSafety(t *testing.T) {
+	var m *Map
+	m.SetNodes(4)
+	m.Deliver(key("a", "b", 1, RoutePPEtoPPE), 100, 5)
+	m.HopBytes("nic0", key("a", "b", 1, RoutePPEtoPPE), 100)
+	m.HopBusy("nic0", key("a", "b", 1, RoutePPEtoPPE), 7)
+	m.Node(0, 1, 100)
+	m.Wire("nic0", 128)
+	if m.Flows() != 0 {
+		t.Fatal("nil map reports flows")
+	}
+	if msgs, bytes := m.Totals(); msgs != 0 || bytes != 0 {
+		t.Fatal("nil map reports totals")
+	}
+	if m.Overflowed() {
+		t.Fatal("nil map overflowed")
+	}
+	if m.RouteNames() != nil || m.RouteBytes(RoutePPEtoPPE) != 0 {
+		t.Fatal("nil map reports routes")
+	}
+	if m.Report(0) != nil {
+		t.Fatal("nil map produced a report")
+	}
+	if m.Fingerprint() != "" || m.FingerprintLines() != "" {
+		t.Fatal("nil map produced a fingerprint")
+	}
+}
+
+func TestRouteVocabulary(t *testing.T) {
+	rs := Routes()
+	if len(rs) != 7 {
+		t.Fatalf("want 7 canonical routes, got %d", len(rs))
+	}
+	for _, r := range rs {
+		if !ValidRoute(r) {
+			t.Errorf("canonical route %q not valid", r)
+		}
+	}
+	if ValidRoute("spe->teleport->spe") {
+		t.Fatal("bogus route validated")
+	}
+}
+
+func TestDeliverAggregation(t *testing.T) {
+	m := New(0)
+	k1 := key("main", "worker", 1, RoutePPEtoPPE)
+	k2 := key("main", "s#0", 2, RoutePPEtoSPE)
+	m.Deliver(k1, 100, 10)
+	m.Deliver(k1, 100, 30)
+	m.Deliver(k2, 50, 5)
+	if m.Flows() != 2 {
+		t.Fatalf("want 2 flows, got %d", m.Flows())
+	}
+	if msgs, bytes := m.Totals(); msgs != 3 || bytes != 250 {
+		t.Fatalf("totals = (%d, %d), want (3, 250)", msgs, bytes)
+	}
+	if got := m.RouteBytes(RoutePPEtoPPE); got != 200 {
+		t.Fatalf("route bytes = %d, want 200", got)
+	}
+	rep := m.Report(0)
+	if len(rep.TopK) != 2 || rep.TopK[0].Bytes != 200 {
+		t.Fatalf("top-K misordered: %+v", rep.TopK)
+	}
+	if rep.TopK[0].LatMean != 20 || rep.TopK[0].LatMax != 30 {
+		t.Fatalf("latency aggregation wrong: mean=%d max=%d", rep.TopK[0].LatMean, rep.TopK[0].LatMax)
+	}
+	// Route names come back sorted regardless of observation order.
+	names := m.RouteNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("route names unsorted: %v", names)
+		}
+	}
+}
+
+// The flow table is bounded; flows past the bound fold into one overflow
+// bucket and the whole-run totals stay exact.
+func TestOverflowBucketExactTotals(t *testing.T) {
+	m := New(2)
+	routes := Routes()
+	for i := 0; i < 5; i++ {
+		src := string(rune('a' + i))
+		m.Deliver(key(src, "dst", 1, routes[i%len(routes)]), 10, 1)
+	}
+	if m.Flows() != 2 {
+		t.Fatalf("table holds %d flows, want the bound 2", m.Flows())
+	}
+	if !m.Overflowed() {
+		t.Fatal("overflow not flagged")
+	}
+	if msgs, bytes := m.Totals(); msgs != 5 || bytes != 50 {
+		t.Fatalf("totals = (%d, %d), want exact (5, 50)", msgs, bytes)
+	}
+	rep := m.Report(0)
+	if rep.Overflow == nil || rep.Overflow.Msgs != 3 || rep.Overflow.Bytes != 30 {
+		t.Fatalf("overflow bucket = %+v, want 3 msgs / 30 bytes", rep.Overflow)
+	}
+	// Hop attribution for spilled flows folds into the overflow key too.
+	m.HopBytes("nic0", key("zzz", "dst", 1, routes[0]), 10)
+	if got := rep.FlowCount + len(rep.TopK); got != 4 {
+		t.Fatalf("table flows leaked past the bound: %d", got)
+	}
+}
+
+// Two maps fed the same facts in different orders fingerprint identically;
+// a single extra byte diverges them.
+func TestFingerprintStability(t *testing.T) {
+	feed := func(m *Map, reversed bool) {
+		ks := []Key{
+			key("a", "b", 1, RoutePPEtoPPE),
+			key("c", "d", 5, RouteSPEtoRemSPE),
+			key("e", "f", 4, RouteSPEtoSPE),
+		}
+		if reversed {
+			for i, j := 0, len(ks)-1; i < j; i, j = i+1, j-1 {
+				ks[i], ks[j] = ks[j], ks[i]
+			}
+		}
+		for _, k := range ks {
+			m.Deliver(k, 100, 10)
+			m.HopBytes("copilot@cell0", k, 100)
+			m.HopBusy("copilot@cell0", k, 3)
+		}
+		m.Node(0, 1, 100)
+		m.Wire("nic0", 128)
+	}
+	a, b := New(0), New(0)
+	feed(a, false)
+	feed(b, true)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("observation order changed the fingerprint:\n%s\nvs\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.FingerprintLines() != b.FingerprintLines() {
+		t.Fatal("observation order changed the fingerprint lines")
+	}
+	b.Deliver(key("a", "b", 1, RoutePPEtoPPE), 1, 0)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("an extra delivery left the fingerprint unchanged")
+	}
+}
+
+// The traffic matrix grows on demand and growth preserves recorded cells.
+func TestMatrixGrowth(t *testing.T) {
+	m := New(0)
+	m.Node(0, 1, 100)
+	m.Node(1, 1, 50) // diagonal: local delivery
+	m.Node(3, 0, 25) // forces growth to 4 nodes
+	rep := m.Report(0)
+	if rep.Nodes != 4 {
+		t.Fatalf("matrix is %d nodes, want 4", rep.Nodes)
+	}
+	if rep.MatrixBytes[0][1] != 100 || rep.MatrixBytes[1][1] != 50 || rep.MatrixBytes[3][0] != 25 {
+		t.Fatalf("growth lost cells: %+v", rep.MatrixBytes)
+	}
+	if rep.MatrixMsgs[0][1] != 1 {
+		t.Fatalf("message count wrong: %+v", rep.MatrixMsgs)
+	}
+}
+
+// Wire counts are per-NIC truth independent of flow attribution.
+func TestWireVersusAttributed(t *testing.T) {
+	m := New(0)
+	k := key("a", "b", 1, RoutePPEtoPPE)
+	m.Deliver(k, 100, 1)
+	m.HopBytes("nic0", k, 100)
+	m.Wire("nic0", 128) // payload frame with headers
+	m.Wire("nic0", 28)  // retransmit/control frame the flow never sees
+	rep := m.Report(0)
+	if len(rep.Resources) != 1 {
+		t.Fatalf("want 1 resource, got %d", len(rep.Resources))
+	}
+	r := rep.Resources[0]
+	if r.Bytes != 100 || r.WireFrames != 2 || r.WireBytes != 156 {
+		t.Fatalf("resource = %+v, want attributed 100 B and wire 2 frames / 156 B", r)
+	}
+	if len(r.Top) != 1 || r.Top[0].Route != RoutePPEtoPPE {
+		t.Fatalf("top contributor wrong: %+v", r.Top)
+	}
+}
+
+// Report rendering is deterministic and contains each section.
+func TestReportRendering(t *testing.T) {
+	m := New(0)
+	k := key("main", "s5e", 5, RouteSPEtoRemSPE)
+	m.Deliver(k, 256, 100*sim.Microsecond)
+	m.HopBytes("copilot@cell0", k, 256)
+	m.HopBusy("copilot@cell0", k, 10*sim.Microsecond)
+	m.Node(0, 1, 256)
+	m.Wire("nic0", 300)
+	s1 := m.Report(0).String()
+	s2 := m.Report(0).String()
+	if s1 != s2 {
+		t.Fatal("rendering is not deterministic")
+	}
+	for _, want := range []string{
+		"traffic matrix", "top flows", "routes:", "resource breakdown",
+		RouteSPEtoRemSPE, "copilot@cell0", "flow fingerprint:",
+	} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s1)
+		}
+	}
+}

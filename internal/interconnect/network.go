@@ -21,6 +21,11 @@ type Network struct {
 	// host receives wall-clock attribution frames around the transmit
 	// paths (hostprof); nil disables. Never touches virtual time.
 	host *hostprof.Profiler
+	// flow, when set, observes every frame a NIC transmits (link name,
+	// bytes) — including retransmits and control frames, so it counts
+	// wire-level truth rather than delivered payload. Never touches
+	// virtual time.
+	flow func(link string, bytes int)
 
 	// stats
 	messages int
@@ -29,6 +34,11 @@ type Network struct {
 
 // SetHostProf attaches the wall-clock profiler (nil detaches).
 func (n *Network) SetHostProf(h *hostprof.Profiler) { n.host = h }
+
+// SetFlowHook attaches a per-frame observer called with the transmitting
+// NIC's name and the frame size on every Send/Reserve/ReserveRaw (nil
+// detaches). Purely observational: virtual time is unaffected.
+func (n *Network) SetFlowHook(fn func(link string, bytes int)) { n.flow = fn }
 
 // New builds a network for nNodes nodes using the calibration in par.
 func New(k *sim.Kernel, par *cellbe.Params, nNodes int) *Network {
@@ -65,6 +75,9 @@ func (n *Network) Send(p *sim.Proc, from, to, bytes int) (arrival sim.Time, err 
 	}
 	n.messages++
 	n.bytes += int64(bytes)
+	if n.flow != nil {
+		n.flow(n.tx[from].Name, bytes)
+	}
 	return n.tx[from].Send(p, bytes), nil
 }
 
@@ -80,6 +93,9 @@ func (n *Network) Reserve(from, to, bytes int) (arrival sim.Time, err error) {
 	}
 	n.messages++
 	n.bytes += int64(bytes)
+	if n.flow != nil {
+		n.flow(n.tx[from].Name, bytes)
+	}
 	return n.tx[from].Reserve(bytes), nil
 }
 
@@ -98,6 +114,9 @@ func (n *Network) ReserveRaw(from, to, bytes int) (arrival sim.Time, err error) 
 	}
 	n.messages++
 	n.bytes += int64(bytes)
+	if n.flow != nil {
+		n.flow(n.tx[from].Name, bytes)
+	}
 	return n.tx[from].ReserveFor(n.par.LinkStartup + n.par.ChunkWireTime(bytes)), nil
 }
 

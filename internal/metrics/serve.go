@@ -17,6 +17,7 @@ import (
 type Publisher struct {
 	v  atomic.Value // *Registry (always a private clone)
 	tl atomic.Value // []byte: pre-rendered timeline JSON
+	fl atomic.Value // []byte: pre-rendered flow-report JSON
 }
 
 // NewPublisher creates a publisher with an empty initial snapshot, so the
@@ -25,6 +26,7 @@ func NewPublisher() *Publisher {
 	p := &Publisher{}
 	p.v.Store(NewRegistry())
 	p.tl.Store([]byte("{}\n"))
+	p.fl.Store([]byte("{}\n"))
 	return p
 }
 
@@ -60,11 +62,27 @@ func (p *Publisher) TimelineJSON() []byte {
 	return p.tl.Load().([]byte)
 }
 
+// PublishFlows stores pre-rendered flow-observatory JSON (an
+// internal/flowmap report) for /flows.json, with the same raw-bytes
+// contract as PublishTimeline. Empty or nil data resets to "{}".
+func (p *Publisher) PublishFlows(data []byte) {
+	if len(data) == 0 {
+		data = []byte("{}\n")
+	}
+	p.fl.Store(data)
+}
+
+// FlowsJSON returns the most recently published flow-report bytes.
+func (p *Publisher) FlowsJSON() []byte {
+	return p.fl.Load().([]byte)
+}
+
 // Handler serves the published snapshot:
 //
 //	GET /metrics        Prometheus/OpenMetrics text exposition
 //	GET /metrics.json   JSON snapshot of counters, gauges, histograms
 //	GET /timeline.json  windowed telemetry timeline ("{}" until published)
+//	GET /flows.json     flow observatory report ("{}" until published)
 //
 // Any other path redirects to /metrics.
 func (p *Publisher) Handler() http.Handler {
@@ -80,6 +98,10 @@ func (p *Publisher) Handler() http.Handler {
 	mux.HandleFunc("/timeline.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(p.TimelineJSON())
+	})
+	mux.HandleFunc("/flows.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(p.FlowsJSON())
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		http.Redirect(w, req, "/metrics", http.StatusFound)

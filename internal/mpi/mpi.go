@@ -48,6 +48,12 @@ type World struct {
 	Faults *fault.Injector
 	rel    map[relKey]*relState
 
+	// Flow, when non-nil, observes every delivered message as (source
+	// node, destination node, bytes) — the node×node traffic matrix feed.
+	// Local deliveries land on the diagonal. Purely observational: it
+	// never advances virtual time.
+	Flow func(srcNode, dstNode, bytes int)
+
 	// Host, when non-nil, receives wall-clock attribution frames around
 	// the MPI entry points (hostprof). Pure host-side bookkeeping: it
 	// never advances virtual time, so instrumented runs stay bit-identical.

@@ -251,6 +251,9 @@ func (r *Rank) deliver(env *envelope) {
 	if env.cancelled {
 		return
 	}
+	if w := r.w; w.Flow != nil {
+		w.Flow(w.ranks[env.src].node.ID, r.node.ID, env.size)
+	}
 	if r.arrival != nil {
 		r.arrival()
 	}

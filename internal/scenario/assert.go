@@ -6,6 +6,7 @@ import (
 
 	"cellpilot/internal/critpath"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/sim"
 )
 
@@ -128,8 +129,66 @@ func checkOne(out *Outcome, a Assertion) []string {
 		return eachChaos(out, a, func(r ChaosRun) []string {
 			return checkRecovery(r, a)
 		})
+	case AssertFlow:
+		return eachChaos(out, a, func(r ChaosRun) []string {
+			return checkFlow(r, a)
+		})
 	}
 	return nil
+}
+
+// checkFlow bounds a route's delivered payload bytes and/or pins a shared
+// resource's dominant flow to that route. Failure messages carry the
+// per-route aggregates so a shifted traffic pattern diagnoses itself.
+func checkFlow(r ChaosRun, a Assertion) []string {
+	fl := r.Flows
+	if fl == nil {
+		return []string{fmt.Sprintf("seed %d: run recorded no flow observatory", r.Seed)}
+	}
+	var vs []string
+	if a.Route != "" && (a.MinBytes > 0 || a.MaxBytes > 0) {
+		got := fl.RouteBytes(a.Route)
+		if a.MinBytes > 0 && got < a.MinBytes {
+			vs = append(vs, fmt.Sprintf("seed %d: route %s delivered %d B, bound ≥ %d B%s",
+				r.Seed, a.Route, got, a.MinBytes, flowContext(fl)))
+		}
+		if a.MaxBytes > 0 && got > a.MaxBytes {
+			vs = append(vs, fmt.Sprintf("seed %d: route %s delivered %d B, bound ≤ %d B%s",
+				r.Seed, a.Route, got, a.MaxBytes, flowContext(fl)))
+		}
+	}
+	if a.TopOf != "" {
+		rep := fl.Report(0)
+		var rs *flowmap.ResourceStat
+		var names []string
+		for i := range rep.Resources {
+			names = append(names, rep.Resources[i].Name)
+			if rep.Resources[i].Name == a.TopOf {
+				rs = &rep.Resources[i]
+			}
+		}
+		switch {
+		case rs == nil:
+			vs = append(vs, fmt.Sprintf("seed %d: no flow crossed resource %q (resources seen: %s)",
+				r.Seed, a.TopOf, strings.Join(names, ", ")))
+		case len(rs.Top) == 0:
+			vs = append(vs, fmt.Sprintf("seed %d: resource %q carried no attributed flow", r.Seed, a.TopOf))
+		case rs.Top[0].Route != a.Route:
+			top := rs.Top[0]
+			vs = append(vs, fmt.Sprintf("seed %d: %q's top contributor is %s -> %s via %s (%d B), want route %s%s",
+				r.Seed, a.TopOf, top.Src, top.Dst, top.Route, top.Bytes, a.Route, flowContext(fl)))
+		}
+	}
+	return vs
+}
+
+// flowContext renders the per-route byte aggregates for a failure message.
+func flowContext(fl *flowmap.Map) string {
+	var b strings.Builder
+	for _, route := range fl.RouteNames() {
+		fmt.Fprintf(&b, "\n    route %-32s %d B", route, fl.RouteBytes(route))
+	}
+	return b.String()
 }
 
 // checkWindow bounds every window of a series over a virtual-time range

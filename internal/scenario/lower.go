@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"cellpilot/internal/fault"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/workload"
 )
 
@@ -270,7 +271,7 @@ func (s *Scenario) validateAssertion(i int, a Assertion) error {
 		AssertDegraded: KindChaos, AssertVirtualTime: KindChaos,
 		AssertBlame: KindChaos, AssertContention: KindChaos,
 		AssertWindow: KindChaos, AssertPeakBacklog: KindChaos,
-		AssertRecoveryWithin: KindChaos,
+		AssertRecoveryWithin: KindChaos, AssertFlow: KindChaos,
 	}
 	if kind, ok := bind[a.Kind]; ok {
 		if a.Workload != "" && a.Workload != kind {
@@ -394,6 +395,26 @@ func (s *Scenario) validateAssertion(i int, a Assertion) error {
 		if !s.hasEventFault() {
 			return fmt.Errorf("%s: recovery is measured from an injected fault — schedule at least one timed fault (crash-node, kill-spe, kill-copilot)", what)
 		}
+	case AssertFlow:
+		if a.Route == "" && a.TopOf == "" {
+			return fmt.Errorf("%s: set route (byte bounds) and/or top_of (top-contributor check)", what)
+		}
+		if a.Route != "" && !flowmap.ValidRoute(a.Route) {
+			return fmt.Errorf("%s: unknown flow route %q (valid: %s)",
+				what, a.Route, strings.Join(flowmap.Routes(), ", "))
+		}
+		if a.MinBytes < 0 || a.MaxBytes < 0 {
+			return fmt.Errorf("%s: byte bounds must be non-negative", what)
+		}
+		if (a.MinBytes > 0 || a.MaxBytes > 0) && a.Route == "" {
+			return fmt.Errorf("%s: byte bounds need a route to bound", what)
+		}
+		if a.MaxBytes > 0 && a.MinBytes > a.MaxBytes {
+			return fmt.Errorf("%s: bounds are empty (min_bytes %d > max_bytes %d)", what, a.MinBytes, a.MaxBytes)
+		}
+		if a.TopOf != "" && a.Route == "" {
+			return fmt.Errorf("%s: top_of needs a route the top contributor must travel", what)
+		}
 	default:
 		return fmt.Errorf("%s: unknown assertion kind", what)
 	}
@@ -431,12 +452,12 @@ func checkSeries(what, name string) error {
 			return nil
 		}
 	}
-	for _, prefix := range []string{"copilot/", "link/", "mailbox/", "fault/", "chan/", "net/"} {
+	for _, prefix := range []string{"copilot/", "link/", "mailbox/", "fault/", "chan/", "net/", "flow/"} {
 		if strings.HasPrefix(name, prefix) && len(name) > len(prefix) {
 			return nil
 		}
 	}
-	return fmt.Errorf("%s: unknown timeline series %q (valid: backlog/total, backlog/type1..5, or a copilot/, link/, mailbox/, fault/, chan/ or net/ series)", what, name)
+	return fmt.Errorf("%s: unknown timeline series %q (valid: backlog/total, backlog/type1..5, or a copilot/, link/, mailbox/, fault/, chan/, net/ or flow/ series)", what, name)
 }
 
 // hasEventFault reports whether the schedule contains a timed fault event
@@ -459,6 +480,24 @@ func (s *Scenario) hasTemporalAssertion() bool {
 		switch a.Kind {
 		case AssertWindow, AssertPeakBacklog, AssertRecoveryWithin:
 			return true
+		}
+	}
+	return false
+}
+
+// hasFlowAssertion reports whether any assertion reads the flow
+// observatory — which forces a flowmap onto every chaos run. Temporal
+// assertions over flow/* series count: those timeline series only
+// materialize when a flowmap feeds the sampler.
+func (s *Scenario) hasFlowAssertion() bool {
+	for _, a := range s.Assertions {
+		switch a.Kind {
+		case AssertFlow:
+			return true
+		case AssertWindow, AssertRecoveryWithin:
+			if strings.HasPrefix(a.Series, "flow/") {
+				return true
+			}
 		}
 	}
 	return false

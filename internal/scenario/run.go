@@ -8,6 +8,7 @@ import (
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/core"
 	"cellpilot/internal/critpath"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/timeline"
 	"cellpilot/internal/trace"
@@ -72,6 +73,9 @@ type ChaosRun struct {
 	// Timeline is the run's telemetry recorder, attached when the scenario
 	// declares a timeline block or any temporal assertion; nil otherwise.
 	Timeline *timeline.Recorder
+	// Flows is the run's flow observatory, attached when the scenario
+	// carries a flow assertion; nil otherwise.
+	Flows *flowmap.Map
 }
 
 // Run executes a validated scenario: every workload entry in order on the
@@ -147,6 +151,7 @@ func runOnce(s *Scenario, opt Options) (*Outcome, error) {
 		case KindChaos:
 			co := &ChaosOutcome{Reps: w.Reps}
 			wantTimeline := s.Timeline.Window > 0 || s.hasTemporalAssertion()
+			wantFlows := s.hasFlowAssertion()
 			for _, seed := range w.Seeds {
 				rec := trace.NewRecorder(0)
 				var st core.Stats
@@ -154,16 +159,20 @@ func runOnce(s *Scenario, opt Options) (*Outcome, error) {
 				if wantTimeline {
 					tl = timeline.New(s.Timeline.Window)
 				}
+				var fl *flowmap.Map
+				if wantFlows {
+					fl = flowmap.New(0)
+				}
 				res, err := workload.Chaos(workload.ChaosConfig{
 					Seed: seed, Reps: w.Reps, Bytes: w.Bytes,
 					SoftTimeout: w.SoftTimeout, Transfer: w.Transfer,
 					Spec: spec(), Plan: plan, Trace: rec, Stats: &st,
-					Timeline: tl,
+					Timeline: tl, Flows: fl,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("workloads[%d] chaos seed %d: %w", i, seed, err)
 				}
-				co.Runs = append(co.Runs, ChaosRun{Seed: seed, Result: res, Stats: st, Timeline: tl})
+				co.Runs = append(co.Runs, ChaosRun{Seed: seed, Result: res, Stats: st, Timeline: tl, Flows: fl})
 				fmt.Fprintf(&fp, "chaos seed=%d\n", seed)
 				for _, line := range strings.Split(strings.TrimRight(res.Fingerprint(), "\n"), "\n") {
 					fmt.Fprintf(&fp, "  %s\n", line)
@@ -171,6 +180,11 @@ func runOnce(s *Scenario, opt Options) (*Outcome, error) {
 				writeBlameLines(&fp, st.CritPath)
 				if tl != nil {
 					for _, line := range strings.Split(strings.TrimRight(tl.Fingerprint(), "\n"), "\n") {
+						fmt.Fprintf(&fp, "  %s\n", line)
+					}
+				}
+				if fl != nil {
+					for _, line := range strings.Split(strings.TrimRight(fl.FingerprintLines(), "\n"), "\n") {
 						fmt.Fprintf(&fp, "  %s\n", line)
 					}
 				}

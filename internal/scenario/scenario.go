@@ -168,6 +168,10 @@ const (
 	AssertWindow         = "window"
 	AssertPeakBacklog    = "peak_backlog"
 	AssertRecoveryWithin = "recovery_within"
+	// AssertFlow checks the chaos runs' flow observatory (attached
+	// automatically when present): per-route delivered-byte bounds and
+	// the top contributor of a named resource (NIC or Co-Pilot).
+	AssertFlow = "flow"
 )
 
 // Assertion is one post-run check. Kind selects the check; Workload
@@ -233,6 +237,15 @@ type Assertion struct {
 	// MaxRecovery bounds how long after each injected fault the Series
 	// takes to settle back to its pre-fault baseline (recovery_within).
 	MaxRecovery sim.Time
+	// Route names the flow route a flow assertion checks (one of
+	// flowmap.Routes(), e.g. "spe->copilot->mpi->copilot->spe").
+	Route string
+	// MinBytes/MaxBytes bound the route's delivered payload bytes (flow;
+	// MaxBytes 0 = unbounded above).
+	MinBytes, MaxBytes int64
+	// TopOf names a resource (NIC "nicN" or Co-Pilot rank label, e.g.
+	// "copilot@cell1") whose top contributor must travel Route (flow).
+	TopOf string
 	// Seed restricts a chaos-bound check to one seed (0 = every seed).
 	Seed int64
 }
@@ -563,6 +576,13 @@ func decodeAssertion(n *node, idx int) (Assertion, error) {
 			m.strField("series", &a.Series),
 			m.durField("max", &a.MaxRecovery),
 			m.int64Field("seed", &a.Seed))
+	case AssertFlow:
+		errs = append(errs,
+			m.strField("route", &a.Route),
+			m.int64Field("min_bytes", &a.MinBytes),
+			m.int64Field("max_bytes", &a.MaxBytes),
+			m.strField("top_of", &a.TopOf),
+			m.int64Field("seed", &a.Seed))
 	default:
 		return Assertion{}, fmt.Errorf("line %d: %s: unknown assertion kind %q (valid: %s)",
 			n.line, what, a.Kind, strings.Join(assertionKinds(), ", "))
@@ -577,7 +597,7 @@ func assertionKinds() []string {
 	return []string{AssertLatency, AssertBandwidth, AssertSpeedup, AssertCompleted,
 		AssertFaults, AssertDegraded, AssertBlame, AssertContention,
 		AssertDeterminism, AssertVirtualTime,
-		AssertWindow, AssertPeakBacklog, AssertRecoveryWithin}
+		AssertWindow, AssertPeakBacklog, AssertRecoveryWithin, AssertFlow}
 }
 
 func decodeCounterMap(m *mapReader, what, key string) (map[string]int64, error) {

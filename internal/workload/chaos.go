@@ -9,6 +9,7 @@ import (
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/core"
 	"cellpilot/internal/fault"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/timeline"
@@ -75,6 +76,10 @@ type ChaosConfig struct {
 	// other sinks it only reads, so a chaos run with a timeline attached
 	// keeps a bit-identical fingerprint.
 	Timeline *timeline.Recorder
+	// Flows, when non-nil, accumulates the run's flow observatory (traffic
+	// matrix, per-route aggregates, heavy hitters). Same zero-virtual-cost
+	// contract as the other sinks.
+	Flows *flowmap.Map
 }
 
 // ChaosSPEs lists the SPE stub process names a chaos run creates — the
@@ -211,6 +216,7 @@ func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 	a.HostProf = cfg.Host
 	a.Trace = cfg.Trace
 	a.Timeline = cfg.Timeline
+	a.Flows = cfg.Flows
 
 	res := ChaosResult{Config: ChaosResult_Config{
 		Seed: cfg.Seed, LossProb: cfg.LossProb, KillSPE: cfg.KillSPE, MailboxDrops: cfg.MailboxDrops,

@@ -4,63 +4,87 @@ import (
 	"testing"
 
 	"cellpilot/internal/core"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/sim"
 	"cellpilot/internal/timeline"
 )
 
-// chaosArmRun executes the reference chaos scenario with the stats and
-// timeline sinks attached, returning every observable the kernel-arm
-// determinism contract covers: the chaos fingerprint, the rendered
-// post-run App.Stats() report, and the windowed telemetry fingerprint.
-func chaosArmRun() (fp, stats, tlFP string, err error) {
+// chaosArmResult is every observable the kernel-arm determinism contract
+// covers: the chaos fingerprint, the rendered post-run App.Stats() report,
+// the windowed telemetry fingerprint, the flow-observatory fingerprint and
+// its full rendered report (matrix, top-K, resources), plus the raw stats
+// struct for field-level equivalence checks.
+type chaosArmResult struct {
+	fp, stats, tlFP    string
+	flowFP, flowReport string
+	st                 core.Stats
+}
+
+// chaosArmRun executes the reference chaos scenario with the stats,
+// timeline and flowmap sinks attached.
+func chaosArmRun() (chaosArmResult, error) {
 	var st core.Stats
 	tl := timeline.New(200 * sim.Microsecond)
+	fl := flowmap.New(0)
 	r, err := Chaos(ChaosConfig{
 		Seed: 11, LossProb: 0.1, KillSPE: true, MailboxDrops: 3,
-		Stats: &st, Timeline: tl,
+		Stats: &st, Timeline: tl, Flows: fl,
 	})
 	if err != nil {
-		return "", "", "", err
+		return chaosArmResult{}, err
 	}
-	return r.Fingerprint(), st.String(), tl.Fingerprint(), nil
+	return chaosArmResult{
+		fp: r.Fingerprint(), stats: st.String(), tlFP: tl.Fingerprint(),
+		flowFP: fl.Fingerprint(), flowReport: fl.Report(0).String(),
+		st: st,
+	}, nil
+}
+
+// compareArms fails the test on the first observable that diverges
+// between two arms of the same chaos run.
+func compareArms(t *testing.T, labelA, labelB string, a, b chaosArmResult) {
+	t.Helper()
+	check := func(what, va, vb string) {
+		t.Helper()
+		if va != vb {
+			t.Fatalf("%s diverges:\n--- %s ---\n%s\n--- %s ---\n%s", what, labelA, va, labelB, vb)
+		}
+	}
+	check("chaos fingerprint", a.fp, b.fp)
+	check("stats report", a.stats, b.stats)
+	check("timeline fingerprint", a.tlFP, b.tlFP)
+	check("flow fingerprint", a.flowFP, b.flowFP)
+	check("flow report", a.flowReport, b.flowReport)
 }
 
 // TestChaosKernelArmsDeterminism is the kernel-replacement acceptance
 // check at the workload layer: the reference chaos run must produce
-// bit-identical fingerprints, stats reports and timeline series under
-// (1) the default calendar queue, (2) the original heap queue, and
-// (3) the sharded parallel driver with a concurrent neighbour LP
-// competing for host workers.
+// bit-identical fingerprints, stats reports, timeline series and flow
+// tables under (1) the default calendar queue, (2) the original heap
+// queue, and (3) the sharded parallel driver with a concurrent neighbour
+// LP competing for host workers.
 func TestChaosKernelArmsDeterminism(t *testing.T) {
-	fp, st, tlfp, err := chaosArmRun()
+	ref, err := chaosArmRun()
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Arm: the retained heap queue must reproduce the calendar result.
 	prev := sim.SetDefaultQueueKind(sim.QueueHeap)
-	hfp, hst, htl, err := chaosArmRun()
+	heap, err := chaosArmRun()
 	sim.SetDefaultQueueKind(prev)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hfp != fp {
-		t.Fatalf("heap-queue chaos fingerprint diverges:\n--- calendar ---\n%s\n--- heap ---\n%s", fp, hfp)
-	}
-	if hst != st {
-		t.Fatalf("heap-queue stats report diverges:\n--- calendar ---\n%s\n--- heap ---\n%s", st, hst)
-	}
-	if htl != tlfp {
-		t.Fatalf("heap-queue timeline fingerprint diverges:\n--- calendar ---\n%s\n--- heap ---\n%s", tlfp, htl)
-	}
+	compareArms(t, "calendar", "heap", ref, heap)
 
 	// Arm: the same run inside a 2-worker sharded fleet, racing a noisy
 	// neighbour replica for the worker tokens.
-	var sfp, sst, stl string
+	var sharded chaosArmResult
 	s := sim.NewSharded(2)
 	s.AddLP("chaos", func(lp *sim.LP) error {
 		var err error
-		sfp, sst, stl, err = chaosArmRun()
+		sharded, err = chaosArmRun()
 		return err
 	})
 	s.AddLP("noise", func(lp *sim.LP) error {
@@ -70,13 +94,25 @@ func TestChaosKernelArmsDeterminism(t *testing.T) {
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if sfp != fp {
-		t.Fatalf("sharded chaos fingerprint diverges:\n--- sequential ---\n%s\n--- sharded ---\n%s", fp, sfp)
+	compareArms(t, "sequential", "sharded", ref, sharded)
+
+	// Field-level equivalence on the shared-resource accounting the flow
+	// observatory attributes against: per-NIC link occupancy and per-node
+	// Co-Pilot relay counters must match sequential vs sharded exactly.
+	if len(sharded.st.Links) != len(ref.st.Links) {
+		t.Fatalf("link count diverges: sequential %d, sharded %d", len(ref.st.Links), len(sharded.st.Links))
 	}
-	if sst != st {
-		t.Fatalf("sharded stats report diverges:\n--- sequential ---\n%s\n--- sharded ---\n%s", st, sst)
+	for i, lu := range ref.st.Links {
+		if sharded.st.Links[i] != lu {
+			t.Errorf("LinkStats[%d] diverges: sequential %+v, sharded %+v", i, lu, sharded.st.Links[i])
+		}
 	}
-	if stl != tlfp {
-		t.Fatalf("sharded timeline fingerprint diverges:\n--- sequential ---\n%s\n--- sharded ---\n%s", tlfp, stl)
+	if len(sharded.st.CoPilots) != len(ref.st.CoPilots) {
+		t.Fatalf("Co-Pilot count diverges: sequential %d, sharded %d", len(ref.st.CoPilots), len(sharded.st.CoPilots))
+	}
+	for i, cp := range ref.st.CoPilots {
+		if got := sharded.st.CoPilots[i].RelayedBytes; got != cp.RelayedBytes {
+			t.Errorf("CoPilots[%d].RelayedBytes diverges: sequential %d, sharded %d", i, cp.RelayedBytes, got)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"cellpilot/internal/cellbe"
 	"cellpilot/internal/cluster"
 	"cellpilot/internal/core"
+	"cellpilot/internal/flowmap"
 	"cellpilot/internal/fmtmsg"
 	"cellpilot/internal/hostprof"
 	"cellpilot/internal/mpi"
@@ -89,6 +90,9 @@ type PingPongConfig struct {
 	// gauges and counters (MethodCellPilot only; observation is free in
 	// virtual time).
 	Timeline *timeline.Recorder
+	// Flows, when non-nil, accumulates the run's flow observatory
+	// (MethodCellPilot only; same zero-virtual-cost contract).
+	Flows *flowmap.Map
 	// Stats, when non-nil, receives the application's post-run report
 	// (MethodCellPilot only). With Trace also attached it includes the
 	// critical-path blame decomposition (Stats.CritPath).
@@ -244,6 +248,7 @@ func pingPongCellPilot(cfg PingPongConfig) (sim.Time, error) {
 	a.Profile = cfg.Profile
 	a.HostProf = cfg.Host
 	a.Timeline = cfg.Timeline
+	a.Flows = cfg.Flows
 	format, mk, rd := payloadFormat(cfg.Bytes)
 
 	var ab, ba *core.Channel
